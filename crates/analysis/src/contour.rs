@@ -1,0 +1,310 @@
+//! Iso-density contour extraction (marching squares).
+//!
+//! GIS tools draw hotspot *boundaries* as iso-density contours on top of
+//! the heat map. This module runs marching squares over a
+//! [`DensityGrid`]: for a threshold `t`, every grid cell (quad of four
+//! adjacent pixel centres) is classified by which corners are ≥ `t`, and
+//! the crossing segments are emitted with linear interpolation along the
+//! cell edges. Segments are then stitched into polylines (closed rings
+//! for interior contours, open chains where a contour exits the raster).
+
+use kdv_core::geom::Point;
+use kdv_core::grid::{DensityGrid, GridSpec};
+
+/// A contour polyline; `closed` is true when the line forms a ring.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Contour {
+    /// Polyline vertices in geographic coordinates.
+    pub points: Vec<Point>,
+    /// Whether the polyline closes back onto its first vertex.
+    pub closed: bool,
+}
+
+impl Contour {
+    /// Total polyline length.
+    pub fn length(&self) -> f64 {
+        let mut len = 0.0;
+        for w in self.points.windows(2) {
+            len += w[0].dist(&w[1]);
+        }
+        if self.closed && self.points.len() > 1 {
+            len += self.points[self.points.len() - 1].dist(&self.points[0]);
+        }
+        len
+    }
+}
+
+/// Linear interpolation parameter of the threshold crossing between two
+/// corner values (`va` at 0, `vb` at 1). Assumes `va` and `vb` straddle
+/// `t`; clamps for robustness at near-equal values.
+#[inline]
+fn cross(va: f64, vb: f64, t: f64) -> f64 {
+    let d = vb - va;
+    if d.abs() < 1e-300 {
+        0.5
+    } else {
+        ((t - va) / d).clamp(0.0, 1.0)
+    }
+}
+
+/// Extracts iso-density segments at `threshold` (inclusive side: a corner
+/// with `v ≥ t` is "inside"). Returns raw, unstitched segments.
+pub fn contour_segments(
+    grid: &DensityGrid,
+    spec: &GridSpec,
+    threshold: f64,
+) -> Vec<(Point, Point)> {
+    let (w, h) = (grid.res_x(), grid.res_y());
+    let mut segments = Vec::new();
+    if w < 2 || h < 2 {
+        return segments;
+    }
+    for j in 0..h - 1 {
+        for i in 0..w - 1 {
+            // corner values, CCW from bottom-left (pixel centres)
+            let v = [
+                grid.get(i, j),
+                grid.get(i + 1, j),
+                grid.get(i + 1, j + 1),
+                grid.get(i, j + 1),
+            ];
+            let inside = [
+                v[0] >= threshold,
+                v[1] >= threshold,
+                v[2] >= threshold,
+                v[3] >= threshold,
+            ];
+            let case = (inside[0] as u8)
+                | (inside[1] as u8) << 1
+                | (inside[2] as u8) << 2
+                | (inside[3] as u8) << 3;
+            if case == 0 || case == 15 {
+                continue;
+            }
+            // corner coordinates
+            let (x0, y0) = (spec.pixel_x(i), spec.pixel_y(j));
+            let (x1, y1) = (spec.pixel_x(i + 1), spec.pixel_y(j + 1));
+            // edge crossing points (bottom, right, top, left)
+            let bottom = || Point::new(x0 + cross(v[0], v[1], threshold) * (x1 - x0), y0);
+            let right = || Point::new(x1, y0 + cross(v[1], v[2], threshold) * (y1 - y0));
+            let top = || Point::new(x0 + cross(v[3], v[2], threshold) * (x1 - x0), y1);
+            let left = || Point::new(x0, y0 + cross(v[0], v[3], threshold) * (y1 - y0));
+            // marching-squares case table (ambiguous saddles split by the
+            // cell-centre average, the standard disambiguation)
+            match case {
+                1 => segments.push((left(), bottom())),
+                2 => segments.push((bottom(), right())),
+                3 => segments.push((left(), right())),
+                4 => segments.push((right(), top())),
+                5 => {
+                    let avg = (v[0] + v[1] + v[2] + v[3]) * 0.25;
+                    if avg >= threshold {
+                        segments.push((left(), top()));
+                        segments.push((bottom(), right()));
+                    } else {
+                        segments.push((left(), bottom()));
+                        segments.push((right(), top()));
+                    }
+                }
+                6 => segments.push((bottom(), top())),
+                7 => segments.push((left(), top())),
+                8 => segments.push((top(), left())),
+                9 => segments.push((top(), bottom())),
+                10 => {
+                    let avg = (v[0] + v[1] + v[2] + v[3]) * 0.25;
+                    if avg >= threshold {
+                        segments.push((top(), right()));
+                        segments.push((bottom(), left()));
+                    } else {
+                        segments.push((top(), left()));
+                        segments.push((bottom(), right()));
+                    }
+                }
+                11 => segments.push((top(), right())),
+                12 => segments.push((right(), left())),
+                13 => segments.push((right(), bottom())),
+                14 => segments.push((bottom(), left())),
+                _ => unreachable!(),
+            }
+        }
+    }
+    segments
+}
+
+/// Extracts contours at `threshold`, stitched into polylines.
+pub fn contours(grid: &DensityGrid, spec: &GridSpec, threshold: f64) -> Vec<Contour> {
+    let segments = contour_segments(grid, spec, threshold);
+    stitch(segments)
+}
+
+/// Quantised endpoint key for stitching (contour endpoints are computed
+/// identically from both adjacent cells, so exact bit-level matches are
+/// expected; quantisation adds robustness at no cost).
+fn key(p: &Point) -> (i64, i64) {
+    ((p.x * 1e7).round() as i64, (p.y * 1e7).round() as i64)
+}
+
+/// Stitches segments into polylines by walking endpoint adjacency.
+fn stitch(segments: Vec<(Point, Point)>) -> Vec<Contour> {
+    use std::collections::HashMap;
+    let n = segments.len();
+    let mut adjacency: HashMap<(i64, i64), Vec<usize>> = HashMap::new();
+    for (idx, (a, b)) in segments.iter().enumerate() {
+        adjacency.entry(key(a)).or_default().push(idx);
+        adjacency.entry(key(b)).or_default().push(idx);
+    }
+    let mut used = vec![false; n];
+    let mut out = Vec::new();
+
+    for start in 0..n {
+        if used[start] {
+            continue;
+        }
+        used[start] = true;
+        let (a, b) = segments[start];
+        let mut chain = vec![a, b];
+        // extend forward from the tail, then backward from the head
+        for end in [true, false] {
+            loop {
+                let tip = if end { *chain.last().unwrap() } else { chain[0] };
+                let Some(cands) = adjacency.get(&key(&tip)) else { break };
+                let mut advanced = false;
+                for &idx in cands {
+                    if used[idx] {
+                        continue;
+                    }
+                    let (sa, sb) = segments[idx];
+                    let next = if key(&sa) == key(&tip) {
+                        sb
+                    } else if key(&sb) == key(&tip) {
+                        sa
+                    } else {
+                        continue;
+                    };
+                    used[idx] = true;
+                    if end {
+                        chain.push(next);
+                    } else {
+                        chain.insert(0, next);
+                    }
+                    advanced = true;
+                    break;
+                }
+                if !advanced {
+                    break;
+                }
+            }
+        }
+        let closed = chain.len() > 2 && key(&chain[0]) == key(chain.last().unwrap());
+        if closed {
+            chain.pop();
+        }
+        out.push(Contour { points: chain, closed });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kdv_core::geom::Rect;
+
+    fn spec(w: usize, h: usize) -> GridSpec {
+        GridSpec::new(Rect::new(0.0, 0.0, w as f64, h as f64), w, h).unwrap()
+    }
+
+    /// A single hot pixel in the middle yields one closed ring around it.
+    #[test]
+    fn single_peak_closed_ring() {
+        let s = spec(5, 5);
+        let mut g = DensityGrid::zeroed(5, 5);
+        g.set(2, 2, 1.0);
+        let cs = contours(&g, &s, 0.5);
+        assert_eq!(cs.len(), 1);
+        assert!(cs[0].closed, "interior contour must close");
+        assert_eq!(cs[0].points.len(), 4, "diamond around the peak");
+        // ring length: diamond with vertices at half-gap crossings
+        assert!(cs[0].length() > 0.0);
+        // all vertices within one pixel of the peak centre (2.5, 2.5)
+        for p in &cs[0].points {
+            assert!(p.dist(&Point::new(2.5, 2.5)) < 1.5);
+        }
+    }
+
+    /// A vertical density step produces one open contour spanning the rows.
+    #[test]
+    fn step_open_contour() {
+        let s = spec(6, 4);
+        let mut g = DensityGrid::zeroed(6, 4);
+        for j in 0..4 {
+            for i in 3..6 {
+                g.set(i, j, 1.0);
+            }
+        }
+        let cs = contours(&g, &s, 0.5);
+        assert_eq!(cs.len(), 1);
+        assert!(!cs[0].closed, "contour exits the raster top/bottom");
+        // crossing sits halfway between columns 2 and 3 → x = 3.0
+        // (pixel centres 2.5 and 3.5)
+        for p in &cs[0].points {
+            assert!((p.x - 3.0).abs() < 1e-9, "x = {}", p.x);
+        }
+        // spans from the first to the last row of cell corners
+        let ys: Vec<f64> = cs[0].points.iter().map(|p| p.y).collect();
+        assert!((ys.iter().cloned().fold(f64::MAX, f64::min) - 0.5).abs() < 1e-9);
+        assert!((ys.iter().cloned().fold(f64::MIN, f64::max) - 3.5).abs() < 1e-9);
+    }
+
+    /// Interpolation lands proportionally between corner values.
+    #[test]
+    fn interpolation_position() {
+        let s = spec(2, 2);
+        let mut g = DensityGrid::zeroed(2, 2);
+        // left column 0, right column 1.0 → crossing at t of the gap
+        g.set(1, 0, 1.0);
+        g.set(1, 1, 1.0);
+        let cs = contour_segments(&g, &s, 0.25);
+        assert_eq!(cs.len(), 1);
+        // pixel centres x = 0.5 and 1.5; crossing at 0.5 + 0.25·1 = 0.75
+        assert!((cs[0].0.x - 0.75).abs() < 1e-9);
+        assert!((cs[0].1.x - 0.75).abs() < 1e-9);
+    }
+
+    /// Two separated peaks → two disjoint rings.
+    #[test]
+    fn two_peaks_two_rings() {
+        let s = spec(9, 5);
+        let mut g = DensityGrid::zeroed(9, 5);
+        g.set(2, 2, 1.0);
+        g.set(6, 2, 1.0);
+        let cs = contours(&g, &s, 0.5);
+        assert_eq!(cs.len(), 2);
+        assert!(cs.iter().all(|c| c.closed));
+    }
+
+    /// Saddle cells (case 5/10) must not crash and produce consistent
+    /// segment counts.
+    #[test]
+    fn saddle_cases() {
+        let s = spec(2, 2);
+        let mut g = DensityGrid::zeroed(2, 2);
+        g.set(0, 0, 1.0);
+        g.set(1, 1, 1.0); // case 5 within the single cell
+        let segs = contour_segments(&g, &s, 0.5);
+        assert_eq!(segs.len(), 2, "saddle emits two segments");
+    }
+
+    #[test]
+    fn empty_and_degenerate() {
+        let s = spec(5, 5);
+        let g = DensityGrid::zeroed(5, 5);
+        assert!(contours(&g, &s, 0.5).is_empty());
+        // uniform grid entirely above threshold: no crossings
+        let g = DensityGrid::from_values(5, 5, vec![2.0; 25]);
+        assert!(contours(&g, &s, 0.5).is_empty());
+        // 1-row raster cannot host cells
+        let s1 = GridSpec::new(Rect::new(0.0, 0.0, 5.0, 1.0), 5, 1).unwrap();
+        let g1 = DensityGrid::from_values(5, 1, vec![0.0, 1.0, 0.0, 1.0, 0.0]);
+        assert!(contour_segments(&g1, &s1, 0.5).is_empty());
+    }
+}

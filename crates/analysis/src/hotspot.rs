@@ -1,0 +1,215 @@
+//! Hotspot extraction from density rasters.
+//!
+//! KDV's downstream task is hotspot *detection*: planners want the regions
+//! where density exceeds a threshold, not the raw raster. This module
+//! thresholds a [`DensityGrid`] and extracts 4-connected components, each
+//! summarised by pixel count, area, density mass, peak value and
+//! density-weighted centroid — the quantities a patrol-planning or
+//! outbreak-triage tool consumes.
+
+use kdv_core::geom::Point;
+use kdv_core::grid::{DensityGrid, GridSpec};
+
+/// One connected hotspot region.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hotspot {
+    /// Number of pixels in the component.
+    pub pixels: usize,
+    /// Geographic area (pixels × pixel area).
+    pub area: f64,
+    /// Sum of density over the component.
+    pub mass: f64,
+    /// Peak density inside the component.
+    pub peak: f64,
+    /// Pixel coordinates of the peak.
+    pub peak_pixel: (usize, usize),
+    /// Density-weighted centroid in geographic coordinates.
+    pub centroid: Point,
+}
+
+/// Extracts all hotspots with density `≥ threshold`, sorted by descending
+/// mass. Components are 4-connected.
+///
+/// ```
+/// use kdv_analysis::extract_hotspots;
+/// use kdv_core::{DensityGrid, GridSpec, Rect};
+///
+/// let spec = GridSpec::new(Rect::new(0.0, 0.0, 8.0, 8.0), 8, 8)?;
+/// let mut grid = DensityGrid::zeroed(8, 8);
+/// grid.set(2, 2, 5.0);
+/// grid.set(6, 6, 3.0);
+/// let hotspots = extract_hotspots(&grid, &spec, 1.0);
+/// assert_eq!(hotspots.len(), 2);
+/// assert_eq!(hotspots[0].peak, 5.0); // ranked by mass
+/// # Ok::<(), kdv_core::KdvError>(())
+/// ```
+pub fn extract_hotspots(grid: &DensityGrid, spec: &GridSpec, threshold: f64) -> Vec<Hotspot> {
+    let (w, h) = (grid.res_x(), grid.res_y());
+    debug_assert_eq!((spec.res_x, spec.res_y), (w, h), "grid/spec mismatch");
+    let mut visited = vec![false; w * h];
+    let mut hotspots = Vec::new();
+    let pixel_area = spec.gap_x() * spec.gap_y();
+    let mut stack: Vec<(usize, usize)> = Vec::new();
+
+    for j in 0..h {
+        for i in 0..w {
+            if visited[j * w + i] || grid.get(i, j) < threshold {
+                continue;
+            }
+            // flood fill one component
+            let mut hs = Hotspot {
+                pixels: 0,
+                area: 0.0,
+                mass: 0.0,
+                peak: f64::MIN,
+                peak_pixel: (i, j),
+                centroid: Point::new(0.0, 0.0),
+            };
+            let (mut cx, mut cy) = (0.0_f64, 0.0_f64);
+            stack.push((i, j));
+            visited[j * w + i] = true;
+            while let Some((x, y)) = stack.pop() {
+                let v = grid.get(x, y);
+                hs.pixels += 1;
+                hs.mass += v;
+                if v > hs.peak {
+                    hs.peak = v;
+                    hs.peak_pixel = (x, y);
+                }
+                let c = spec.pixel_center(x, y);
+                cx += v * c.x;
+                cy += v * c.y;
+                let mut push = |nx: usize, ny: usize| {
+                    if !visited[ny * w + nx] && grid.get(nx, ny) >= threshold {
+                        visited[ny * w + nx] = true;
+                        stack.push((nx, ny));
+                    }
+                };
+                if x > 0 {
+                    push(x - 1, y);
+                }
+                if x + 1 < w {
+                    push(x + 1, y);
+                }
+                if y > 0 {
+                    push(x, y - 1);
+                }
+                if y + 1 < h {
+                    push(x, y + 1);
+                }
+            }
+            hs.area = hs.pixels as f64 * pixel_area;
+            hs.centroid = if hs.mass > 0.0 {
+                Point::new(cx / hs.mass, cy / hs.mass)
+            } else {
+                spec.pixel_center(hs.peak_pixel.0, hs.peak_pixel.1)
+            };
+            hotspots.push(hs);
+        }
+    }
+    hotspots.sort_by(|a, b| b.mass.total_cmp(&a.mass));
+    hotspots
+}
+
+/// Convenience: threshold at `fraction` of the raster's peak density
+/// (`0 < fraction ≤ 1`), the common "top X% of the peak" hotspot rule.
+pub fn hotspots_by_peak_fraction(
+    grid: &DensityGrid,
+    spec: &GridSpec,
+    fraction: f64,
+) -> Vec<Hotspot> {
+    let threshold = grid.max_value() * fraction.clamp(0.0, 1.0);
+    if threshold <= 0.0 {
+        return Vec::new();
+    }
+    extract_hotspots(grid, spec, threshold)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kdv_core::geom::Rect;
+
+    fn spec(w: usize, h: usize) -> GridSpec {
+        GridSpec::new(Rect::new(0.0, 0.0, w as f64, h as f64), w, h).unwrap()
+    }
+
+    /// Two separated blobs must come back as two components with the
+    /// heavier one first.
+    #[test]
+    fn two_blobs() {
+        let s = spec(10, 8);
+        let mut g = DensityGrid::zeroed(10, 8);
+        // blob A: 2x2 at (1..2, 1..2), values 2.0
+        for j in 1..3 {
+            for i in 1..3 {
+                g.set(i, j, 2.0);
+            }
+        }
+        // blob B: single pixel at (7, 6), value 9.0
+        g.set(7, 6, 9.0);
+        let hs = extract_hotspots(&g, &s, 1.0);
+        assert_eq!(hs.len(), 2);
+        // B has mass 9, A has mass 8 → B first
+        assert_eq!(hs[0].pixels, 1);
+        assert_eq!(hs[0].peak, 9.0);
+        assert_eq!(hs[0].peak_pixel, (7, 6));
+        assert_eq!(hs[1].pixels, 4);
+        assert!((hs[1].mass - 8.0).abs() < 1e-12);
+        // A's centroid is the centre of the 2x2 block: pixels (1,1)..(2,2)
+        // have centres 1.5..2.5 → centroid (2.0, 2.0)
+        assert!((hs[1].centroid.x - 2.0).abs() < 1e-12);
+        assert!((hs[1].centroid.y - 2.0).abs() < 1e-12);
+    }
+
+    /// Diagonal pixels are NOT connected (4-connectivity).
+    #[test]
+    fn diagonal_not_connected() {
+        let s = spec(4, 4);
+        let mut g = DensityGrid::zeroed(4, 4);
+        g.set(1, 1, 1.0);
+        g.set(2, 2, 1.0);
+        let hs = extract_hotspots(&g, &s, 0.5);
+        assert_eq!(hs.len(), 2);
+    }
+
+    #[test]
+    fn threshold_is_inclusive() {
+        let s = spec(3, 3);
+        let mut g = DensityGrid::zeroed(3, 3);
+        g.set(1, 1, 1.0);
+        assert_eq!(extract_hotspots(&g, &s, 1.0).len(), 1);
+        assert_eq!(extract_hotspots(&g, &s, 1.0001).len(), 0);
+    }
+
+    #[test]
+    fn empty_grid_no_hotspots() {
+        let s = spec(5, 5);
+        let g = DensityGrid::zeroed(5, 5);
+        assert!(extract_hotspots(&g, &s, 0.1).is_empty());
+        assert!(hotspots_by_peak_fraction(&g, &s, 0.5).is_empty());
+    }
+
+    #[test]
+    fn whole_grid_one_component() {
+        let s = spec(6, 4);
+        let g = DensityGrid::from_values(6, 4, vec![1.0; 24]);
+        let hs = extract_hotspots(&g, &s, 0.5);
+        assert_eq!(hs.len(), 1);
+        assert_eq!(hs[0].pixels, 24);
+        assert!((hs[0].area - 24.0).abs() < 1e-12);
+        // uniform density → centroid at the region centre
+        assert!((hs[0].centroid.x - 3.0).abs() < 1e-12);
+        assert!((hs[0].centroid.y - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn peak_fraction_rule() {
+        let s = spec(5, 1);
+        let g = DensityGrid::from_values(5, 1, vec![0.1, 0.2, 1.0, 0.6, 0.05]);
+        // threshold = 0.5 → pixels 2 and 3 form one component
+        let hs = hotspots_by_peak_fraction(&g, &s, 0.5);
+        assert_eq!(hs.len(), 1);
+        assert_eq!(hs[0].pixels, 2);
+    }
+}

@@ -1,0 +1,120 @@
+//! Raster comparison metrics.
+//!
+//! Used to quantify how far an approximate method (Z-order, aKDE) strays
+//! from the exact raster, and to report exactness in the experiment logs.
+
+use kdv_core::grid::DensityGrid;
+
+/// Summary of the pointwise differences between two rasters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GridDiff {
+    /// Maximum absolute difference (`L∞`).
+    pub max_abs: f64,
+    /// Root-mean-square difference.
+    pub rmse: f64,
+    /// Mean absolute difference.
+    pub mae: f64,
+    /// `max_abs` normalised by the reference raster's peak.
+    pub max_rel_to_peak: f64,
+}
+
+/// Computes difference metrics of `got` against `reference`.
+///
+/// # Panics
+/// Panics if the rasters have different resolutions.
+pub fn grid_diff(got: &DensityGrid, reference: &DensityGrid) -> GridDiff {
+    assert_eq!(
+        (got.res_x(), got.res_y()),
+        (reference.res_x(), reference.res_y()),
+        "raster resolution mismatch"
+    );
+    let n = got.values().len().max(1) as f64;
+    let mut max_abs = 0.0_f64;
+    let mut sum_sq = 0.0_f64;
+    let mut sum_abs = 0.0_f64;
+    for (a, b) in got.values().iter().zip(reference.values()) {
+        let d = (a - b).abs();
+        max_abs = max_abs.max(d);
+        sum_sq += d * d;
+        sum_abs += d;
+    }
+    let peak = reference.max_value().max(1e-300);
+    GridDiff {
+        max_abs,
+        rmse: (sum_sq / n).sqrt(),
+        mae: sum_abs / n,
+        max_rel_to_peak: max_abs / peak,
+    }
+}
+
+/// Jaccard overlap of the two rasters' hotspot masks at `threshold`
+/// (|A ∩ B| / |A ∪ B|, 1.0 when both masks are empty). Measures whether an
+/// approximation preserves *where* the hotspots are, which for KDV matters
+/// more than pointwise error.
+pub fn hotspot_jaccard(a: &DensityGrid, b: &DensityGrid, threshold: f64) -> f64 {
+    assert_eq!((a.res_x(), a.res_y()), (b.res_x(), b.res_y()));
+    let mut inter = 0usize;
+    let mut union = 0usize;
+    for (x, y) in a.values().iter().zip(b.values()) {
+        let (ha, hb) = (*x >= threshold, *y >= threshold);
+        if ha && hb {
+            inter += 1;
+        }
+        if ha || hb {
+            union += 1;
+        }
+    }
+    if union == 0 {
+        1.0
+    } else {
+        inter as f64 / union as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid(vals: &[f64]) -> DensityGrid {
+        DensityGrid::from_values(vals.len(), 1, vals.to_vec())
+    }
+
+    #[test]
+    fn identical_grids_zero_diff() {
+        let g = grid(&[1.0, 2.0, 3.0]);
+        let d = grid_diff(&g, &g);
+        assert_eq!(d.max_abs, 0.0);
+        assert_eq!(d.rmse, 0.0);
+        assert_eq!(d.mae, 0.0);
+        assert_eq!(d.max_rel_to_peak, 0.0);
+    }
+
+    #[test]
+    fn known_differences() {
+        let a = grid(&[1.0, 2.0, 3.0, 4.0]);
+        let b = grid(&[1.0, 2.0, 3.0, 2.0]); // one diff of 2
+        let d = grid_diff(&a, &b);
+        assert_eq!(d.max_abs, 2.0);
+        assert!((d.mae - 0.5).abs() < 1e-12);
+        assert!((d.rmse - 1.0).abs() < 1e-12);
+        assert!((d.max_rel_to_peak - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn mismatched_resolutions_panic() {
+        let _ = grid_diff(&grid(&[1.0]), &grid(&[1.0, 2.0]));
+    }
+
+    #[test]
+    fn jaccard_cases() {
+        let a = grid(&[1.0, 0.0, 1.0, 1.0]);
+        let b = grid(&[1.0, 1.0, 0.0, 1.0]);
+        // masks at 0.5: A = {0,2,3}, B = {0,1,3}: inter 2, union 4
+        assert!((hotspot_jaccard(&a, &b, 0.5) - 0.5).abs() < 1e-12);
+        // empty masks
+        assert_eq!(hotspot_jaccard(&a, &b, 10.0), 1.0);
+        // identical masks
+        assert_eq!(hotspot_jaccard(&a, &a, 0.5), 1.0);
+    }
+}

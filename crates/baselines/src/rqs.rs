@@ -1,0 +1,159 @@
+//! RQS — range-query-based solutions over kd-tree / ball-tree
+//! (paper Section 2.2, Table-6 columns `RQS_kd` and `RQS_ball`).
+//!
+//! For each pixel `q`, find the range set `R(q)` (Eq. 3) with a spatial
+//! index and sum the kernel over it (Eq. 4). The index prunes far-away
+//! points in practice, but the worst-case complexity stays `O(XYn)` —
+//! exactly the gap SLAM closes.
+
+use std::time::Instant;
+
+use kdv_core::driver::KdvParams;
+use kdv_core::geom::Point;
+use kdv_core::grid::DensityGrid;
+use kdv_core::stats::Kahan;
+use kdv_core::Result;
+use kdv_index::{BallTree, KdTree};
+
+use crate::{check_deadline, Baseline, MethodOutput};
+
+/// Which index backs the range queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RqsIndex {
+    /// Bentley's kd-tree.
+    KdTree,
+    /// Moore's ball-tree.
+    BallTree,
+}
+
+/// The range-query-based method with a selectable index.
+#[derive(Debug, Clone, Copy)]
+pub struct Rqs {
+    index: RqsIndex,
+}
+
+impl Rqs {
+    /// `RQS_kd` (kd-tree backend).
+    pub const fn kd_tree() -> Self {
+        Self { index: RqsIndex::KdTree }
+    }
+
+    /// `RQS_ball` (ball-tree backend).
+    pub const fn ball_tree() -> Self {
+        Self { index: RqsIndex::BallTree }
+    }
+}
+
+impl Baseline for Rqs {
+    fn name(&self) -> &'static str {
+        match self.index {
+            RqsIndex::KdTree => "RQS_kd",
+            RqsIndex::BallTree => "RQS_ball",
+        }
+    }
+
+    fn is_exact(&self) -> bool {
+        true
+    }
+
+    fn compute_with_deadline(
+        &self,
+        params: &KdvParams,
+        points: &[Point],
+        deadline: Option<Instant>,
+    ) -> Result<MethodOutput> {
+        params.validate()?;
+        kdv_core::driver::validate_points(points)?;
+        check_deadline(deadline)?;
+        let g = &params.grid;
+        let b = params.bandwidth;
+        let w = params.weight;
+        let kernel = params.kernel;
+        let mut out = DensityGrid::zeroed(g.res_x, g.res_y);
+
+        // Build the index once per computation.
+        enum Tree {
+            Kd(KdTree),
+            Ball(BallTree),
+        }
+        let tree = match self.index {
+            RqsIndex::KdTree => Tree::Kd(KdTree::build(points)),
+            RqsIndex::BallTree => Tree::Ball(BallTree::build(points)),
+        };
+        let aux = match &tree {
+            Tree::Kd(t) => t.space_bytes(),
+            Tree::Ball(t) => t.space_bytes(),
+        };
+
+        for j in 0..g.res_y {
+            check_deadline(deadline)?;
+            for i in 0..g.res_x {
+                let q = g.pixel_center(i, j);
+                let mut acc = Kahan::new();
+                match &tree {
+                    Tree::Kd(t) => {
+                        t.for_each_in_range(&q, b, |p| acc.add(kernel.eval(&q, p, b)))
+                    }
+                    Tree::Ball(t) => {
+                        t.for_each_in_range(&q, b, |p| acc.add(kernel.eval(&q, p, b)))
+                    }
+                }
+                out.set(i, j, w * acc.value());
+            }
+        }
+        Ok(MethodOutput { grid: out, aux_space_bytes: aux })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan_reference;
+    use kdv_core::{GridSpec, KernelType, Rect};
+
+    fn setup(kernel: KernelType) -> (KdvParams, Vec<Point>) {
+        let grid = GridSpec::new(Rect::new(-10.0, -5.0, 30.0, 25.0), 14, 11).unwrap();
+        let params = KdvParams::new(grid, kernel, 7.5).with_weight(0.02);
+        let mut state = 31u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let pts = (0..400)
+            .map(|_| Point::new(-15.0 + next() * 50.0, -10.0 + next() * 40.0))
+            .collect();
+        (params, pts)
+    }
+
+    #[test]
+    fn both_backends_match_scan_for_all_kernels() {
+        for kernel in KernelType::ALL {
+            let (params, pts) = setup(kernel);
+            let reference = scan_reference(&params, &pts);
+            for rqs in [Rqs::kd_tree(), Rqs::ball_tree()] {
+                let got = rqs.compute(&params, &pts).unwrap();
+                let err =
+                    kdv_core::stats::max_rel_error(got.grid.values(), reference.values());
+                assert!(err < 1e-9, "{} {kernel}: err {err}", rqs.name());
+                assert!(got.aux_space_bytes > 0, "index space must be accounted");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let (params, _) = setup(KernelType::Epanechnikov);
+        for rqs in [Rqs::kd_tree(), Rqs::ball_tree()] {
+            let got = rqs.compute(&params, &[]).unwrap();
+            assert_eq!(got.grid.max_value(), 0.0);
+        }
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(Rqs::kd_tree().name(), "RQS_kd");
+        assert_eq!(Rqs::ball_tree().name(), "RQS_ball");
+    }
+}

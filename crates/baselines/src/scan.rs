@@ -1,0 +1,96 @@
+//! SCAN — the naive `O(XYn)` baseline (Table 6).
+//!
+//! For every pixel, scans the entire dataset and sums the kernel directly.
+//! This is the reference implementation every exact method is tested
+//! against, and the slowest column of the paper's Table 7.
+
+use std::time::Instant;
+
+use kdv_core::driver::KdvParams;
+use kdv_core::geom::Point;
+use kdv_core::grid::DensityGrid;
+use kdv_core::Result;
+
+use crate::{check_deadline, Baseline, MethodOutput};
+
+/// The naive per-pixel scan method.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Scan;
+
+impl Baseline for Scan {
+    fn name(&self) -> &'static str {
+        "SCAN"
+    }
+
+    fn is_exact(&self) -> bool {
+        true
+    }
+
+    fn compute_with_deadline(
+        &self,
+        params: &KdvParams,
+        points: &[Point],
+        deadline: Option<Instant>,
+    ) -> Result<MethodOutput> {
+        params.validate()?;
+        kdv_core::driver::validate_points(points)?;
+        check_deadline(deadline)?;
+        let g = &params.grid;
+        let mut out = DensityGrid::zeroed(g.res_x, g.res_y);
+        for j in 0..g.res_y {
+            check_deadline(deadline)?;
+            for i in 0..g.res_x {
+                let q = g.pixel_center(i, j);
+                out.set(
+                    i,
+                    j,
+                    params
+                        .kernel
+                        .density_scan(&q, points, params.bandwidth, params.weight),
+                );
+            }
+        }
+        Ok(MethodOutput { grid: out, aux_space_bytes: 0 })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kdv_core::{GridSpec, KernelType, Rect};
+
+    #[test]
+    fn single_point_density_profile() {
+        let grid = GridSpec::new(Rect::new(0.0, 0.0, 8.0, 8.0), 8, 8).unwrap();
+        let params = KdvParams::new(grid, KernelType::Epanechnikov, 4.0);
+        let p = grid.pixel_center(3, 3);
+        let out = Scan.compute(&params, &[p]).unwrap().grid;
+        // at the point itself the kernel is 1
+        assert!((out.get(3, 3) - 1.0).abs() < 1e-12);
+        // one pixel away (gap 1): 1 - 1/16
+        assert!((out.get(4, 3) - (1.0 - 1.0 / 16.0)).abs() < 1e-12);
+        // beyond bandwidth
+        assert_eq!(out.get(7, 7), 0.0);
+    }
+
+    #[test]
+    fn zero_aux_space() {
+        let grid = GridSpec::new(Rect::new(0.0, 0.0, 4.0, 4.0), 2, 2).unwrap();
+        let params = KdvParams::new(grid, KernelType::Uniform, 1.0);
+        let out = Scan.compute(&params, &[Point::new(1.0, 1.0)]).unwrap();
+        assert_eq!(out.aux_space_bytes, 0);
+    }
+
+    #[test]
+    fn weight_scales_linearly() {
+        let grid = GridSpec::new(Rect::new(0.0, 0.0, 4.0, 4.0), 4, 4).unwrap();
+        let pts = [Point::new(2.0, 2.0), Point::new(1.0, 1.0)];
+        let p1 = KdvParams::new(grid, KernelType::Quartic, 3.0).with_weight(1.0);
+        let p2 = p1.with_weight(2.5);
+        let a = Scan.compute(&p1, &pts).unwrap().grid;
+        let b = Scan.compute(&p2, &pts).unwrap().grid;
+        for (x, y) in a.values().iter().zip(b.values()) {
+            assert!((y - 2.5 * x).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * **RAO vs fixed sweep direction** on skewed aspect ratios — the whole
+//!   point of Section 3.6 (sweeping the long dimension multiplies the `n`
+//!   term by the wrong factor).
+//! * **Row-parallel extension** (beyond the paper) — scaling with thread
+//!   count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kdv_core::driver::KdvParams;
+use kdv_core::geom::{Point, Rect};
+use kdv_core::grid::GridSpec;
+use kdv_core::parallel::{compute_parallel, ParallelEngine};
+use kdv_core::{rao, sweep_bucket, KernelType};
+
+fn points(n: usize) -> Vec<Point> {
+    (0..n)
+        .map(|i| {
+            let t = i as f64;
+            Point::new((t * 1.37) % 10_000.0, (t * 2.11) % 10_000.0)
+        })
+        .collect()
+}
+
+fn bench_rao_aspect(c: &mut Criterion) {
+    let pts = points(30_000);
+    let region = Rect::new(0.0, 0.0, 10_000.0, 10_000.0);
+    let mut group = c.benchmark_group("rao_aspect_ratio");
+    group.sample_size(10);
+    // total pixel budget fixed at ~96k; aspect ratio swings from wide to tall
+    for &(x, y) in &[(1280usize, 75usize), (640, 150), (320, 300), (160, 600), (80, 1200)] {
+        let grid = GridSpec::new(region, x, y).unwrap();
+        let params = KdvParams::new(grid, KernelType::Epanechnikov, 300.0);
+        group.bench_with_input(BenchmarkId::new("bucket_fixed", format!("{x}x{y}")), &params, |b, p| {
+            b.iter(|| sweep_bucket::compute(p, &pts).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("bucket_rao", format!("{x}x{y}")), &params, |b, p| {
+            b.iter(|| rao::compute_bucket(p, &pts).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_parallel(c: &mut Criterion) {
+    let pts = points(30_000);
+    let region = Rect::new(0.0, 0.0, 10_000.0, 10_000.0);
+    let grid = GridSpec::new(region, 640, 480).unwrap();
+    let params = KdvParams::new(grid, KernelType::Epanechnikov, 300.0);
+    let mut group = c.benchmark_group("row_parallel");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            b.iter(|| compute_parallel(&params, &pts, ParallelEngine::Bucket, t).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rao_aspect, bench_parallel);
+criterion_main!(benches);

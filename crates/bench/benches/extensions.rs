@@ -1,0 +1,93 @@
+//! Ablation benches for the beyond-the-paper extensions: shared-envelope
+//! multi-bandwidth sweeps, incremental pan re-rendering, and the weighted
+//! sweep's overhead over the plain one.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kdv_core::driver::KdvParams;
+use kdv_core::geom::{Point, Rect};
+use kdv_core::grid::GridSpec;
+use kdv_core::multi_bandwidth::compute_multi_bandwidth;
+use kdv_core::weighted::compute_weighted;
+use kdv_core::{rao, sweep_bucket, KernelType};
+use kdv_explore::incremental::pan_render;
+
+fn points(n: usize) -> Vec<Point> {
+    (0..n)
+        .map(|i| {
+            let t = i as f64;
+            Point::new((t * 1.37) % 10_000.0, (t * 2.11) % 8_000.0)
+        })
+        .collect()
+}
+
+fn bench_multi_bandwidth(c: &mut Criterion) {
+    let pts = points(40_000);
+    let grid = GridSpec::new(Rect::new(0.0, 0.0, 10_000.0, 8_000.0), 512, 384).unwrap();
+    let params = KdvParams::new(grid, KernelType::Epanechnikov, 1.0);
+    let bandwidths = [100.0, 200.0, 400.0, 800.0, 1_600.0];
+    let mut group = c.benchmark_group("multi_bandwidth_5");
+    group.sample_size(10);
+    group.bench_function("shared_envelope", |b| {
+        b.iter(|| compute_multi_bandwidth(&params, &pts, &bandwidths).unwrap())
+    });
+    group.bench_function("independent_runs", |b| {
+        b.iter(|| {
+            bandwidths
+                .iter()
+                .map(|&bw| {
+                    let mut p = params;
+                    p.bandwidth = bw;
+                    sweep_bucket::compute(&p, &pts).unwrap()
+                })
+                .collect::<Vec<_>>()
+        })
+    });
+    group.finish();
+}
+
+fn bench_incremental_pan(c: &mut Criterion) {
+    let pts = points(40_000);
+    let grid = GridSpec::new(Rect::new(0.0, 0.0, 10_000.0, 8_000.0), 512, 384).unwrap();
+    let params = KdvParams::new(grid, KernelType::Epanechnikov, 300.0);
+    let prev = rao::compute_bucket(&params, &pts).unwrap();
+    let mut group = c.benchmark_group("pan_rerender");
+    group.sample_size(10);
+    for rows in [8usize, 32, 128] {
+        let region = grid.region.translated(0.0, rows as f64 * grid.gap_y());
+        let next_grid = GridSpec::new(region, 512, 384).unwrap();
+        let next_params = KdvParams { grid: next_grid, ..params };
+        group.bench_with_input(
+            BenchmarkId::new("incremental", rows),
+            &next_params,
+            |b, p| b.iter(|| pan_render(&prev, &grid, p, &pts).unwrap()),
+        );
+        group.bench_with_input(BenchmarkId::new("full", rows), &next_params, |b, p| {
+            b.iter(|| rao::compute_bucket(p, &pts).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_weighted_overhead(c: &mut Criterion) {
+    let pts = points(40_000);
+    let weights = vec![1.0_f64; pts.len()];
+    let grid = GridSpec::new(Rect::new(0.0, 0.0, 10_000.0, 8_000.0), 512, 384).unwrap();
+    let params = KdvParams::new(grid, KernelType::Epanechnikov, 300.0);
+    let mut group = c.benchmark_group("weighted_overhead");
+    group.sample_size(10);
+    group.bench_function("plain_bucket", |b| {
+        b.iter(|| sweep_bucket::compute(&params, &pts).unwrap())
+    });
+    group.bench_function("weighted_bucket", |b| {
+        b.iter(|| compute_weighted(&params, &pts, &weights).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_multi_bandwidth,
+    bench_incremental_pan,
+    bench_weighted_overhead
+);
+criterion_main!(benches);

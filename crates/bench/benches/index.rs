@@ -1,0 +1,59 @@
+//! Micro-bench: circular range queries on the three index substrates
+//! (kd-tree, ball-tree, aggregate quadtree) at varying radii.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use kdv_core::geom::Point;
+use kdv_index::{BallTree, KdTree, QuadTree};
+
+fn points(n: usize) -> Vec<Point> {
+    (0..n)
+        .map(|i| {
+            let t = i as f64;
+            Point::new((t * 1.37) % 1_000.0, (t * 2.11) % 1_000.0)
+        })
+        .collect()
+}
+
+fn bench_range_queries(c: &mut Criterion) {
+    let pts = points(100_000);
+    let kd = KdTree::build(&pts);
+    let ball = BallTree::build(&pts);
+    let quad = QuadTree::build(&pts);
+    let q = Point::new(500.0, 500.0);
+
+    let mut group = c.benchmark_group("range_query_100k");
+    for radius in [10.0_f64, 50.0, 200.0] {
+        group.bench_with_input(BenchmarkId::new("kdtree", radius), &radius, |b, &r| {
+            b.iter(|| kd.count_in_range(black_box(&q), r))
+        });
+        group.bench_with_input(BenchmarkId::new("balltree", radius), &radius, |b, &r| {
+            b.iter(|| ball.count_in_range(black_box(&q), r))
+        });
+        group.bench_with_input(BenchmarkId::new("quadtree_agg", radius), &radius, |b, &r| {
+            b.iter(|| {
+                let count = std::cell::Cell::new(0u64);
+                quad.visit_range(
+                    black_box(&q),
+                    r,
+                    |agg| count.set(count.get() + agg.count),
+                    |_| count.set(count.get() + 1),
+                );
+                count.get()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_build(c: &mut Criterion) {
+    let pts = points(100_000);
+    let mut group = c.benchmark_group("index_build_100k");
+    group.sample_size(10);
+    group.bench_function("kdtree", |b| b.iter(|| KdTree::build(&pts)));
+    group.bench_function("balltree", |b| b.iter(|| BallTree::build(&pts)));
+    group.bench_function("quadtree", |b| b.iter(|| QuadTree::build(&pts)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_range_queries, bench_build);
+criterion_main!(benches);

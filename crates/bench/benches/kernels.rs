@@ -1,0 +1,47 @@
+//! Micro-bench: kernel evaluation, direct vs aggregate-based.
+//!
+//! The aggregate path (Lemma 3) must be O(1) per pixel regardless of how
+//! many points back the aggregates — this bench pins that down against the
+//! direct per-point sum.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use kdv_core::aggregate::RangeAggregates;
+use kdv_core::geom::Point;
+use kdv_core::KernelType;
+
+fn points(n: usize) -> Vec<Point> {
+    (0..n)
+        .map(|i| {
+            let t = i as f64;
+            Point::new((t * 1.37) % 100.0, (t * 2.11) % 100.0)
+        })
+        .collect()
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let q = Point::new(50.0, 50.0);
+    let b = 120.0; // everything in range: worst case for direct
+    let mut group = c.benchmark_group("kernel_eval");
+    for n in [100usize, 1_000, 10_000] {
+        let pts = points(n);
+        let agg = RangeAggregates::from_points(&pts);
+        for kernel in KernelType::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(format!("direct_{kernel}"), n),
+                &pts,
+                |bch, pts| bch.iter(|| kernel.density_scan(black_box(&q), pts, b, 1.0)),
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("aggregate_{kernel}"), n),
+                &agg,
+                |bch, agg| {
+                    bch.iter(|| kernel.density_from_aggregates(black_box(&q), agg, b, 1.0))
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! End-to-end method comparison on a small fixed workload (Criterion
+//! companion to the `table7` harness binary).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kdv_baselines::AnyMethod;
+use kdv_core::driver::KdvParams;
+use kdv_core::grid::GridSpec;
+use kdv_core::{KernelType, Method};
+use kdv_data::catalog::City;
+
+fn bench_methods(c: &mut Criterion) {
+    let dataset = City::Seattle.dataset(0.002);
+    let points = dataset.points();
+    let mbr = dataset.mbr();
+    let bandwidth = kdv_data::scott_bandwidth(&points);
+    let grid = GridSpec::new(mbr, 160, 120).unwrap();
+    let params = KdvParams::new(grid, KernelType::Epanechnikov, bandwidth)
+        .with_weight(1.0 / points.len() as f64);
+
+    let methods: Vec<AnyMethod> = vec![
+        AnyMethod::RqsKd,
+        AnyMethod::RqsBall,
+        AnyMethod::ZOrder { sample_fraction: 0.05 },
+        AnyMethod::Akde { epsilon: 1e-6 },
+        AnyMethod::Quad,
+        AnyMethod::Slam(Method::SlamSort),
+        AnyMethod::Slam(Method::SlamBucket),
+        AnyMethod::Slam(Method::SlamSortRao),
+        AnyMethod::Slam(Method::SlamBucketRao),
+    ];
+
+    let mut group = c.benchmark_group("methods_seattle_160x120");
+    group.sample_size(10);
+    for m in methods {
+        group.bench_with_input(BenchmarkId::from_parameter(m.name()), &m, |b, m| {
+            b.iter(|| m.compute(&params, &points).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_methods);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Micro-bench: one pixel row, SLAM_SORT vs SLAM_BUCKET.
+//!
+//! Isolates the per-row difference that Theorems 1 and 2 predict: sorting
+//! costs `O(|E| log |E|)` where bucketing costs `O(|E|)`, both plus `O(X)`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kdv_core::driver::RowEngine;
+use kdv_core::envelope::EnvelopeBuffer;
+use kdv_core::geom::Point;
+use kdv_core::sweep_bucket::BucketSweep;
+use kdv_core::sweep_sort::SortSweep;
+use kdv_core::KernelType;
+
+fn bench_row(c: &mut Criterion) {
+    let mut group = c.benchmark_group("row_sweep");
+    let x_count = 1_280usize;
+    let xs: Vec<f64> = (0..x_count).map(|i| i as f64).collect();
+    for n_env in [1_000usize, 10_000, 100_000] {
+        // envelope points spread along the row with bandwidth 40 px
+        let pts: Vec<Point> = (0..n_env)
+            .map(|i| {
+                let t = i as f64;
+                Point::new((t * 7.9) % x_count as f64, ((t * 3.3) % 60.0) - 30.0)
+            })
+            .collect();
+        let mut env = EnvelopeBuffer::new();
+        env.fill(&pts, 40.0, 0.0);
+        let intervals = env.intervals().to_vec();
+        let mut out = vec![0.0; x_count];
+
+        group.bench_with_input(BenchmarkId::new("sort", n_env), &intervals, |b, iv| {
+            let mut engine = SortSweep::new(KernelType::Epanechnikov, 40.0, 1.0);
+            b.iter(|| engine.process_row(&xs, 0.0, iv, &mut out));
+        });
+        group.bench_with_input(BenchmarkId::new("bucket", n_env), &intervals, |b, iv| {
+            let mut engine = BucketSweep::new(KernelType::Epanechnikov, 40.0, 1.0);
+            b.iter(|| engine.process_row(&xs, 0.0, iv, &mut out));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_row);
+criterion_main!(benches);

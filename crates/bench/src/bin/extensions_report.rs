@@ -1,0 +1,128 @@
+//! E11 companion — one-shot speedup report for the beyond-the-paper
+//! extensions (shared-envelope multi-bandwidth, incremental pan, weighted
+//! sweep overhead, row-parallel scaling), printed as tables for
+//! EXPERIMENTS.md.
+//!
+//! ```text
+//! cargo run -p kdv-bench --release --bin extensions_report [--scale F]
+//! ```
+
+use std::time::Instant;
+
+use kdv_bench::{banner, format_secs, CityData, HarnessConfig, Table};
+use kdv_core::driver::KdvParams;
+use kdv_core::grid::GridSpec;
+use kdv_core::multi_bandwidth::compute_multi_bandwidth;
+use kdv_core::parallel::{compute_parallel, ParallelEngine};
+use kdv_core::weighted::compute_weighted;
+use kdv_core::{rao, sweep_bucket, KernelType};
+use kdv_data::catalog::City;
+use kdv_explore::incremental::pan_render;
+
+fn time<F: FnMut()>(mut f: F) -> f64 {
+    // median of 3
+    let mut samples = [0.0_f64; 3];
+    for s in &mut samples {
+        let t0 = Instant::now();
+        f();
+        *s = t0.elapsed().as_secs_f64();
+    }
+    samples.sort_by(f64::total_cmp);
+    samples[1]
+}
+
+fn main() {
+    let cfg = HarnessConfig::from_args();
+    banner("Extensions report: multi-bandwidth, incremental pan, weighted, parallel", &cfg);
+
+    let cd = CityData::load(City::NewYork, cfg.scale);
+    let params = cd.params(cfg.resolution, KernelType::Epanechnikov);
+    let pts = &cd.points;
+
+    // 1. multi-bandwidth sharing
+    let ratios = [0.25, 0.5, 1.0, 2.0, 4.0];
+    let bandwidths: Vec<f64> = ratios.iter().map(|r| cd.bandwidth * r).collect();
+    let t_shared = time(|| {
+        compute_multi_bandwidth(&params, pts, &bandwidths).unwrap();
+    });
+    let t_solo = time(|| {
+        for &b in &bandwidths {
+            let mut p = params;
+            p.bandwidth = b;
+            sweep_bucket::compute(&p, pts).unwrap();
+        }
+    });
+    let mut t1 = Table::new(
+        format!("Multi-bandwidth ({} bandwidths, New York n={})", bandwidths.len(), pts.len()),
+        &["Strategy", "Time (s)", "Speedup"],
+    );
+    t1.push_row(vec!["independent runs".into(), format_secs(t_solo), "1.00x".into()]);
+    t1.push_row(vec![
+        "shared envelope".into(),
+        format_secs(t_shared),
+        format!("{:.2}x", t_solo / t_shared),
+    ]);
+    t1.emit(&cfg.out_dir, "ext_multi_bandwidth");
+
+    // 2. incremental pan
+    let prev = rao::compute_bucket(&params, pts).unwrap();
+    let mut t2 = Table::new(
+        "Incremental pan re-render (vertical, whole-pixel shifts)",
+        &["Shift (rows)", "Incremental (s)", "Full (s)", "Speedup"],
+    );
+    for rows in [4usize, 16, 64] {
+        let region = params.grid.region.translated(0.0, rows as f64 * params.grid.gap_y());
+        let next_grid = GridSpec::new(region, params.grid.res_x, params.grid.res_y).unwrap();
+        let next_params = KdvParams { grid: next_grid, ..params };
+        let t_inc = time(|| {
+            pan_render(&prev, &params.grid, &next_params, pts).unwrap();
+        });
+        let t_full = time(|| {
+            rao::compute_bucket(&next_params, pts).unwrap();
+        });
+        t2.push_row(vec![
+            rows.to_string(),
+            format_secs(t_inc),
+            format_secs(t_full),
+            format!("{:.2}x", t_full / t_inc),
+        ]);
+    }
+    t2.emit(&cfg.out_dir, "ext_incremental_pan");
+
+    // 3. weighted overhead
+    let weights = vec![1.0_f64; pts.len()];
+    let t_plain = time(|| {
+        sweep_bucket::compute(&params, pts).unwrap();
+    });
+    let t_weighted = time(|| {
+        compute_weighted(&params, pts, &weights).unwrap();
+    });
+    let mut t3 = Table::new("Weighted sweep overhead", &["Engine", "Time (s)", "Relative"]);
+    t3.push_row(vec!["plain bucket".into(), format_secs(t_plain), "1.00x".into()]);
+    t3.push_row(vec![
+        "weighted bucket".into(),
+        format_secs(t_weighted),
+        format!("{:.2}x", t_weighted / t_plain),
+    ]);
+    t3.emit(&cfg.out_dir, "ext_weighted");
+
+    // 4. row-parallel scaling
+    let mut t4 = Table::new(
+        "Row-parallel scaling (scoped threads; single-core hosts show ~1x)",
+        &["Threads", "Time (s)", "Speedup vs 1"],
+    );
+    let t_one = time(|| {
+        compute_parallel(&params, pts, ParallelEngine::Bucket, 1).unwrap();
+    });
+    for threads in [1usize, 2, 4, 8] {
+        let t = time(|| {
+            compute_parallel(&params, pts, ParallelEngine::Bucket, threads).unwrap();
+        });
+        t4.push_row(vec![
+            threads.to_string(),
+            format_secs(t),
+            format!("{:.2}x", t_one / t),
+        ]);
+    }
+    t4.emit(&cfg.out_dir, "ext_parallel");
+}

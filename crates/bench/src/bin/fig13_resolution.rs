@@ -1,0 +1,57 @@
+//! E2 — paper Figure 13: response time vs resolution size, default
+//! bandwidth, four datasets.
+//!
+//! The paper sweeps 320×240 → 2560×1920; the scaled harness sweeps the
+//! same 4× ladder starting from a quarter of the configured base
+//! resolution. Methods follow the paper's Figure-13 line-up (the inferior
+//! SLAM variants are omitted after Table 7, as in the paper).
+
+use kdv_baselines::AnyMethod;
+use kdv_bench::{banner, time_method, CityData, HarnessConfig, Table};
+use kdv_core::{KernelType, Method};
+
+fn figure_lineup() -> Vec<AnyMethod> {
+    vec![
+        AnyMethod::Scan,
+        AnyMethod::RqsKd,
+        AnyMethod::RqsBall,
+        AnyMethod::ZOrder { sample_fraction: 0.05 },
+        AnyMethod::Akde { epsilon: 1e-6 },
+        AnyMethod::Quad,
+        AnyMethod::Slam(Method::SlamBucketRao),
+    ]
+}
+
+fn main() {
+    let cfg = HarnessConfig::from_args();
+    banner("Figure 13: response time vs resolution", &cfg);
+
+    // 4x ladder like the paper's 320x240 .. 2560x1920
+    let (bx, by) = cfg.resolution;
+    let resolutions: Vec<(usize, usize)> = (0..4)
+        .map(|i| ((bx / 2) << i, (by / 2) << i))
+        .collect();
+
+    let methods = figure_lineup();
+    for cd in CityData::load_all(cfg.scale) {
+        let mut headers = vec!["Resolution".to_string()];
+        headers.extend(methods.iter().map(|m| m.name()));
+        let href: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+        let mut table = Table::new(
+            format!("Figure 13 — {} (n={})", cd.city.name(), cd.points.len()),
+            &href,
+        );
+        for &(rx, ry) in &resolutions {
+            let params = cd.params((rx, ry), KernelType::Epanechnikov);
+            let mut row = vec![format!("{rx}x{ry}")];
+            for m in &methods {
+                let t = time_method(m, &params, &cd.points, cfg.cap);
+                row.push(t.cell(cfg.cap_secs()));
+                eprintln!("  {:<14} {:>9}x{:<4} {:<18} {}", cd.city.name(), rx, ry, m.name(), row.last().unwrap());
+            }
+            table.push_row(row);
+        }
+        let stem = format!("fig13_{}", cd.city.name().to_lowercase().replace(' ', "_"));
+        table.emit(&cfg.out_dir, &stem);
+    }
+}

@@ -1,0 +1,54 @@
+//! E3 — paper Figure 14: response time vs dataset size (25/50/75/100%
+//! random samples without replacement), default resolution and bandwidth.
+
+use kdv_baselines::AnyMethod;
+use kdv_bench::{banner, time_method, CityData, HarnessConfig, Table};
+use kdv_core::geom::Point;
+use kdv_core::{KernelType, Method};
+use kdv_data::sample::sample_fraction;
+
+fn figure_lineup() -> Vec<AnyMethod> {
+    vec![
+        AnyMethod::Scan,
+        AnyMethod::RqsKd,
+        AnyMethod::RqsBall,
+        AnyMethod::ZOrder { sample_fraction: 0.05 },
+        AnyMethod::Akde { epsilon: 1e-6 },
+        AnyMethod::Quad,
+        AnyMethod::Slam(Method::SlamBucketRao),
+    ]
+}
+
+fn main() {
+    let cfg = HarnessConfig::from_args();
+    banner("Figure 14: response time vs dataset size", &cfg);
+
+    let methods = figure_lineup();
+    for cd in CityData::load_all(cfg.scale) {
+        let mut headers = vec!["Fraction".to_string(), "n".to_string()];
+        headers.extend(methods.iter().map(|m| m.name()));
+        let href: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+        let mut table = Table::new(
+            format!("Figure 14 — {} (full n={})", cd.city.name(), cd.points.len()),
+            &href,
+        );
+        // default bandwidth is held at the full-dataset Scott value, like
+        // the paper ("default resolution size and bandwidth value")
+        let params = cd.params(cfg.resolution, KernelType::Epanechnikov);
+        for &frac in &[0.25, 0.5, 0.75, 1.0] {
+            let sampled: Vec<Point> = sample_fraction(&cd.dataset.records, frac, 1234)
+                .iter()
+                .map(|r| r.point)
+                .collect();
+            let mut row = vec![format!("{:.0}%", frac * 100.0), sampled.len().to_string()];
+            for m in &methods {
+                let t = time_method(m, &params, &sampled, cfg.cap);
+                row.push(t.cell(cfg.cap_secs()));
+                eprintln!("  {:<14} {:>4.0}% {:<18} {}", cd.city.name(), frac * 100.0, m.name(), row.last().unwrap());
+            }
+            table.push_row(row);
+        }
+        let stem = format!("fig14_{}", cd.city.name().to_lowercase().replace(' ', "_"));
+        table.emit(&cfg.out_dir, &stem);
+    }
+}

@@ -1,0 +1,52 @@
+//! E4 — paper Figure 15: response time vs bandwidth value (default
+//! bandwidth × {0.25, 0.5, 1, 2, 4}), default resolution.
+
+use kdv_baselines::AnyMethod;
+use kdv_bench::{banner, time_method, CityData, HarnessConfig, Table};
+use kdv_core::{KernelType, Method};
+
+fn figure_lineup() -> Vec<AnyMethod> {
+    vec![
+        AnyMethod::Scan,
+        AnyMethod::RqsKd,
+        AnyMethod::RqsBall,
+        AnyMethod::ZOrder { sample_fraction: 0.05 },
+        AnyMethod::Akde { epsilon: 1e-6 },
+        AnyMethod::Quad,
+        AnyMethod::Slam(Method::SlamBucketRao),
+    ]
+}
+
+fn main() {
+    let cfg = HarnessConfig::from_args();
+    banner("Figure 15: response time vs bandwidth", &cfg);
+
+    let methods = figure_lineup();
+    for cd in CityData::load_all(cfg.scale) {
+        let mut headers = vec!["b ratio".to_string(), "b (m)".to_string()];
+        headers.extend(methods.iter().map(|m| m.name()));
+        let href: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+        let mut table = Table::new(
+            format!(
+                "Figure 15 — {} (n={}, default b={:.1} m)",
+                cd.city.name(),
+                cd.points.len(),
+                cd.bandwidth
+            ),
+            &href,
+        );
+        for &ratio in &[0.25, 0.5, 1.0, 2.0, 4.0] {
+            let mut params = cd.params(cfg.resolution, KernelType::Epanechnikov);
+            params.bandwidth = cd.bandwidth * ratio;
+            let mut row = vec![format!("{ratio}"), format!("{:.1}", params.bandwidth)];
+            for m in &methods {
+                let t = time_method(m, &params, &cd.points, cfg.cap);
+                row.push(t.cell(cfg.cap_secs()));
+                eprintln!("  {:<14} x{:<5} {:<18} {}", cd.city.name(), ratio, m.name(), row.last().unwrap());
+            }
+            table.push_row(row);
+        }
+        let stem = format!("fig15_{}", cd.city.name().to_lowercase().replace(' ', "_"));
+        table.emit(&cfg.out_dir, &stem);
+    }
+}

@@ -1,0 +1,80 @@
+//! E6 — paper Figure 17: space consumption vs dataset size.
+//!
+//! Reports each method's auxiliary heap bytes (index structures, samples,
+//! sweep buffers) plus the shared output raster, at 25/50/75/100% dataset
+//! fractions. The paper's observation — all methods are within the same
+//! O(XY + n) envelope — should reappear as same-order byte counts.
+
+use kdv_baselines::AnyMethod;
+use kdv_bench::{banner, time_method, CityData, HarnessConfig, Table, Timing};
+use kdv_core::geom::Point;
+use kdv_core::{KernelType, Method};
+use kdv_data::sample::sample_fraction;
+
+fn figure_lineup() -> Vec<AnyMethod> {
+    vec![
+        AnyMethod::Scan,
+        AnyMethod::RqsKd,
+        AnyMethod::RqsBall,
+        AnyMethod::ZOrder { sample_fraction: 0.05 },
+        AnyMethod::Akde { epsilon: 1e-6 },
+        AnyMethod::Quad,
+        AnyMethod::Slam(Method::SlamBucketRao),
+    ]
+}
+
+fn fmt_bytes(b: usize) -> String {
+    if b >= 1 << 20 {
+        format!("{:.2} MiB", b as f64 / (1 << 20) as f64)
+    } else if b >= 1 << 10 {
+        format!("{:.1} KiB", b as f64 / (1 << 10) as f64)
+    } else {
+        format!("{b} B")
+    }
+}
+
+fn main() {
+    let cfg = HarnessConfig::from_args();
+    banner("Figure 17: space consumption vs dataset size", &cfg);
+
+    let methods = figure_lineup();
+    let raster_bytes =
+        cfg.resolution.0 * cfg.resolution.1 * std::mem::size_of::<f64>();
+    println!("shared output raster: {}\n", fmt_bytes(raster_bytes));
+
+    for cd in CityData::load_all(cfg.scale) {
+        let mut headers = vec!["Fraction".to_string(), "n".to_string()];
+        headers.extend(methods.iter().map(|m| m.name()));
+        let href: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+        let mut table = Table::new(
+            format!(
+                "Figure 17 — {} (aux bytes + raster {})",
+                cd.city.name(),
+                fmt_bytes(raster_bytes)
+            ),
+            &href,
+        );
+        let params = cd.params(cfg.resolution, KernelType::Epanechnikov);
+        for &frac in &[0.25, 0.5, 0.75, 1.0] {
+            let sampled: Vec<Point> = sample_fraction(&cd.dataset.records, frac, 1234)
+                .iter()
+                .map(|r| r.point)
+                .collect();
+            let mut row = vec![format!("{:.0}%", frac * 100.0), sampled.len().to_string()];
+            for m in &methods {
+                let cell = match time_method(m, &params, &sampled, cfg.cap) {
+                    Timing::Done { output, .. } => {
+                        fmt_bytes(output.aux_space_bytes + raster_bytes)
+                    }
+                    Timing::TimedOut => "> cap".to_string(),
+                    Timing::Failed(e) => format!("ERR({e})"),
+                };
+                eprintln!("  {:<14} {:>4.0}% {:<18} {}", cd.city.name(), frac * 100.0, m.name(), cell);
+                row.push(cell);
+            }
+            table.push_row(row);
+        }
+        let stem = format!("fig17_{}", cd.city.name().to_lowercase().replace(' ', "_"));
+        table.emit(&cfg.out_dir, &stem);
+    }
+}

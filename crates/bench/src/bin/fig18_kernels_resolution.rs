@@ -1,0 +1,62 @@
+//! E7 — paper Figure 18: uniform and quartic kernels on Los Angeles and
+//! San Francisco, varying the resolution size.
+
+use kdv_baselines::AnyMethod;
+use kdv_bench::{banner, time_method, CityData, HarnessConfig, Table};
+use kdv_core::{KernelType, Method};
+use kdv_data::catalog::City;
+
+fn figure_lineup() -> Vec<AnyMethod> {
+    vec![
+        AnyMethod::Scan,
+        AnyMethod::RqsKd,
+        AnyMethod::RqsBall,
+        AnyMethod::ZOrder { sample_fraction: 0.05 },
+        AnyMethod::Akde { epsilon: 1e-6 },
+        AnyMethod::Quad,
+        AnyMethod::Slam(Method::SlamBucketRao),
+    ]
+}
+
+fn main() {
+    let cfg = HarnessConfig::from_args();
+    banner("Figure 18: other kernels, varying resolution", &cfg);
+
+    let methods = figure_lineup();
+    let (bx, by) = cfg.resolution;
+    let resolutions: Vec<(usize, usize)> = (0..4).map(|i| ((bx / 2) << i, (by / 2) << i)).collect();
+
+    for city in [City::LosAngeles, City::SanFrancisco] {
+        let cd = CityData::load(city, cfg.scale);
+        for kernel in [KernelType::Uniform, KernelType::Quartic] {
+            let mut headers = vec!["Resolution".to_string()];
+            headers.extend(methods.iter().map(|m| m.name()));
+            let href: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+            let mut table = Table::new(
+                format!(
+                    "Figure 18 — {} / {} kernel (n={})",
+                    city.name(),
+                    kernel,
+                    cd.points.len()
+                ),
+                &href,
+            );
+            for &(rx, ry) in &resolutions {
+                let params = cd.params((rx, ry), kernel);
+                let mut row = vec![format!("{rx}x{ry}")];
+                for m in &methods {
+                    let t = time_method(m, &params, &cd.points, cfg.cap);
+                    row.push(t.cell(cfg.cap_secs()));
+                    eprintln!("  {:<14} {:<12} {:>4}x{:<4} {:<18} {}", city.name(), kernel.name(), rx, ry, m.name(), row.last().unwrap());
+                }
+                table.push_row(row);
+            }
+            let stem = format!(
+                "fig18_{}_{}",
+                city.name().to_lowercase().replace(' ', "_"),
+                kernel.name()
+            );
+            table.emit(&cfg.out_dir, &stem);
+        }
+    }
+}

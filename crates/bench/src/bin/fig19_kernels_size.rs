@@ -1,0 +1,61 @@
+//! E8 — paper Figure 19: uniform and quartic kernels on Los Angeles and
+//! San Francisco, varying the dataset size.
+
+use kdv_baselines::AnyMethod;
+use kdv_bench::{banner, time_method, CityData, HarnessConfig, Table};
+use kdv_core::geom::Point;
+use kdv_core::{KernelType, Method};
+use kdv_data::catalog::City;
+use kdv_data::sample::sample_fraction;
+
+fn figure_lineup() -> Vec<AnyMethod> {
+    vec![
+        AnyMethod::Scan,
+        AnyMethod::RqsKd,
+        AnyMethod::RqsBall,
+        AnyMethod::ZOrder { sample_fraction: 0.05 },
+        AnyMethod::Akde { epsilon: 1e-6 },
+        AnyMethod::Quad,
+        AnyMethod::Slam(Method::SlamBucketRao),
+    ]
+}
+
+fn main() {
+    let cfg = HarnessConfig::from_args();
+    banner("Figure 19: other kernels, varying dataset size", &cfg);
+
+    let methods = figure_lineup();
+    for city in [City::LosAngeles, City::SanFrancisco] {
+        let cd = CityData::load(city, cfg.scale);
+        for kernel in [KernelType::Uniform, KernelType::Quartic] {
+            let mut headers = vec!["Fraction".to_string(), "n".to_string()];
+            headers.extend(methods.iter().map(|m| m.name()));
+            let href: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+            let mut table = Table::new(
+                format!("Figure 19 — {} / {} kernel", city.name(), kernel),
+                &href,
+            );
+            let params = cd.params(cfg.resolution, kernel);
+            for &frac in &[0.25, 0.5, 0.75, 1.0] {
+                let sampled: Vec<Point> = sample_fraction(&cd.dataset.records, frac, 1234)
+                    .iter()
+                    .map(|r| r.point)
+                    .collect();
+                let mut row =
+                    vec![format!("{:.0}%", frac * 100.0), sampled.len().to_string()];
+                for m in &methods {
+                    let t = time_method(m, &params, &sampled, cfg.cap);
+                    row.push(t.cell(cfg.cap_secs()));
+                    eprintln!("  {:<14} {:<12} {:>4.0}% {:<18} {}", city.name(), kernel.name(), frac * 100.0, m.name(), row.last().unwrap());
+                }
+                table.push_row(row);
+            }
+            let stem = format!(
+                "fig19_{}_{}",
+                city.name().to_lowercase().replace(' ', "_"),
+                kernel.name()
+            );
+            table.emit(&cfg.out_dir, &stem);
+        }
+    }
+}

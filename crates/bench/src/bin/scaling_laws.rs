@@ -1,0 +1,122 @@
+//! E9 — empirical validation of Table 1's complexity bounds.
+//!
+//! Fits log–log slopes of measured runtime against each of `X`, `Y` and
+//! `n` (holding the other two fixed) for the four SLAM variants plus SCAN.
+//! Expected slopes from Table 1 at the default operating point
+//! (tall-raster cases exercise RAO):
+//!
+//! * SCAN: slope ≈ 1 in every variable.
+//! * SLAM_BUCKET: slope ≈ 1 in `Y`; sublinear-to-1 in `X`/`n` (the
+//!   `X + n` row term splits between the two).
+//! * RAO variants: sweeping the *short* dimension, so growing the long
+//!   dimension costs only the `max(X,Y)` additive term.
+
+use std::time::{Duration, Instant};
+
+use kdv_baselines::AnyMethod;
+use kdv_bench::{banner, HarnessConfig, Table};
+use kdv_core::driver::KdvParams;
+use kdv_core::geom::{Point, Rect};
+use kdv_core::grid::GridSpec;
+use kdv_core::{KernelType, Method};
+use kdv_data::synth::{generate, SynthConfig};
+
+/// Median-of-3 timing of one configuration.
+fn measure(method: &AnyMethod, params: &KdvParams, points: &[Point]) -> f64 {
+    let mut samples = [0.0_f64; 3];
+    for s in &mut samples {
+        let t0 = Instant::now();
+        method
+            .compute_with_deadline(params, points, Some(t0 + Duration::from_secs(120)))
+            .expect("scaling run must complete");
+        *s = t0.elapsed().as_secs_f64();
+    }
+    samples.sort_by(f64::total_cmp);
+    samples[1]
+}
+
+/// Least-squares slope of log(t) against log(v).
+fn loglog_slope(vals: &[f64], times: &[f64]) -> f64 {
+    let n = vals.len() as f64;
+    let xs: Vec<f64> = vals.iter().map(|v| v.ln()).collect();
+    let ys: Vec<f64> = times.iter().map(|t| t.ln()).collect();
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let cov: f64 = xs.iter().zip(&ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+    let var: f64 = xs.iter().map(|x| (x - mx) * (x - mx)).sum();
+    cov / var
+}
+
+fn main() {
+    let cfg = HarnessConfig::from_args();
+    banner("Scaling laws: empirical log-log slopes vs Table 1", &cfg);
+
+    let extent = Rect::new(0.0, 0.0, 10_000.0, 10_000.0);
+    let synth = SynthConfig::simple(extent);
+    let full: Vec<Point> = generate(&synth, 60_000, 7)
+        .into_iter()
+        .map(|r| r.point)
+        .collect();
+    let bandwidth = 400.0;
+
+    let methods: Vec<(AnyMethod, &str)> = vec![
+        (AnyMethod::Scan, "SCAN"),
+        (AnyMethod::Slam(Method::SlamSort), "SLAM_SORT"),
+        (AnyMethod::Slam(Method::SlamBucket), "SLAM_BUCKET"),
+        (AnyMethod::Slam(Method::SlamSortRao), "SLAM_SORT^(RAO)"),
+        (AnyMethod::Slam(Method::SlamBucketRao), "SLAM_BUCKET^(RAO)"),
+    ];
+
+    let mut table = Table::new(
+        "Empirical log-log slopes (runtime vs variable; cf. Table 1)",
+        &["Method", "slope vs X", "slope vs Y", "slope vs n"],
+    );
+
+    // to keep SCAN tractable, its sweeps use a smaller base problem
+    for (method, name) in &methods {
+        let scan_like = matches!(method, AnyMethod::Scan);
+        let base_n = if scan_like { 4_000 } else { 40_000 };
+        let pts = &full[..base_n];
+        let (base_x, base_y) = if scan_like { (64, 48) } else { (256, 192) };
+
+        // vary X (Y fixed): tall rasters would trip RAO's transpose, so
+        // keep X >= Y to measure the row-sweep regime
+        let xs = [1usize, 2, 4, 8].map(|f| base_x * f);
+        let mut tx = Vec::new();
+        for &x in &xs {
+            let grid = GridSpec::new(extent, x, base_y).unwrap();
+            let params = KdvParams::new(grid, KernelType::Epanechnikov, bandwidth);
+            tx.push(measure(method, &params, pts));
+        }
+        let slope_x = loglog_slope(&xs.map(|v| v as f64), &tx);
+
+        // vary Y (X fixed)
+        let ys = [1usize, 2, 4, 8].map(|f| base_y * f);
+        let mut ty = Vec::new();
+        for &y in &ys {
+            let grid = GridSpec::new(extent, base_x, y).unwrap();
+            let params = KdvParams::new(grid, KernelType::Epanechnikov, bandwidth);
+            ty.push(measure(method, &params, pts));
+        }
+        let slope_y = loglog_slope(&ys.map(|v| v as f64), &ty);
+
+        // vary n (raster fixed)
+        let ns = [1usize, 2, 4, 8].map(|f| base_n / 8 * f);
+        let mut tn = Vec::new();
+        for &n in &ns {
+            let grid = GridSpec::new(extent, base_x, base_y).unwrap();
+            let params = KdvParams::new(grid, KernelType::Epanechnikov, bandwidth);
+            tn.push(measure(method, &params, &full[..n]));
+        }
+        let slope_n = loglog_slope(&ns.map(|v| v as f64), &tn);
+
+        eprintln!("{name}: X^{slope_x:.2} Y^{slope_y:.2} n^{slope_n:.2}");
+        table.push_row(vec![
+            name.to_string(),
+            format!("{slope_x:.2}"),
+            format!("{slope_y:.2}"),
+            format!("{slope_n:.2}"),
+        ]);
+    }
+    table.emit(&cfg.out_dir, "scaling_laws");
+}

@@ -1,0 +1,44 @@
+//! E1 — paper Table 7: response time of all ten methods on the four
+//! datasets under the default settings (default resolution, Scott's-rule
+//! bandwidth).
+//!
+//! ```text
+//! cargo run -p kdv-bench --release --bin table7 [--scale F] [--res WxH] [--cap-secs S]
+//! ```
+
+use kdv_baselines::AnyMethod;
+use kdv_bench::{banner, time_method, CityData, HarnessConfig, Table};
+use kdv_core::KernelType;
+
+fn main() {
+    let cfg = HarnessConfig::from_args();
+    banner("Table 7: response time (sec) of all methods, default settings", &cfg);
+
+    let methods = AnyMethod::paper_lineup();
+    let mut headers: Vec<&str> = vec!["Dataset", "n", "b (m)"];
+    let names: Vec<String> = methods.iter().map(|m| m.name()).collect();
+    headers.extend(names.iter().map(|s| s.as_str()));
+    let mut table = Table::new(
+        format!(
+            "Table 7 (scaled: n = paper x {}, res {}x{})",
+            cfg.scale, cfg.resolution.0, cfg.resolution.1
+        ),
+        &headers,
+    );
+
+    for cd in CityData::load_all(cfg.scale) {
+        let params = cd.params(cfg.resolution, KernelType::Epanechnikov);
+        let mut row = vec![
+            cd.city.name().to_string(),
+            cd.points.len().to_string(),
+            format!("{:.1}", cd.bandwidth),
+        ];
+        for m in &methods {
+            let t = time_method(m, &params, &cd.points, cfg.cap);
+            row.push(t.cell(cfg.cap_secs()));
+            eprintln!("  {:<14} {:<18} {}", cd.city.name(), m.name(), row.last().unwrap());
+        }
+        table.push_row(row);
+    }
+    table.emit(&cfg.out_dir, "table7");
+}

@@ -1,0 +1,426 @@
+//! `kdv` — command-line front-end for the SLAM-KDV workspace.
+//!
+//! Subcommands:
+//!
+//! * `generate` — synthesise a city dataset to CSV.
+//! * `render`   — compute a KDV over a CSV dataset and write a PPM heat
+//!   map (plus optional ASCII preview).
+//! * `bench`    — time one method on a dataset.
+//! * `hotspots` — extract and rank hotspot regions from a dataset's KDV.
+//! * `stkdv`    — render a spatial-temporal KDV animation (one PPM per frame).
+//! * `info`     — dataset statistics (n, MBR, Scott bandwidth).
+//!
+//! Run `kdv help` for usage. Argument parsing is hand-rolled: the surface
+//! is tiny and the dependency budget is reserved for algorithmic crates.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::time::Instant;
+
+use kdv_baselines::AnyMethod;
+use kdv_core::driver::KdvParams;
+use kdv_core::grid::GridSpec;
+use kdv_core::{KernelType, Method};
+use kdv_data::catalog::City;
+use kdv_data::csvio;
+use kdv_analysis::hotspots_by_peak_fraction;
+use kdv_temporal::{compute_stkdv, FrameSpec, StKdvConfig, TemporalKernel};
+use kdv_viz::{ascii_art, render, ColorMap, Scale};
+
+const USAGE: &str = "kdv — SLAM kernel density visualization tools
+
+USAGE:
+  kdv generate --city <seattle|la|ny|sf> [--scale F] [--out FILE.csv]
+  kdv render   --input FILE.csv [--res WxH] [--kernel K] [--bandwidth B]
+               [--method M] [--colormap C] [--scale-mode S] [--out FILE.ppm] [--ascii]
+  kdv bench    --input FILE.csv --method M [--res WxH] [--kernel K] [--bandwidth B]
+  kdv hotspots --input FILE.csv [--res WxH] [--kernel K] [--bandwidth B]
+               [--peak-fraction F] [--top N]
+  kdv stkdv    --input FILE.csv --frames N [--res WxH] [--kernel K] [--bandwidth B]
+               [--time-bandwidth SECS] [--out-prefix PREFIX]
+  kdv info     --input FILE.csv
+
+OPTIONS:
+  --kernel       uniform | epanechnikov | quartic        (default epanechnikov)
+  --method       scan | rqs-kd | rqs-ball | zorder | akde | quad |
+                 slam-sort | slam-bucket | slam-sort-rao | slam-bucket-rao
+                 (default slam-bucket-rao)
+  --bandwidth    metres; omitted = Scott's rule
+  --res          raster, e.g. 640x480                    (default 640x480)
+  --colormap     heat | gray | viridis                   (default heat)
+  --scale-mode   linear | sqrt | log                     (default sqrt)
+";
+
+/// Minimal `--key value` argument map with flag support.
+struct Args {
+    values: Vec<(String, String)>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    fn parse(args: &[String]) -> Self {
+        let mut values = Vec::new();
+        let mut flags = Vec::new();
+        let mut i = 0;
+        while i < args.len() {
+            let a = &args[i];
+            if let Some(key) = a.strip_prefix("--") {
+                match args.get(i + 1) {
+                    Some(v) if !v.starts_with("--") => {
+                        values.push((key.to_string(), v.clone()));
+                        i += 2;
+                    }
+                    _ => {
+                        flags.push(key.to_string());
+                        i += 1;
+                    }
+                }
+            } else {
+                i += 1;
+            }
+        }
+        Self { values, flags }
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.values
+            .iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn has_flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+}
+
+fn parse_city(s: &str) -> Result<City, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "seattle" => Ok(City::Seattle),
+        "la" | "losangeles" | "los-angeles" => Ok(City::LosAngeles),
+        "ny" | "newyork" | "new-york" => Ok(City::NewYork),
+        "sf" | "sanfrancisco" | "san-francisco" => Ok(City::SanFrancisco),
+        other => Err(format!("unknown city '{other}'")),
+    }
+}
+
+fn parse_method(s: &str) -> Result<AnyMethod, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "scan" => Ok(AnyMethod::Scan),
+        "rqs-kd" => Ok(AnyMethod::RqsKd),
+        "rqs-ball" => Ok(AnyMethod::RqsBall),
+        "zorder" | "z-order" => Ok(AnyMethod::ZOrder { sample_fraction: 0.05 }),
+        "akde" => Ok(AnyMethod::Akde { epsilon: 1e-6 }),
+        "quad" => Ok(AnyMethod::Quad),
+        "slam-sort" => Ok(AnyMethod::Slam(Method::SlamSort)),
+        "slam-bucket" => Ok(AnyMethod::Slam(Method::SlamBucket)),
+        "slam-sort-rao" => Ok(AnyMethod::Slam(Method::SlamSortRao)),
+        "slam-bucket-rao" => Ok(AnyMethod::Slam(Method::SlamBucketRao)),
+        other => Err(format!("unknown method '{other}'")),
+    }
+}
+
+fn parse_res(s: &str) -> Result<(usize, usize), String> {
+    let (x, y) = s.split_once(['x', 'X']).ok_or("resolution must be WxH")?;
+    Ok((
+        x.parse().map_err(|_| "bad width")?,
+        y.parse().map_err(|_| "bad height")?,
+    ))
+}
+
+/// Loads a CSV dataset and assembles the KDV parameters shared by the
+/// `render` and `bench` subcommands.
+fn load_problem(args: &Args) -> Result<(Vec<kdv_core::Point>, KdvParams), String> {
+    let input = args.get("input").ok_or("--input FILE.csv is required")?;
+    let dataset = csvio::read_csv_file(Path::new(input)).map_err(|e| e.to_string())?;
+    if dataset.is_empty() {
+        return Err("dataset is empty".into());
+    }
+    let points = dataset.points();
+    let mbr = dataset.mbr();
+    let (rx, ry) = args.get("res").map(parse_res).transpose()?.unwrap_or((640, 480));
+    let kernel: KernelType = args
+        .get("kernel")
+        .unwrap_or("epanechnikov")
+        .parse()
+        .map_err(|e: String| e)?;
+    let bandwidth = match args.get("bandwidth") {
+        Some(b) => b.parse().map_err(|_| "bad --bandwidth")?,
+        None => kdv_data::scott_bandwidth(&points),
+    };
+    let grid = GridSpec::new(mbr, rx, ry).map_err(|e| e.to_string())?;
+    let params = KdvParams::new(grid, kernel, bandwidth)
+        .with_weight(1.0 / points.len() as f64);
+    Ok((points, params))
+}
+
+fn cmd_generate(args: &Args) -> Result<(), String> {
+    let city = parse_city(args.get("city").ok_or("--city is required")?)?;
+    let scale: f64 = args.get("scale").unwrap_or("0.01").parse().map_err(|_| "bad --scale")?;
+    let out = PathBuf::from(
+        args.get("out")
+            .map(str::to_string)
+            .unwrap_or_else(|| format!("{}.csv", city.name().to_lowercase().replace(' ', "_"))),
+    );
+    let dataset = city.dataset(scale);
+    csvio::write_csv_file(&out, &dataset).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {} events for {} (scale {scale}) to {}",
+        dataset.len(),
+        city.name(),
+        out.display()
+    );
+    Ok(())
+}
+
+fn cmd_render(args: &Args) -> Result<(), String> {
+    let (points, params) = load_problem(args)?;
+    let method = parse_method(args.get("method").unwrap_or("slam-bucket-rao"))?;
+    let colormap: ColorMap = args.get("colormap").unwrap_or("heat").parse()?;
+    let scale_mode: Scale = args.get("scale-mode").unwrap_or("sqrt").parse()?;
+    let out = PathBuf::from(args.get("out").unwrap_or("kdv.ppm"));
+
+    let start = Instant::now();
+    let result = method.compute(&params, &points).map_err(|e| e.to_string())?;
+    let elapsed = start.elapsed();
+    let image = render(&result.grid, colormap, scale_mode);
+    image.save_ppm(&out).map_err(|e| e.to_string())?;
+    println!(
+        "{}: {}x{} raster over {} points in {:.3}s -> {}",
+        method.name(),
+        params.grid.res_x,
+        params.grid.res_y,
+        points.len(),
+        elapsed.as_secs_f64(),
+        out.display()
+    );
+    if args.has_flag("ascii") {
+        // coarse preview: subsample the grid to <= 72 columns
+        println!("{}", ascii_art(&result.grid, scale_mode));
+    }
+    Ok(())
+}
+
+fn cmd_bench(args: &Args) -> Result<(), String> {
+    let (points, params) = load_problem(args)?;
+    let method = parse_method(args.get("method").ok_or("--method is required")?)?;
+    let start = Instant::now();
+    method.compute(&params, &points).map_err(|e| e.to_string())?;
+    println!(
+        "{}\t{}x{}\tn={}\t{:.4}s",
+        method.name(),
+        params.grid.res_x,
+        params.grid.res_y,
+        points.len(),
+        start.elapsed().as_secs_f64()
+    );
+    Ok(())
+}
+
+fn cmd_hotspots(args: &Args) -> Result<(), String> {
+    let (points, params) = load_problem(args)?;
+    let fraction: f64 = args
+        .get("peak-fraction")
+        .unwrap_or("0.25")
+        .parse()
+        .map_err(|_| "bad --peak-fraction")?;
+    let top: usize = args.get("top").unwrap_or("10").parse().map_err(|_| "bad --top")?;
+
+    let grid = kdv_core::KdvEngine::new(Method::SlamBucketRao)
+        .compute(&params, &points)
+        .map_err(|e| e.to_string())?;
+    let hotspots = hotspots_by_peak_fraction(&grid, &params.grid, fraction);
+    println!(
+        "{} hotspot region(s) at >= {:.0}% of peak density {:.6}:",
+        hotspots.len(),
+        fraction * 100.0,
+        grid.max_value()
+    );
+    println!(
+        "{:<4} {:>10} {:>14} {:>12} {:>22}",
+        "#", "pixels", "area (m^2)", "peak", "centroid"
+    );
+    for (i, h) in hotspots.iter().take(top).enumerate() {
+        println!(
+            "{:<4} {:>10} {:>14.0} {:>12.6} ({:>9.1}, {:>9.1})",
+            i + 1,
+            h.pixels,
+            h.area,
+            h.peak,
+            h.centroid.x,
+            h.centroid.y
+        );
+    }
+    Ok(())
+}
+
+fn cmd_stkdv(args: &Args) -> Result<(), String> {
+    let input = args.get("input").ok_or("--input FILE.csv is required")?;
+    let dataset = csvio::read_csv_file(Path::new(input)).map_err(|e| e.to_string())?;
+    if dataset.is_empty() {
+        return Err("dataset is empty".into());
+    }
+    let (points, params) = load_problem(args)?;
+    let _ = points;
+    let frames: usize = args
+        .get("frames")
+        .ok_or("--frames N is required")?
+        .parse()
+        .map_err(|_| "bad --frames")?;
+    let times: Vec<i64> = dataset.records.iter().map(|r| r.timestamp).collect();
+    let (t0, t1) = (
+        *times.iter().min().expect("non-empty"),
+        *times.iter().max().expect("non-empty"),
+    );
+    let spec = FrameSpec::spanning(t0, t1, frames);
+    let default_bt = (spec.stride * 2).max(1).to_string();
+    let temporal_bandwidth: i64 = args
+        .get("time-bandwidth")
+        .unwrap_or(&default_bt)
+        .parse()
+        .map_err(|_| "bad --time-bandwidth")?;
+    let prefix = args.get("out-prefix").unwrap_or("stkdv");
+
+    let config = StKdvConfig {
+        params,
+        frames: spec,
+        temporal_bandwidth,
+        temporal_kernel: TemporalKernel::Epanechnikov,
+    };
+    let start = Instant::now();
+    let rendered = compute_stkdv(&config, &dataset.records).map_err(|e| e.to_string())?;
+    println!(
+        "computed {} frames in {:.2}s (temporal bandwidth {}s)",
+        rendered.len(),
+        start.elapsed().as_secs_f64(),
+        temporal_bandwidth
+    );
+    let colormap: ColorMap = args.get("colormap").unwrap_or("heat").parse()?;
+    for (i, frame) in rendered.iter().enumerate() {
+        let file = format!("{prefix}_{:03}.ppm", i + 1);
+        render(&frame.grid, colormap, Scale::Sqrt)
+            .save_ppm(Path::new(&file))
+            .map_err(|e| e.to_string())?;
+        println!(
+            "frame {:>3}: t={} events={} -> {file}",
+            i + 1,
+            frame.time,
+            frame.events
+        );
+    }
+    Ok(())
+}
+
+fn cmd_info(args: &Args) -> Result<(), String> {
+    let input = args.get("input").ok_or("--input FILE.csv is required")?;
+    let dataset = csvio::read_csv_file(Path::new(input)).map_err(|e| e.to_string())?;
+    let points = dataset.points();
+    let mbr = dataset.mbr();
+    println!("dataset:   {}", dataset.name);
+    println!("events:    {}", dataset.len());
+    if !dataset.is_empty() {
+        println!(
+            "mbr:       [{:.1}, {:.1}] x [{:.1}, {:.1}]  ({:.1} x {:.1} m)",
+            mbr.min_x,
+            mbr.max_x,
+            mbr.min_y,
+            mbr.max_y,
+            mbr.width(),
+            mbr.height()
+        );
+        println!("scott b:   {:.2} m", kdv_data::scott_bandwidth(&points));
+        let ts: Vec<i64> = dataset.records.iter().map(|r| r.timestamp).collect();
+        println!(
+            "time span: {} .. {}",
+            ts.iter().min().unwrap(),
+            ts.iter().max().unwrap()
+        );
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = argv.first() else {
+        eprint!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let args = Args::parse(&argv[1..]);
+    let result = match cmd.as_str() {
+        "generate" => cmd_generate(&args),
+        "render" => cmd_render(&args),
+        "bench" => cmd_bench(&args),
+        "hotspots" => cmd_hotspots(&args),
+        "stkdv" => cmd_stkdv(&args),
+        "info" => cmd_info(&args),
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand '{other}'\n\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Args {
+        Args::parse(&list.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn args_values_flags_and_last_wins() {
+        let a = args(&["--res", "64x48", "--ascii", "--res", "128x96"]);
+        assert_eq!(a.get("res"), Some("128x96"));
+        assert!(a.has_flag("ascii"));
+        assert!(!a.has_flag("res"));
+        assert_eq!(a.get("missing"), None);
+    }
+
+    #[test]
+    fn flag_followed_by_flag() {
+        let a = args(&["--ascii", "--verbose"]);
+        assert!(a.has_flag("ascii"));
+        assert!(a.has_flag("verbose"));
+    }
+
+    #[test]
+    fn city_aliases() {
+        assert_eq!(parse_city("seattle").unwrap(), City::Seattle);
+        assert_eq!(parse_city("LA").unwrap(), City::LosAngeles);
+        assert_eq!(parse_city("new-york").unwrap(), City::NewYork);
+        assert_eq!(parse_city("sf").unwrap(), City::SanFrancisco);
+        assert!(parse_city("gotham").is_err());
+    }
+
+    #[test]
+    fn method_names() {
+        assert!(matches!(parse_method("scan").unwrap(), AnyMethod::Scan));
+        assert!(matches!(
+            parse_method("slam-bucket-rao").unwrap(),
+            AnyMethod::Slam(Method::SlamBucketRao)
+        ));
+        assert!(matches!(
+            parse_method("Z-ORDER").unwrap(),
+            AnyMethod::ZOrder { .. }
+        ));
+        assert!(parse_method("magic").is_err());
+    }
+
+    #[test]
+    fn resolution_parsing() {
+        assert_eq!(parse_res("320x240").unwrap(), (320, 240));
+        assert_eq!(parse_res("1X2").unwrap(), (1, 2));
+        assert!(parse_res("320").is_err());
+        assert!(parse_res("ax2").is_err());
+    }
+}

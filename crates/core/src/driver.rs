@@ -1,0 +1,213 @@
+//! Shared row-by-row driver for the sweep-line engines.
+//!
+//! Both SLAM variants process the raster one pixel row at a time (Figure 4):
+//! extract the envelope point set `E(k)` of the row, turn it into sweep
+//! intervals, and hand the row to an engine that fills the `X` densities.
+//! This module owns everything row-independent: input validation, numerical
+//! recentring, pixel-centre precomputation and buffer reuse.
+
+use crate::envelope::{EnvelopeBuffer, SweepInterval};
+use crate::error::{KdvError, Result};
+use crate::grid::{DensityGrid, GridSpec};
+use crate::kernel::KernelType;
+
+/// Parameters of one KDV computation (Problem 1 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KdvParams {
+    /// The query region and raster resolution.
+    pub grid: GridSpec,
+    /// Kernel function `K` (Table 2).
+    pub kernel: KernelType,
+    /// Kernel bandwidth `b` in data units (metres).
+    pub bandwidth: f64,
+    /// Normalisation constant `w` of Eq. 1.
+    pub weight: f64,
+}
+
+impl KdvParams {
+    /// Creates parameters with weight 1.
+    pub fn new(grid: GridSpec, kernel: KernelType, bandwidth: f64) -> Self {
+        Self { grid, kernel, bandwidth, weight: 1.0 }
+    }
+
+    /// Replaces the normalisation weight.
+    pub fn with_weight(mut self, weight: f64) -> Self {
+        self.weight = weight;
+        self
+    }
+
+    /// Validates bandwidth, weight and (via `GridSpec`) the raster.
+    pub fn validate(&self) -> Result<()> {
+        if !self.bandwidth.is_finite() || self.bandwidth <= 0.0 {
+            return Err(KdvError::InvalidBandwidth(self.bandwidth));
+        }
+        if !self.weight.is_finite() {
+            return Err(KdvError::InvalidWeight(self.weight));
+        }
+        // GridSpec::new re-runs the resolution/region checks.
+        GridSpec::new(self.grid.region, self.grid.res_x, self.grid.res_y)?;
+        Ok(())
+    }
+
+    /// Parameters for the transposed problem (RAO).
+    pub fn transposed(&self) -> KdvParams {
+        KdvParams { grid: self.grid.transposed(), ..*self }
+    }
+}
+
+/// Validates that every input coordinate is finite.
+pub fn validate_points(points: &[crate::geom::Point]) -> Result<()> {
+    for (i, p) in points.iter().enumerate() {
+        if !p.x.is_finite() || !p.y.is_finite() {
+            return Err(KdvError::NonFinitePoint { index: i });
+        }
+    }
+    Ok(())
+}
+
+/// A sweep engine that can fill one pixel row.
+///
+/// `xs` are the recentred pixel-centre x-coordinates (strictly increasing),
+/// `k` the recentred row y-coordinate, `intervals` the row's envelope point
+/// set with bounds, and `out` the `X` output densities.
+pub trait RowEngine {
+    /// Fills `out[i] = F_P(q_i)` for every pixel of the row.
+    fn process_row(&mut self, xs: &[f64], k: f64, intervals: &[SweepInterval], out: &mut [f64]);
+
+    /// Auxiliary heap bytes currently held by the engine (for the paper's
+    /// space-consumption experiment, Figure 17).
+    fn space_bytes(&self) -> usize {
+        0
+    }
+}
+
+/// Pre-processed, recentred inputs shared by every row of one computation.
+pub struct SweepContext {
+    /// Points shifted so the region centre is the origin.
+    pub points: Vec<crate::geom::Point>,
+    /// Recentred pixel-centre x-coordinates, strictly increasing.
+    pub xs: Vec<f64>,
+    /// Recentred pixel-centre y-coordinates, one per row.
+    pub ks: Vec<f64>,
+    /// Offset that was subtracted (region centre).
+    pub center: crate::geom::Point,
+}
+
+impl SweepContext {
+    /// Recentres points and precomputes pixel coordinates.
+    ///
+    /// Shifting both the data and the query raster by the region centre is
+    /// exact in real arithmetic (kernels depend only on `q − p`) and keeps
+    /// the aggregate expansion (Eq. 5) well conditioned when coordinates
+    /// are large (city projections are ~1e5–1e7 metres).
+    pub fn new(params: &KdvParams, points: &[crate::geom::Point]) -> Result<Self> {
+        params.validate()?;
+        validate_points(points)?;
+        let grid = &params.grid;
+        let center = grid.region.center();
+        let shifted: Vec<_> = points.iter().map(|p| p.shifted(center.x, center.y)).collect();
+        let xs: Vec<f64> = (0..grid.res_x).map(|i| grid.pixel_x(i) - center.x).collect();
+        let ks: Vec<f64> = (0..grid.res_y).map(|j| grid.pixel_y(j) - center.y).collect();
+        Ok(Self { points: shifted, xs, ks, center })
+    }
+
+    /// Heap bytes held by the context.
+    pub fn space_bytes(&self) -> usize {
+        self.points.capacity() * std::mem::size_of::<crate::geom::Point>()
+            + (self.xs.capacity() + self.ks.capacity()) * std::mem::size_of::<f64>()
+    }
+}
+
+/// Runs `engine` over every row of the raster: the outer loop of
+/// Theorems 1–2 (`Y` iterations of an `O(X + n)`/`O(X + n log n)` row).
+pub fn sweep_grid<E: RowEngine>(
+    params: &KdvParams,
+    points: &[crate::geom::Point],
+    engine: &mut E,
+) -> Result<DensityGrid> {
+    let ctx = SweepContext::new(params, points)?;
+    let mut grid = DensityGrid::zeroed(params.grid.res_x, params.grid.res_y);
+    let mut envelope = EnvelopeBuffer::with_capacity(ctx.points.len().min(1 << 20));
+    for j in 0..params.grid.res_y {
+        let k = ctx.ks[j];
+        let intervals = envelope.fill(&ctx.points, params.bandwidth, k);
+        engine.process_row(&ctx.xs, k, intervals, grid.row_mut(j));
+    }
+    Ok(grid)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geom::{Point, Rect};
+
+    struct CountingEngine {
+        rows_seen: usize,
+        envelope_sizes: Vec<usize>,
+    }
+
+    impl RowEngine for CountingEngine {
+        fn process_row(
+            &mut self,
+            xs: &[f64],
+            _k: f64,
+            intervals: &[SweepInterval],
+            out: &mut [f64],
+        ) {
+            assert_eq!(xs.len(), out.len());
+            self.rows_seen += 1;
+            self.envelope_sizes.push(intervals.len());
+            out.fill(intervals.len() as f64);
+        }
+    }
+
+    fn params(res_x: usize, res_y: usize) -> KdvParams {
+        let grid = GridSpec::new(Rect::new(0.0, 0.0, 10.0, 10.0), res_x, res_y).unwrap();
+        KdvParams::new(grid, KernelType::Epanechnikov, 2.0)
+    }
+
+    #[test]
+    fn validation_rejects_bad_bandwidth_and_points() {
+        let mut p = params(4, 4);
+        p.bandwidth = 0.0;
+        assert!(matches!(p.validate(), Err(KdvError::InvalidBandwidth(_))));
+        p.bandwidth = f64::NAN;
+        assert!(p.validate().is_err());
+        assert!(matches!(
+            validate_points(&[Point::new(0.0, f64::INFINITY)]),
+            Err(KdvError::NonFinitePoint { index: 0 })
+        ));
+    }
+
+    #[test]
+    fn driver_visits_every_row_with_envelope_sets() {
+        let p = params(8, 5);
+        // one point near the bottom, one near the top
+        let pts = [Point::new(5.0, 1.0), Point::new(5.0, 9.0)];
+        let mut eng = CountingEngine { rows_seen: 0, envelope_sizes: vec![] };
+        let grid = sweep_grid(&p, &pts, &mut eng).unwrap();
+        assert_eq!(eng.rows_seen, 5);
+        // row centres are y = 1,3,5,7,9; b = 2 ⇒ row 0 sees pt0 only,
+        // row 1 sees pt0, row 2 sees none, row 3 sees pt1, row 4 sees pt1.
+        assert_eq!(eng.envelope_sizes, vec![1, 1, 0, 1, 1]);
+        assert_eq!(grid.get(0, 2), 0.0);
+        assert_eq!(grid.get(0, 0), 1.0);
+    }
+
+    #[test]
+    fn context_recentres_about_region_center() {
+        let p = params(4, 4);
+        let ctx = SweepContext::new(&p, &[Point::new(5.0, 5.0)]).unwrap();
+        assert_eq!(ctx.center, Point::new(5.0, 5.0));
+        assert_eq!(ctx.points[0], Point::new(0.0, 0.0));
+        // xs symmetric about 0
+        assert!((ctx.xs[0] + ctx.xs[3]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transposed_params_swap_resolution() {
+        let p = params(8, 5).transposed();
+        assert_eq!(p.grid.res_x, 5);
+        assert_eq!(p.grid.res_y, 8);
+    }
+}

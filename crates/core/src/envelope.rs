@@ -1,0 +1,154 @@
+//! Envelope point sets and sweep intervals (paper Sections 3.2–3.3).
+//!
+//! For a pixel row at y-coordinate `k`, only points with `|k − p.y| ≤ b`
+//! (Definition 1) can contribute to any pixel of the row. Each such point
+//! induces an x-interval `[LB_k(p), UB_k(p)]` (Eqs. 8–9) outside of which it
+//! contributes nothing; a pixel `q` on the row has `p ∈ R(q)` iff
+//! `LB_k(p) ≤ q.x ≤ UB_k(p)` (Lemma 2).
+
+use crate::geom::Point;
+
+/// A data point restricted to one pixel row: the point itself plus its
+/// lower/upper bound x-coordinates on that row.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepInterval {
+    /// The (recentred) data point, used to update the sweep aggregates.
+    pub point: Point,
+    /// `LB_k(p) = p.x − sqrt(b² − (k − p.y)²)`.
+    pub lb: f64,
+    /// `UB_k(p) = p.x + sqrt(b² − (k − p.y)²)`.
+    pub ub: f64,
+}
+
+/// Reusable buffer for envelope extraction; one allocation reused across
+/// all `Y` rows (the paper's O(n) extra space).
+#[derive(Debug, Default)]
+pub struct EnvelopeBuffer {
+    intervals: Vec<SweepInterval>,
+}
+
+impl EnvelopeBuffer {
+    /// An empty buffer; capacity grows on first use and is then reused.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pre-sizes the buffer for `n` points.
+    pub fn with_capacity(n: usize) -> Self {
+        Self { intervals: Vec::with_capacity(n) }
+    }
+
+    /// Extracts the envelope point set `E(k)` for the row at y-coordinate
+    /// `k` and fills the per-point sweep intervals; O(n) time (Lemma 1).
+    ///
+    /// Returns the freshly filled intervals, unsorted (SLAM_BUCKET consumes
+    /// them directly; SLAM_SORT sorts endpoint arrays afterwards).
+    pub fn fill(&mut self, points: &[Point], bandwidth: f64, k: f64) -> &[SweepInterval] {
+        self.intervals.clear();
+        let b2 = bandwidth * bandwidth;
+        for p in points {
+            let dy = k - p.y;
+            let rem = b2 - dy * dy;
+            if rem >= 0.0 {
+                // |k − p.y| ≤ b  ⟹  p ∈ E(k)
+                let half = rem.sqrt();
+                self.intervals.push(SweepInterval {
+                    point: *p,
+                    lb: p.x - half,
+                    ub: p.x + half,
+                });
+            }
+        }
+        &self.intervals
+    }
+
+    /// The intervals from the most recent [`EnvelopeBuffer::fill`].
+    pub fn intervals(&self) -> &[SweepInterval] {
+        &self.intervals
+    }
+
+    /// Number of points in the current envelope set `|E(k)|`.
+    pub fn len(&self) -> usize {
+        self.intervals.len()
+    }
+
+    /// Whether the current envelope set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.intervals.is_empty()
+    }
+
+    /// Heap bytes currently held (space-consumption accounting).
+    pub fn space_bytes(&self) -> usize {
+        self.intervals.capacity() * std::mem::size_of::<SweepInterval>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn envelope_filters_by_row_distance() {
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 2.0),
+            Point::new(2.0, 5.0), // too far from row
+            Point::new(3.0, -2.0),
+        ];
+        let mut buf = EnvelopeBuffer::new();
+        let e = buf.fill(&pts, 2.0, 0.0);
+        // rows at k=0 with b=2: |p.y| ≤ 2 keeps y∈{0,2,-2}
+        assert_eq!(e.len(), 3);
+        assert_eq!(e[0].point, pts[0]);
+        assert_eq!(e[1].point, pts[1]);
+        assert_eq!(e[2].point, pts[3]);
+    }
+
+    #[test]
+    fn interval_width_shrinks_with_row_distance() {
+        let pts = vec![Point::new(10.0, 0.0)];
+        let mut buf = EnvelopeBuffer::new();
+        // on the row: full width 2b
+        let e = buf.fill(&pts, 3.0, 0.0);
+        assert!((e[0].lb - 7.0).abs() < 1e-12);
+        assert!((e[0].ub - 13.0).abs() < 1e-12);
+        // at |dy| = b: width collapses to a single x
+        let e = buf.fill(&pts, 3.0, 3.0);
+        assert_eq!(e.len(), 1);
+        assert!((e[0].lb - 10.0).abs() < 1e-12);
+        assert!((e[0].ub - 10.0).abs() < 1e-12);
+        // beyond: excluded
+        let e = buf.fill(&pts, 3.0, 3.0001);
+        assert!(e.is_empty());
+    }
+
+    #[test]
+    fn interval_membership_matches_distance_predicate() {
+        // p ∈ R(q) ⟺ LB ≤ q.x ≤ UB (Lemma 2), sampled on a grid of q.x.
+        let p = Point::new(2.5, 1.5);
+        let b = 2.0;
+        let k = 0.25;
+        let mut buf = EnvelopeBuffer::new();
+        let e = buf.fill(std::slice::from_ref(&p), b, k);
+        assert_eq!(e.len(), 1);
+        let iv = e[0];
+        for step in -40..=40 {
+            let qx = 2.5 + step as f64 * 0.1;
+            let q = Point::new(qx, k);
+            let in_range = q.dist(&p) <= b;
+            let in_interval = iv.lb <= qx && qx <= iv.ub;
+            assert_eq!(in_range, in_interval, "q.x = {qx}");
+        }
+    }
+
+    #[test]
+    fn buffer_is_reused_across_rows() {
+        let pts: Vec<Point> = (0..100).map(|i| Point::new(i as f64, 0.0)).collect();
+        let mut buf = EnvelopeBuffer::with_capacity(pts.len());
+        buf.fill(&pts, 1.0, 0.0);
+        let cap_before = buf.space_bytes();
+        buf.fill(&pts, 1.0, 0.5);
+        assert_eq!(buf.space_bytes(), cap_before, "no reallocation between rows");
+        assert_eq!(buf.len(), 100);
+    }
+}

@@ -1,0 +1,226 @@
+//! Density-raster persistence.
+//!
+//! Exploratory tools cache computed rasters (panning back to a previous
+//! viewport should not recompute), and experiment pipelines hand rasters
+//! between processes. Two formats:
+//!
+//! * **binary** — a 24-byte header (`KDVG` magic, format version, X, Y)
+//!   followed by `X·Y` little-endian `f64`s; lossless and compact.
+//! * **TSV** — one row per pixel row, tab-separated, `{:?}` formatting
+//!   (shortest round-trip floats); interoperable with
+//!   spreadsheet/pandas-style tooling and still lossless.
+
+use std::io::{self, BufRead, BufWriter, Read, Write};
+
+use crate::grid::DensityGrid;
+
+/// Magic bytes of the binary format.
+const MAGIC: &[u8; 4] = b"KDVG";
+/// Current binary format version.
+const VERSION: u32 = 1;
+
+/// Errors raised while reading a persisted raster.
+#[derive(Debug)]
+pub enum GridIoError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Not a KDVG file / corrupted header or payload.
+    Format(String),
+}
+
+impl std::fmt::Display for GridIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GridIoError::Io(e) => write!(f, "io error: {e}"),
+            GridIoError::Format(m) => write!(f, "format error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for GridIoError {}
+
+impl From<io::Error> for GridIoError {
+    fn from(e: io::Error) -> Self {
+        GridIoError::Io(e)
+    }
+}
+
+/// Writes the binary format.
+pub fn write_binary<W: Write>(writer: W, grid: &DensityGrid) -> io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&(grid.res_x() as u64).to_le_bytes())?;
+    w.write_all(&(grid.res_y() as u64).to_le_bytes())?;
+    for &v in grid.values() {
+        w.write_all(&v.to_le_bytes())?;
+    }
+    w.flush()
+}
+
+/// Reads the binary format.
+pub fn read_binary<R: Read>(mut reader: R) -> Result<DensityGrid, GridIoError> {
+    let mut magic = [0u8; 4];
+    reader.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(GridIoError::Format("bad magic (not a KDVG file)".into()));
+    }
+    let mut buf4 = [0u8; 4];
+    reader.read_exact(&mut buf4)?;
+    let version = u32::from_le_bytes(buf4);
+    if version != VERSION {
+        return Err(GridIoError::Format(format!("unsupported version {version}")));
+    }
+    let mut buf8 = [0u8; 8];
+    reader.read_exact(&mut buf8)?;
+    let res_x = u64::from_le_bytes(buf8) as usize;
+    reader.read_exact(&mut buf8)?;
+    let res_y = u64::from_le_bytes(buf8) as usize;
+    let count = res_x
+        .checked_mul(res_y)
+        .ok_or_else(|| GridIoError::Format("resolution overflow".into()))?;
+    // sanity cap: a raster larger than 1 GiB of f64s is a corrupt header
+    if count > (1 << 27) {
+        return Err(GridIoError::Format(format!("implausible raster size {res_x}x{res_y}")));
+    }
+    let mut values = Vec::with_capacity(count);
+    for _ in 0..count {
+        reader.read_exact(&mut buf8)?;
+        values.push(f64::from_le_bytes(buf8));
+    }
+    // trailing garbage check
+    if reader.read(&mut [0u8; 1])? != 0 {
+        return Err(GridIoError::Format("trailing bytes after payload".into()));
+    }
+    Ok(DensityGrid::from_values(res_x, res_y, values))
+}
+
+/// Writes the TSV format (row 0 first).
+pub fn write_tsv<W: Write>(writer: W, grid: &DensityGrid) -> io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    for j in 0..grid.res_y() {
+        let row = grid.row(j);
+        for (i, v) in row.iter().enumerate() {
+            if i > 0 {
+                w.write_all(b"\t")?;
+            }
+            write!(w, "{v:?}")?;
+        }
+        w.write_all(b"\n")?;
+    }
+    w.flush()
+}
+
+/// Reads the TSV format; all rows must have equal width.
+pub fn read_tsv<R: BufRead>(reader: R) -> Result<DensityGrid, GridIoError> {
+    let mut values = Vec::new();
+    let mut res_x = None;
+    let mut res_y = 0usize;
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        if line.is_empty() {
+            continue;
+        }
+        let row: Result<Vec<f64>, _> = line.split('\t').map(str::parse::<f64>).collect();
+        let row = row.map_err(|e| {
+            GridIoError::Format(format!("line {}: {e}", lineno + 1))
+        })?;
+        match res_x {
+            None => res_x = Some(row.len()),
+            Some(w) if w != row.len() => {
+                return Err(GridIoError::Format(format!(
+                    "line {}: width {} != {}",
+                    lineno + 1,
+                    row.len(),
+                    w
+                )))
+            }
+            _ => {}
+        }
+        values.extend(row);
+        res_y += 1;
+    }
+    let res_x = res_x.ok_or_else(|| GridIoError::Format("empty file".into()))?;
+    Ok(DensityGrid::from_values(res_x, res_y, values))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DensityGrid {
+        let values = vec![
+            0.0,
+            1.5,
+            -2.25,
+            f64::MIN_POSITIVE,
+            1e300,
+            0.1 + 0.2, // a value with no short decimal representation
+        ];
+        DensityGrid::from_values(3, 2, values)
+    }
+
+    #[test]
+    fn binary_round_trip_bitexact() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_binary(&mut buf, &g).unwrap();
+        let back = read_binary(buf.as_slice()).unwrap();
+        assert_eq!(back, g);
+    }
+
+    #[test]
+    fn tsv_round_trip_bitexact() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_tsv(&mut buf, &g).unwrap();
+        let back = read_tsv(io::BufReader::new(buf.as_slice())).unwrap();
+        assert_eq!(back, g, "{{:?}} formatting must round-trip f64 exactly");
+    }
+
+    #[test]
+    fn binary_rejects_corruption() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_binary(&mut buf, &g).unwrap();
+        // wrong magic
+        let mut bad = buf.clone();
+        bad[0] = b'X';
+        assert!(matches!(read_binary(bad.as_slice()), Err(GridIoError::Format(_))));
+        // truncated payload
+        let short = &buf[..buf.len() - 3];
+        assert!(matches!(read_binary(short), Err(GridIoError::Io(_))));
+        // trailing garbage
+        let mut long = buf.clone();
+        long.push(0);
+        assert!(matches!(read_binary(long.as_slice()), Err(GridIoError::Format(_))));
+        // wrong version
+        let mut vbad = buf;
+        vbad[4] = 99;
+        assert!(matches!(read_binary(vbad.as_slice()), Err(GridIoError::Format(_))));
+    }
+
+    #[test]
+    fn binary_rejects_implausible_header() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&VERSION.to_le_bytes());
+        buf.extend_from_slice(&u64::MAX.to_le_bytes());
+        buf.extend_from_slice(&u64::MAX.to_le_bytes());
+        assert!(matches!(read_binary(buf.as_slice()), Err(GridIoError::Format(_))));
+    }
+
+    #[test]
+    fn tsv_rejects_ragged_rows() {
+        let text = "1\t2\n3\n";
+        assert!(matches!(
+            read_tsv(io::BufReader::new(text.as_bytes())),
+            Err(GridIoError::Format(_))
+        ));
+        let empty = "";
+        assert!(matches!(
+            read_tsv(io::BufReader::new(empty.as_bytes())),
+            Err(GridIoError::Format(_))
+        ));
+    }
+}

@@ -1,0 +1,140 @@
+//! Row-parallel SLAM — an extension beyond the paper.
+//!
+//! The paper evaluates a single-CPU setting and lists parallel execution as
+//! future work (Section 5, "Parallel/distributed and hardware-based
+//! methods"). Rows are embarrassingly parallel: each row sweep touches only
+//! its own envelope set and output row, so we shard rows across scoped
+//! threads, each with a private engine and envelope buffer. Results are
+//! bitwise identical to the sequential sweep because no floating-point
+//! reassociation crosses a row boundary.
+
+use crate::driver::{KdvParams, RowEngine, SweepContext};
+use crate::envelope::EnvelopeBuffer;
+use crate::error::Result;
+use crate::geom::Point;
+use crate::grid::DensityGrid;
+use crate::sweep_bucket::BucketSweep;
+use crate::sweep_sort::SortSweep;
+
+/// Which sequential engine each worker thread instantiates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParallelEngine {
+    /// SLAM_SORT per row.
+    Sort,
+    /// SLAM_BUCKET per row.
+    Bucket,
+}
+
+/// Computes the raster with `threads` workers, each sweeping a contiguous
+/// band of rows. `threads == 0` or `1` falls back to the sequential path.
+pub fn compute_parallel(
+    params: &KdvParams,
+    points: &[Point],
+    engine: ParallelEngine,
+    threads: usize,
+) -> Result<DensityGrid> {
+    if threads <= 1 {
+        return match engine {
+            ParallelEngine::Sort => crate::sweep_sort::compute(params, points),
+            ParallelEngine::Bucket => crate::sweep_bucket::compute(params, points),
+        };
+    }
+    let ctx = SweepContext::new(params, points)?;
+    let res_x = params.grid.res_x;
+    let res_y = params.grid.res_y;
+    let mut values = vec![0.0_f64; res_x * res_y];
+    let workers = threads.min(res_y.max(1));
+    // Split the flat buffer into per-thread row bands.
+    let rows_per = res_y.div_ceil(workers);
+    std::thread::scope(|scope| {
+        let mut rest: &mut [f64] = &mut values;
+        let mut start_row = 0usize;
+        while start_row < res_y {
+            let band_rows = rows_per.min(res_y - start_row);
+            let (band, tail) = rest.split_at_mut(band_rows * res_x);
+            rest = tail;
+            let ctx = &ctx;
+            scope.spawn(move || {
+                let mut envelope = EnvelopeBuffer::with_capacity(ctx.points.len().min(1 << 20));
+                let mut sort_engine;
+                let mut bucket_engine;
+                let eng: &mut dyn RowEngine = match engine {
+                    ParallelEngine::Sort => {
+                        sort_engine =
+                            SortSweep::new(params.kernel, params.bandwidth, params.weight);
+                        &mut sort_engine
+                    }
+                    ParallelEngine::Bucket => {
+                        bucket_engine =
+                            BucketSweep::new(params.kernel, params.bandwidth, params.weight);
+                        &mut bucket_engine
+                    }
+                };
+                for (local_j, out_row) in band.chunks_mut(res_x).enumerate() {
+                    let j = start_row + local_j;
+                    let k = ctx.ks[j];
+                    let intervals = envelope.fill(&ctx.points, params.bandwidth, k);
+                    eng.process_row(&ctx.xs, k, intervals, out_row);
+                }
+            });
+            start_row += band_rows;
+        }
+    });
+    Ok(DensityGrid::from_values(res_x, res_y, values))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geom::Rect;
+    use crate::grid::GridSpec;
+    use crate::kernel::KernelType;
+
+    fn setup() -> (KdvParams, Vec<Point>) {
+        let grid = GridSpec::new(Rect::new(0.0, 0.0, 100.0, 70.0), 40, 23).unwrap();
+        let params = KdvParams::new(grid, KernelType::Epanechnikov, 9.0).with_weight(0.002);
+        let mut state = 99u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let pts = (0..800)
+            .map(|_| Point::new(next() * 100.0, next() * 70.0))
+            .collect();
+        (params, pts)
+    }
+
+    #[test]
+    fn parallel_matches_sequential_bitwise() {
+        let (params, pts) = setup();
+        let seq = crate::sweep_bucket::compute(&params, &pts).unwrap();
+        for threads in [2, 3, 8, 64] {
+            let par =
+                compute_parallel(&params, &pts, ParallelEngine::Bucket, threads).unwrap();
+            assert_eq!(par, seq, "threads={threads}");
+        }
+        let seq = crate::sweep_sort::compute(&params, &pts).unwrap();
+        let par = compute_parallel(&params, &pts, ParallelEngine::Sort, 4).unwrap();
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn one_thread_falls_back() {
+        let (params, pts) = setup();
+        let a = compute_parallel(&params, &pts, ParallelEngine::Bucket, 1).unwrap();
+        let b = crate::sweep_bucket::compute(&params, &pts).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn more_threads_than_rows() {
+        let grid = GridSpec::new(Rect::new(0.0, 0.0, 10.0, 10.0), 6, 2).unwrap();
+        let params = KdvParams::new(grid, KernelType::Uniform, 3.0);
+        let pts = vec![Point::new(5.0, 5.0)];
+        let par = compute_parallel(&params, &pts, ParallelEngine::Bucket, 16).unwrap();
+        let seq = crate::sweep_bucket::compute(&params, &pts).unwrap();
+        assert_eq!(par, seq);
+    }
+}

@@ -1,0 +1,145 @@
+//! Numeric helpers: compensated summation and tolerant float comparison.
+//!
+//! The sweep-line algorithms accumulate and cancel aggregate sums over long
+//! runs of insertions; Kahan–Babuška (Neumaier) compensation keeps the
+//! accumulated error independent of the number of operations, which is what
+//! lets the test suite hold SLAM to a tight exactness tolerance against the
+//! naive SCAN evaluation.
+
+/// Kahan–Babuška (Neumaier variant) compensated accumulator.
+///
+/// Supports subtraction as well as addition, which the sweep line needs when
+/// aggregates are maintained as `L − U` differences.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Kahan {
+    sum: f64,
+    comp: f64,
+}
+
+impl Kahan {
+    /// A fresh accumulator holding 0.
+    #[inline]
+    pub const fn new() -> Self {
+        Self { sum: 0.0, comp: 0.0 }
+    }
+
+    /// An accumulator initialised to `v`.
+    #[inline]
+    pub const fn from_value(v: f64) -> Self {
+        Self { sum: v, comp: 0.0 }
+    }
+
+    /// Adds `v` with error compensation.
+    #[inline]
+    pub fn add(&mut self, v: f64) {
+        let t = self.sum + v;
+        if self.sum.abs() >= v.abs() {
+            self.comp += (self.sum - t) + v;
+        } else {
+            self.comp += (v - t) + self.sum;
+        }
+        self.sum = t;
+    }
+
+    /// Subtracts `v` with error compensation.
+    #[inline]
+    pub fn sub(&mut self, v: f64) {
+        self.add(-v);
+    }
+
+    /// The compensated total.
+    #[inline]
+    pub fn value(&self) -> f64 {
+        self.sum + self.comp
+    }
+
+    /// Resets to zero without reallocating.
+    #[inline]
+    pub fn reset(&mut self) {
+        self.sum = 0.0;
+        self.comp = 0.0;
+    }
+}
+
+/// Sums a slice with compensation; reference implementation for tests.
+pub fn kahan_sum(values: &[f64]) -> f64 {
+    let mut acc = Kahan::new();
+    for &v in values {
+        acc.add(v);
+    }
+    acc.value()
+}
+
+/// Relative-or-absolute float comparison used throughout the test suite.
+///
+/// Returns `true` when `|a − b| ≤ atol + rtol·max(|a|, |b|)`.
+#[inline]
+pub fn approx_eq(a: f64, b: f64, rtol: f64, atol: f64) -> bool {
+    let diff = (a - b).abs();
+    diff <= atol + rtol * a.abs().max(b.abs())
+}
+
+/// Maximum relative error between two equally long slices
+/// (∞ if lengths differ), used to report grid agreement in experiments.
+pub fn max_rel_error(a: &[f64], b: &[f64]) -> f64 {
+    if a.len() != b.len() {
+        return f64::INFINITY;
+    }
+    let mut worst = 0.0f64;
+    for (&x, &y) in a.iter().zip(b) {
+        let scale = x.abs().max(y.abs()).max(1e-300);
+        worst = worst.max((x - y).abs() / scale);
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kahan_beats_naive_on_cancellation() {
+        // 1 + 1e-16 added 10^6 times then subtracting 1: naive f64 loses the
+        // small parts entirely; Kahan keeps them.
+        let mut k = Kahan::new();
+        k.add(1.0);
+        for _ in 0..1_000_000 {
+            k.add(1e-16);
+        }
+        k.sub(1.0);
+        let got = k.value();
+        assert!(
+            approx_eq(got, 1e-10, 1e-6, 0.0),
+            "kahan total {got} should be ~1e-10"
+        );
+    }
+
+    #[test]
+    fn kahan_sum_matches_exact_for_integers() {
+        let vals: Vec<f64> = (1..=1000).map(|i| i as f64).collect();
+        assert_eq!(kahan_sum(&vals), 500_500.0);
+    }
+
+    #[test]
+    fn kahan_reset() {
+        let mut k = Kahan::from_value(5.0);
+        k.add(1.0);
+        k.reset();
+        assert_eq!(k.value(), 0.0);
+    }
+
+    #[test]
+    fn approx_eq_behaviour() {
+        assert!(approx_eq(1.0, 1.0 + 1e-12, 1e-9, 0.0));
+        assert!(!approx_eq(1.0, 1.001, 1e-9, 0.0));
+        assert!(approx_eq(0.0, 1e-15, 0.0, 1e-12));
+    }
+
+    #[test]
+    fn max_rel_error_basics() {
+        assert_eq!(max_rel_error(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
+        assert!(max_rel_error(&[1.0], &[1.0, 2.0]).is_infinite());
+        let e = max_rel_error(&[100.0], &[101.0]);
+        assert!(approx_eq(e, 1.0 / 101.0, 1e-12, 0.0));
+    }
+}

@@ -1,0 +1,197 @@
+//! SLAM_SORT — the sorting-based sweep line algorithm (paper Section 3.4,
+//! Algorithm 1).
+//!
+//! Per pixel row: sort the lower-bound values and the upper-bound values of
+//! the envelope intervals, then move a sweep line left-to-right across the
+//! (already sorted) pixel x-coordinates. Two merge pointers play the role of
+//! the sorted list `𝓛`: before evaluating pixel `q_i`, every interval with
+//! `LB ≤ q_i.x` has been inserted into the `L` accumulator and every
+//! interval with `UB < q_i.x` into the `U` accumulator, so the aggregates of
+//! `R(q_i) = L \ U` are available in O(1) (Lemma 3).
+//!
+//! Row cost: `O(|E(k)| log |E(k)| + X)`; whole raster `O(Y(n log n + X))`
+//! (Theorem 1).
+
+use crate::aggregate::SweepAccumulator;
+use crate::driver::{sweep_grid, KdvParams, RowEngine};
+use crate::envelope::SweepInterval;
+use crate::error::Result;
+use crate::geom::Point;
+use crate::grid::DensityGrid;
+use crate::kernel::KernelType;
+
+/// Reusable row engine implementing SLAM_SORT.
+pub struct SortSweep {
+    kernel: KernelType,
+    bandwidth: f64,
+    weight: f64,
+    /// Interval endpoints sorted by lower bound: `(LB_k(p), p)`.
+    lbs: Vec<(f64, Point)>,
+    /// Interval endpoints sorted by upper bound: `(UB_k(p), p)`.
+    ubs: Vec<(f64, Point)>,
+    l_acc: SweepAccumulator,
+    u_acc: SweepAccumulator,
+}
+
+impl SortSweep {
+    /// Creates an engine for the given kernel/bandwidth/weight.
+    pub fn new(kernel: KernelType, bandwidth: f64, weight: f64) -> Self {
+        let quartic = kernel.needs_quartic_terms();
+        Self {
+            kernel,
+            bandwidth,
+            weight,
+            lbs: Vec::new(),
+            ubs: Vec::new(),
+            l_acc: SweepAccumulator::new(quartic),
+            u_acc: SweepAccumulator::new(quartic),
+        }
+    }
+}
+
+impl RowEngine for SortSweep {
+    fn process_row(&mut self, xs: &[f64], k: f64, intervals: &[SweepInterval], out: &mut [f64]) {
+        // Build and sort the two endpoint lists — the row's bottleneck
+        // (O(|E(k)| log |E(k)|), line 3 of Algorithm 1).
+        self.lbs.clear();
+        self.ubs.clear();
+        self.lbs.extend(intervals.iter().map(|iv| (iv.lb, iv.point)));
+        self.ubs.extend(intervals.iter().map(|iv| (iv.ub, iv.point)));
+        self.lbs.sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
+        self.ubs.sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
+
+        self.l_acc.reset();
+        self.u_acc.reset();
+        let (mut li, mut ui) = (0usize, 0usize);
+
+        for (i, &x) in xs.iter().enumerate() {
+            // Case 1: sweep passes lower bounds with LB ≤ x.
+            while li < self.lbs.len() && self.lbs[li].0 <= x {
+                self.l_acc.insert(&self.lbs[li].1);
+                li += 1;
+            }
+            // Case 2: sweep passes upper bounds with UB < x (strict: a
+            // pixel exactly on an interval's right endpoint still counts,
+            // keeping R(q) = {dist ≤ b} inclusive).
+            while ui < self.ubs.len() && self.ubs[ui].0 < x {
+                self.u_acc.insert(&self.ubs[ui].1);
+                ui += 1;
+            }
+            // Case 3: evaluate the pixel from L − U aggregates (Lemma 3).
+            let agg = self.l_acc.diff(&self.u_acc);
+            let q = Point::new(x, k);
+            out[i] = self
+                .kernel
+                .density_from_aggregates(&q, &agg, self.bandwidth, self.weight);
+        }
+    }
+
+    fn space_bytes(&self) -> usize {
+        (self.lbs.capacity() + self.ubs.capacity()) * std::mem::size_of::<(f64, Point)>()
+    }
+}
+
+/// Computes the full KDV raster with SLAM_SORT
+/// (`O(Y(n log n + X))`, Theorem 1).
+pub fn compute(params: &KdvParams, points: &[Point]) -> Result<DensityGrid> {
+    let mut engine = SortSweep::new(params.kernel, params.bandwidth, params.weight);
+    sweep_grid(params, points, &mut engine)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geom::Rect;
+    use crate::grid::GridSpec;
+
+    /// Brute-force reference (SCAN) for comparison.
+    fn scan(params: &KdvParams, points: &[Point]) -> DensityGrid {
+        let g = &params.grid;
+        let mut out = DensityGrid::zeroed(g.res_x, g.res_y);
+        for j in 0..g.res_y {
+            for i in 0..g.res_x {
+                let q = g.pixel_center(i, j);
+                out.set(
+                    i,
+                    j,
+                    params
+                        .kernel
+                        .density_scan(&q, points, params.bandwidth, params.weight),
+                );
+            }
+        }
+        out
+    }
+
+    fn params(kernel: KernelType) -> KdvParams {
+        let grid = GridSpec::new(Rect::new(0.0, 0.0, 100.0, 50.0), 32, 16).unwrap();
+        KdvParams::new(grid, kernel, 12.0).with_weight(0.125)
+    }
+
+    fn cluster_points() -> Vec<Point> {
+        // deterministic pseudo-random cloud with clumps
+        let mut pts = Vec::new();
+        let mut state = 0x2545F4914F6CDD1Du64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for _ in 0..400 {
+            pts.push(Point::new(next() * 100.0, next() * 50.0));
+        }
+        for _ in 0..100 {
+            pts.push(Point::new(20.0 + next() * 5.0, 30.0 + next() * 5.0));
+        }
+        pts
+    }
+
+    #[test]
+    fn matches_scan_for_all_kernels() {
+        let pts = cluster_points();
+        for kernel in KernelType::ALL {
+            let p = params(kernel);
+            let fast = compute(&p, &pts).unwrap();
+            let slow = scan(&p, &pts);
+            let err = crate::stats::max_rel_error(fast.values(), slow.values());
+            assert!(err < 1e-9, "{kernel}: max rel err {err}");
+        }
+    }
+
+    #[test]
+    fn empty_dataset_gives_zero_grid() {
+        let p = params(KernelType::Epanechnikov);
+        let grid = compute(&p, &[]).unwrap();
+        assert_eq!(grid.max_value(), 0.0);
+    }
+
+    #[test]
+    fn single_point_peak_at_nearest_pixel() {
+        let grid = GridSpec::new(Rect::new(0.0, 0.0, 10.0, 10.0), 11, 11).unwrap();
+        // 11 columns over width 10 → centres at ~0.45, 1.36, ...; put the
+        // point exactly on the centre pixel (i=5 → x = 5.0)
+        let p = KdvParams::new(grid, KernelType::Epanechnikov, 3.0);
+        let pts = [Point::new(grid.pixel_x(5), grid.pixel_y(5))];
+        let d = compute(&p, &pts).unwrap();
+        assert!((d.get(5, 5) - 1.0).abs() < 1e-12);
+        let mut max = 0.0;
+        for j in 0..11 {
+            for i in 0..11 {
+                max = f64::max(max, d.get(i, j));
+            }
+        }
+        assert_eq!(max, d.get(5, 5));
+    }
+
+    #[test]
+    fn points_outside_region_still_contribute_within_bandwidth() {
+        let grid = GridSpec::new(Rect::new(0.0, 0.0, 10.0, 10.0), 10, 10).unwrap();
+        let p = KdvParams::new(grid, KernelType::Epanechnikov, 5.0);
+        // point left of the region but within b of the first column
+        let pts = [Point::new(-2.0, 5.0)];
+        let d = compute(&p, &pts).unwrap();
+        assert!(d.get(0, 4) > 0.0, "out-of-region point must contribute");
+        assert_eq!(d.get(9, 4), 0.0);
+    }
+}

@@ -1,0 +1,369 @@
+//! Weighted KDV — per-point weights (an extension beyond the paper).
+//!
+//! The paper's Eq. 1 uses a single normalisation constant `w`. Real feeds
+//! often carry per-event weights (casualty counts, call priorities,
+//! temporal-kernel factors for spatial-temporal KDV), i.e.
+//!
+//! ```text
+//! F_P(q) = Σ_i w_i · K(q, p_i)
+//! ```
+//!
+//! Because every aggregate term of Table 4 is a *sum over points*, the
+//! decomposition survives weighting verbatim: replace `|R(q)|` with
+//! `Σ w_i`, `A = Σ p` with `Σ w_i·p`, and so on. The sweep machinery is
+//! unchanged — only the accumulator scales each insertion by the point's
+//! weight. This module provides a weighted bucket sweep with the same
+//! `O(Y(X + n))` complexity (plus RAO), validated against direct
+//! summation.
+
+use crate::driver::{KdvParams, SweepContext};
+use crate::envelope::EnvelopeBuffer;
+use crate::error::{KdvError, Result};
+use crate::geom::Point;
+use crate::grid::DensityGrid;
+use crate::kernel::KernelType;
+use crate::stats::Kahan;
+
+/// Weighted counterpart of `RangeAggregates`: every term carries the
+/// point's weight; `wsum` plays the role of the count.
+#[derive(Debug, Clone, Copy, Default)]
+struct WeightedAggregates {
+    wsum: f64,
+    ax: f64,
+    ay: f64,
+    s: f64,
+    cx: f64,
+    cy: f64,
+    q4: f64,
+    mxx: f64,
+    mxy: f64,
+    myy: f64,
+}
+
+/// Kahan-compensated weighted accumulator for one sweep side.
+#[derive(Debug, Clone, Default)]
+struct WeightedAccumulator {
+    wsum: Kahan,
+    ax: Kahan,
+    ay: Kahan,
+    s: Kahan,
+    cx: Kahan,
+    cy: Kahan,
+    q4: Kahan,
+    mxx: Kahan,
+    mxy: Kahan,
+    myy: Kahan,
+    maintain_quartic: bool,
+}
+
+impl WeightedAccumulator {
+    fn new(maintain_quartic: bool) -> Self {
+        Self { maintain_quartic, ..Self::default() }
+    }
+
+    #[inline]
+    fn insert(&mut self, p: &Point, w: f64) {
+        self.wsum.add(w);
+        self.ax.add(w * p.x);
+        self.ay.add(w * p.y);
+        let n2 = p.norm_sq();
+        self.s.add(w * n2);
+        if self.maintain_quartic {
+            self.cx.add(w * n2 * p.x);
+            self.cy.add(w * n2 * p.y);
+            self.q4.add(w * n2 * n2);
+            self.mxx.add(w * p.x * p.x);
+            self.mxy.add(w * p.x * p.y);
+            self.myy.add(w * p.y * p.y);
+        }
+    }
+
+    fn reset(&mut self) {
+        let mq = self.maintain_quartic;
+        *self = Self::new(mq);
+    }
+
+    fn diff(&self, other: &Self) -> WeightedAggregates {
+        WeightedAggregates {
+            wsum: self.wsum.value() - other.wsum.value(),
+            ax: self.ax.value() - other.ax.value(),
+            ay: self.ay.value() - other.ay.value(),
+            s: self.s.value() - other.s.value(),
+            cx: self.cx.value() - other.cx.value(),
+            cy: self.cy.value() - other.cy.value(),
+            q4: self.q4.value() - other.q4.value(),
+            mxx: self.mxx.value() - other.mxx.value(),
+            mxy: self.mxy.value() - other.mxy.value(),
+            myy: self.myy.value() - other.myy.value(),
+        }
+    }
+}
+
+/// Weighted density from aggregates — the weighted analogue of
+/// `KernelType::density_from_aggregates`.
+#[inline]
+fn density_from_weighted(
+    kernel: KernelType,
+    q: &Point,
+    agg: &WeightedAggregates,
+    bandwidth: f64,
+    global_weight: f64,
+) -> f64 {
+    let b2 = bandwidth * bandwidth;
+    match kernel {
+        KernelType::Uniform => global_weight / bandwidth * agg.wsum,
+        KernelType::Epanechnikov => {
+            let qn = q.norm_sq();
+            let qta = q.x * agg.ax + q.y * agg.ay;
+            global_weight * (agg.wsum - (agg.wsum * qn - 2.0 * qta + agg.s) / b2)
+        }
+        KernelType::Quartic => {
+            let qn = q.norm_sq();
+            let qta = q.x * agg.ax + q.y * agg.ay;
+            let qtc = q.x * agg.cx + q.y * agg.cy;
+            let qmq = q.x * q.x * agg.mxx + 2.0 * q.x * q.y * agg.mxy + q.y * q.y * agg.myy;
+            let sum_u = agg.wsum * qn - 2.0 * qta + agg.s;
+            let sum_u2 = agg.wsum * qn * qn + 4.0 * qmq + agg.q4 - 4.0 * qn * qta
+                + 2.0 * qn * agg.s
+                - 4.0 * qtc;
+            global_weight * (agg.wsum - 2.0 / b2 * sum_u + sum_u2 / (b2 * b2))
+        }
+    }
+}
+
+const NIL: u32 = u32::MAX;
+
+/// Computes the weighted KDV raster with a bucket sweep plus RAO:
+/// `F(q) = params.weight · Σ_i weights[i]·K(q, p_i)`,
+/// in `O(min(X,Y)·(max(X,Y) + n))` time.
+///
+/// # Errors
+/// In addition to the usual parameter validation, every weight must be
+/// finite ([`KdvError::InvalidWeight`]) and `weights.len()` must equal
+/// `points.len()` (checked, returns [`KdvError::NonFinitePoint`] pointing
+/// at the first missing index for a length mismatch).
+pub fn compute_weighted(
+    params: &KdvParams,
+    points: &[Point],
+    weights: &[f64],
+) -> Result<DensityGrid> {
+    if weights.len() != points.len() {
+        return Err(KdvError::NonFinitePoint { index: weights.len().min(points.len()) });
+    }
+    if let Some(i) = weights.iter().position(|w| !w.is_finite()) {
+        let _ = i;
+        return Err(KdvError::InvalidWeight(weights[i]));
+    }
+    // RAO: transpose when the raster is taller than wide.
+    if params.grid.res_y > params.grid.res_x {
+        let t_params = params.transposed();
+        let t_points: Vec<Point> = points.iter().map(Point::transposed).collect();
+        let t = compute_weighted_rows(&t_params, &t_points, weights)?;
+        return Ok(t.transposed());
+    }
+    compute_weighted_rows(params, points, weights)
+}
+
+/// Row-sweep core of [`compute_weighted`] (no RAO dispatch).
+fn compute_weighted_rows(
+    params: &KdvParams,
+    points: &[Point],
+    weights: &[f64],
+) -> Result<DensityGrid> {
+    let ctx = SweepContext::new(params, points)?;
+    let res_x = params.grid.res_x;
+    let res_y = params.grid.res_y;
+    let kernel = params.kernel;
+    let quartic = kernel.needs_quartic_terms();
+    let bandwidth = params.bandwidth;
+
+    let mut grid = DensityGrid::zeroed(res_x, res_y);
+    let mut envelope = EnvelopeBuffer::with_capacity(points.len().min(1 << 20));
+    // weights must follow the envelope selection, so track source indices
+    let mut env_weights: Vec<f64> = Vec::new();
+
+    let mut head_l: Vec<u32> = Vec::new();
+    let mut head_u: Vec<u32> = Vec::new();
+    let mut next_l: Vec<u32> = Vec::new();
+    let mut next_u: Vec<u32> = Vec::new();
+    let mut l_acc = WeightedAccumulator::new(quartic);
+    let mut u_acc = WeightedAccumulator::new(quartic);
+
+    let xs = &ctx.xs;
+    let x0 = xs[0];
+    let inv_gap = if res_x > 1 {
+        (res_x - 1) as f64 / (xs[res_x - 1] - x0)
+    } else {
+        0.0
+    };
+
+    for j in 0..res_y {
+        let k = ctx.ks[j];
+        // envelope selection must mirror EnvelopeBuffer::fill so the
+        // weight list stays aligned with the interval list
+        envelope.fill(&ctx.points, bandwidth, k);
+        env_weights.clear();
+        let b2 = bandwidth * bandwidth;
+        for (p, &w) in ctx.points.iter().zip(weights) {
+            let dy = k - p.y;
+            if b2 - dy * dy >= 0.0 {
+                env_weights.push(w);
+            }
+        }
+        let intervals = envelope.intervals();
+        debug_assert_eq!(intervals.len(), env_weights.len());
+
+        head_l.clear();
+        head_l.resize(res_x + 1, NIL);
+        head_u.clear();
+        head_u.resize(res_x + 1, NIL);
+        next_l.clear();
+        next_l.resize(intervals.len(), NIL);
+        next_u.clear();
+        next_u.resize(intervals.len(), NIL);
+
+        for (idx, iv) in intervals.iter().enumerate() {
+            let bl = crate::sweep_bucket::BucketSweep::lower_bucket_index(xs, x0, inv_gap, iv.lb);
+            next_l[idx] = head_l[bl];
+            head_l[bl] = idx as u32;
+            let bu = crate::sweep_bucket::BucketSweep::upper_bucket_index(xs, x0, inv_gap, iv.ub);
+            next_u[idx] = head_u[bu];
+            head_u[bu] = idx as u32;
+        }
+
+        l_acc.reset();
+        u_acc.reset();
+        let row = grid.row_mut(j);
+        for (i, &x) in xs.iter().enumerate() {
+            let mut cur = head_l[i];
+            while cur != NIL {
+                let idx = cur as usize;
+                l_acc.insert(&intervals[idx].point, env_weights[idx]);
+                cur = next_l[idx];
+            }
+            let mut cur = head_u[i];
+            while cur != NIL {
+                let idx = cur as usize;
+                u_acc.insert(&intervals[idx].point, env_weights[idx]);
+                cur = next_u[idx];
+            }
+            let agg = l_acc.diff(&u_acc);
+            let q = Point::new(x, k);
+            row[i] = density_from_weighted(kernel, &q, &agg, bandwidth, params.weight);
+        }
+    }
+    Ok(grid)
+}
+
+/// Reference weighted evaluation by direct summation (for tests and as a
+/// baseline in weighted workloads).
+pub fn weighted_scan(params: &KdvParams, points: &[Point], weights: &[f64]) -> DensityGrid {
+    let g = &params.grid;
+    let mut out = DensityGrid::zeroed(g.res_x, g.res_y);
+    for j in 0..g.res_y {
+        for i in 0..g.res_x {
+            let q = g.pixel_center(i, j);
+            let mut acc = Kahan::new();
+            for (p, &w) in points.iter().zip(weights) {
+                acc.add(w * params.kernel.eval(&q, p, params.bandwidth));
+            }
+            out.set(i, j, params.weight * acc.value());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geom::Rect;
+    use crate::grid::GridSpec;
+
+    fn setup() -> (KdvParams, Vec<Point>, Vec<f64>) {
+        let grid = GridSpec::new(Rect::new(0.0, 0.0, 60.0, 40.0), 21, 13).unwrap();
+        let params = KdvParams::new(grid, KernelType::Epanechnikov, 9.0).with_weight(0.5);
+        let mut state = 55u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let points: Vec<Point> = (0..300)
+            .map(|_| Point::new(next() * 60.0, next() * 40.0))
+            .collect();
+        let weights: Vec<f64> = (0..300).map(|_| next() * 5.0).collect();
+        (params, points, weights)
+    }
+
+    #[test]
+    fn weighted_sweep_matches_direct_for_all_kernels() {
+        let (mut params, points, weights) = setup();
+        for kernel in KernelType::ALL {
+            params.kernel = kernel;
+            let fast = compute_weighted(&params, &points, &weights).unwrap();
+            let slow = weighted_scan(&params, &points, &weights);
+            let scale = slow.max_value().max(1e-300);
+            for (a, b) in fast.values().iter().zip(slow.values()) {
+                assert!((a - b).abs() / scale < 1e-12, "{kernel}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn unit_weights_reduce_to_unweighted() {
+        let (params, points, _) = setup();
+        let ones = vec![1.0; points.len()];
+        let weighted = compute_weighted(&params, &points, &ones).unwrap();
+        let plain = crate::rao::compute_bucket(&params, &points).unwrap();
+        let scale = plain.max_value().max(1e-300);
+        for (a, b) in weighted.values().iter().zip(plain.values()) {
+            assert!((a - b).abs() / scale < 1e-12);
+        }
+    }
+
+    #[test]
+    fn rao_transpose_path_weighted() {
+        // tall raster exercises the transpose branch
+        let grid = GridSpec::new(Rect::new(0.0, 0.0, 40.0, 60.0), 9, 27).unwrap();
+        let params = KdvParams::new(grid, KernelType::Quartic, 11.0);
+        let (_, points, weights) = setup();
+        let fast = compute_weighted(&params, &points, &weights).unwrap();
+        let slow = weighted_scan(&params, &points, &weights);
+        let scale = slow.max_value().max(1e-300);
+        for (a, b) in fast.values().iter().zip(slow.values()) {
+            assert!((a - b).abs() / scale < 1e-11);
+        }
+        assert_eq!(fast.res_x(), 9);
+        assert_eq!(fast.res_y(), 27);
+    }
+
+    #[test]
+    fn zero_and_negative_weights() {
+        // negative weights are legal (e.g. differencing two periods)
+        let grid = GridSpec::new(Rect::new(0.0, 0.0, 10.0, 10.0), 8, 8).unwrap();
+        let params = KdvParams::new(grid, KernelType::Epanechnikov, 4.0);
+        let pts = [Point::new(3.0, 5.0), Point::new(7.0, 5.0)];
+        let w = [1.0, -1.0];
+        let out = compute_weighted(&params, &pts, &w).unwrap();
+        let direct = weighted_scan(&params, &pts, &w);
+        for (a, b) in out.values().iter().zip(direct.values()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+        // antisymmetric configuration: the two halves mirror-negate
+        assert!(out.values().iter().any(|&v| v > 0.0));
+        assert!(out.values().iter().any(|&v| v < 0.0));
+    }
+
+    #[test]
+    fn rejects_bad_weights() {
+        let grid = GridSpec::new(Rect::new(0.0, 0.0, 10.0, 10.0), 4, 4).unwrap();
+        let params = KdvParams::new(grid, KernelType::Uniform, 2.0);
+        let pts = [Point::new(1.0, 1.0)];
+        assert!(matches!(
+            compute_weighted(&params, &pts, &[f64::NAN]),
+            Err(KdvError::InvalidWeight(_))
+        ));
+        assert!(compute_weighted(&params, &pts, &[]).is_err());
+    }
+}

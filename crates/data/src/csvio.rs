@@ -1,0 +1,167 @@
+//! Minimal CSV reader/writer for event datasets.
+//!
+//! Format (no quoting needed — all fields numeric):
+//! `x,y,timestamp,category` with a header row. This lets users load their
+//! own city feeds into the engines and lets the examples persist generated
+//! data. Hand-rolled because the format is trivial and the allowed
+//! dependency list contains no CSV crate.
+
+use std::io::{self, BufRead, BufWriter, Write};
+use std::path::Path;
+
+use kdv_core::geom::Point;
+
+use crate::record::{Dataset, EventRecord};
+
+/// Errors raised while parsing an event CSV.
+#[derive(Debug)]
+pub enum CsvError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A malformed row, with its 1-based line number.
+    Parse { line: usize, message: String },
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvError::Io(e) => write!(f, "io error: {e}"),
+            CsvError::Parse { line, message } => write!(f, "line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+impl From<io::Error> for CsvError {
+    fn from(e: io::Error) -> Self {
+        CsvError::Io(e)
+    }
+}
+
+/// Writes a dataset as `x,y,timestamp,category` CSV.
+pub fn write_csv<W: Write>(writer: W, dataset: &Dataset) -> io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "x,y,timestamp,category")?;
+    for r in &dataset.records {
+        writeln!(w, "{},{},{},{}", r.point.x, r.point.y, r.timestamp, r.category)?;
+    }
+    w.flush()
+}
+
+/// Writes a dataset to a file path.
+pub fn write_csv_file(path: &Path, dataset: &Dataset) -> io::Result<()> {
+    write_csv(std::fs::File::create(path)?, dataset)
+}
+
+/// Reads an event CSV (with header) into a dataset named `name`.
+pub fn read_csv<R: BufRead>(reader: R, name: &str) -> Result<Dataset, CsvError> {
+    let mut records = Vec::new();
+    for (i, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if i == 0 || line.is_empty() {
+            continue; // header / blank
+        }
+        let mut fields = line.split(',');
+        let mut next_field = |what: &str| {
+            fields.next().ok_or_else(|| CsvError::Parse {
+                line: i + 1,
+                message: format!("missing field '{what}'"),
+            })
+        };
+        let parse_err = |what: &str| CsvError::Parse {
+            line: i + 1,
+            message: format!("invalid value for '{what}'"),
+        };
+        let x: f64 = next_field("x")?.parse().map_err(|_| parse_err("x"))?;
+        let y: f64 = next_field("y")?.parse().map_err(|_| parse_err("y"))?;
+        let timestamp: i64 = next_field("timestamp")?
+            .parse()
+            .map_err(|_| parse_err("timestamp"))?;
+        let category: u16 = next_field("category")?
+            .parse()
+            .map_err(|_| parse_err("category"))?;
+        records.push(EventRecord { point: Point::new(x, y), timestamp, category });
+    }
+    Ok(Dataset::new(name, records))
+}
+
+/// Reads an event CSV from a file path; the dataset is named after the
+/// file stem.
+pub fn read_csv_file(path: &Path) -> Result<Dataset, CsvError> {
+    let name = path
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "dataset".to_string());
+    let file = std::fs::File::open(path)?;
+    read_csv(io::BufReader::new(file), &name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Dataset {
+        Dataset::new(
+            "s",
+            vec![
+                EventRecord { point: Point::new(1.5, -2.25), timestamp: 1_600_000_000, category: 3 },
+                EventRecord { point: Point::new(0.0, 0.0), timestamp: 0, category: 0 },
+            ],
+        )
+    }
+
+    #[test]
+    fn round_trip() {
+        let d = sample();
+        let mut buf = Vec::new();
+        write_csv(&mut buf, &d).unwrap();
+        let parsed = read_csv(io::BufReader::new(buf.as_slice()), "s").unwrap();
+        assert_eq!(parsed.records, d.records);
+        assert_eq!(parsed.name, "s");
+    }
+
+    #[test]
+    fn header_and_blank_lines_skipped() {
+        let text = "x,y,timestamp,category\n\n1,2,3,4\n";
+        let d = read_csv(io::BufReader::new(text.as_bytes()), "t").unwrap();
+        assert_eq!(d.len(), 1);
+        assert_eq!(d.records[0].category, 4);
+    }
+
+    #[test]
+    fn malformed_rows_report_line_numbers() {
+        let text = "x,y,timestamp,category\n1,2,3,4\n1,notanumber,3,4\n";
+        let err = read_csv(io::BufReader::new(text.as_bytes()), "t").unwrap_err();
+        match err {
+            CsvError::Parse { line, message } => {
+                assert_eq!(line, 3);
+                assert!(message.contains("'y'"));
+            }
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn missing_fields_rejected() {
+        let text = "x,y,timestamp,category\n1,2\n";
+        assert!(matches!(
+            read_csv(io::BufReader::new(text.as_bytes()), "t"),
+            Err(CsvError::Parse { line: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("kdv_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("events.csv");
+        let d = sample();
+        write_csv_file(&path, &d).unwrap();
+        let parsed = read_csv_file(&path).unwrap();
+        assert_eq!(parsed.name, "events");
+        assert_eq!(parsed.records, d.records);
+        std::fs::remove_file(&path).ok();
+    }
+}

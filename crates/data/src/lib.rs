@@ -1,0 +1,28 @@
+//! # kdv-data — datasets for the KDV experiments
+//!
+//! The paper evaluates on four city open-data feeds (Table 5) that cannot
+//! be redistributed; this crate synthesises statistically comparable
+//! stand-ins and provides the supporting data machinery:
+//!
+//! * [`record`] — event records (location + timestamp + category) and
+//!   datasets with time/attribute filtering.
+//! * [`synth`] — seeded spatial point processes: Gaussian hotspot
+//!   mixtures, street-grid snapping, uniform background.
+//! * [`catalog`] — the four cities (Seattle, Los Angeles, New York,
+//!   San Francisco) with paper-matched sizes, extents and category mixes,
+//!   scalable via a single factor.
+//! * [`scott`] — Scott's-rule bandwidth selection (the paper's default).
+//! * [`sample`] — seeded sampling without replacement (dataset-size
+//!   sweeps).
+//! * [`csvio`] — trivial CSV I/O so users can bring their own feeds.
+
+pub mod catalog;
+pub mod csvio;
+pub mod record;
+pub mod sample;
+pub mod scott;
+pub mod synth;
+
+pub use catalog::{default_bandwidth, City};
+pub use record::{Dataset, EventRecord};
+pub use scott::scott_bandwidth;

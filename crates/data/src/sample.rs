@@ -1,0 +1,106 @@
+//! Random sampling without replacement (the paper's dataset-size sweeps).
+//!
+//! Figures 14, 17 and 19 vary the dataset size by sampling 25/50/75/100%
+//! of each dataset "without replacement" — a seeded Fisher–Yates partial
+//! shuffle here, so every fraction of the same dataset is reproducible.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::record::EventRecord;
+
+/// Returns `k` records sampled uniformly without replacement, seeded.
+/// When `k ≥ records.len()` a copy of the whole slice is returned.
+pub fn sample_without_replacement(
+    records: &[EventRecord],
+    k: usize,
+    seed: u64,
+) -> Vec<EventRecord> {
+    let n = records.len();
+    if k >= n {
+        return records.to_vec();
+    }
+    let mut out = records.to_vec();
+    let mut rng = StdRng::seed_from_u64(seed);
+    // partial Fisher–Yates: place a random remaining record at position i
+    for i in 0..k {
+        let j = rng.gen_range(i..n);
+        out.swap(i, j);
+    }
+    out.truncate(k);
+    out
+}
+
+/// Samples `fraction` (clamped to `[0, 1]`) of the records.
+pub fn sample_fraction(records: &[EventRecord], fraction: f64, seed: u64) -> Vec<EventRecord> {
+    let k = ((records.len() as f64) * fraction.clamp(0.0, 1.0)).round() as usize;
+    sample_without_replacement(records, k, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kdv_core::geom::Point;
+
+    fn records(n: usize) -> Vec<EventRecord> {
+        (0..n)
+            .map(|i| EventRecord {
+                point: Point::new(i as f64, 0.0),
+                timestamp: i as i64,
+                category: 0,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sizes_and_determinism() {
+        let r = records(100);
+        let a = sample_without_replacement(&r, 25, 9);
+        assert_eq!(a.len(), 25);
+        let b = sample_without_replacement(&r, 25, 9);
+        assert_eq!(a, b);
+        let c = sample_without_replacement(&r, 25, 10);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn no_duplicates() {
+        let r = records(200);
+        let s = sample_without_replacement(&r, 150, 3);
+        let mut ids: Vec<i64> = s.iter().map(|e| e.timestamp).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 150, "sampling must be without replacement");
+    }
+
+    #[test]
+    fn oversampling_returns_all() {
+        let r = records(10);
+        assert_eq!(sample_without_replacement(&r, 100, 1).len(), 10);
+        assert_eq!(sample_fraction(&r, 1.0, 1).len(), 10);
+    }
+
+    #[test]
+    fn fraction_rounding() {
+        let r = records(10);
+        assert_eq!(sample_fraction(&r, 0.25, 1).len(), 3); // rounds 2.5 → 3
+        assert_eq!(sample_fraction(&r, 0.0, 1).len(), 0);
+        assert_eq!(sample_fraction(&r, 2.0, 1).len(), 10);
+    }
+
+    #[test]
+    fn uniformity_smoke() {
+        // each record should be picked roughly k/n of the time
+        let r = records(20);
+        let mut hits = [0u32; 20];
+        for seed in 0..2000 {
+            for e in sample_without_replacement(&r, 5, seed) {
+                hits[e.timestamp as usize] += 1;
+            }
+        }
+        // expected 2000 * 5/20 = 500 per slot; allow generous tolerance
+        for (i, &h) in hits.iter().enumerate() {
+            assert!((350..650).contains(&h), "slot {i}: {h}");
+        }
+    }
+}

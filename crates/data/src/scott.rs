@@ -1,0 +1,94 @@
+//! Scott's rule bandwidth selection (Scott 1992), the paper's default.
+//!
+//! For a `d`-dimensional KDE with `n` points, Scott's rule is
+//! `h_i = σ_i · n^{-1/(d+4)}`. The paper uses a single radially symmetric
+//! bandwidth `b`; following the common GIS convention we take the
+//! root-mean-square of the two per-axis bandwidths at `d = 2`
+//! (`n^{-1/6}` rate).
+
+use kdv_core::geom::Point;
+
+/// Per-axis standard deviations of a point set (population variance).
+pub fn std_devs(points: &[Point]) -> (f64, f64) {
+    let n = points.len();
+    if n == 0 {
+        return (0.0, 0.0);
+    }
+    let inv = 1.0 / n as f64;
+    let (mut mx, mut my) = (0.0, 0.0);
+    for p in points {
+        mx += p.x;
+        my += p.y;
+    }
+    mx *= inv;
+    my *= inv;
+    let (mut vx, mut vy) = (0.0, 0.0);
+    for p in points {
+        vx += (p.x - mx) * (p.x - mx);
+        vy += (p.y - my) * (p.y - my);
+    }
+    (f64::sqrt(vx * inv), f64::sqrt(vy * inv))
+}
+
+/// Scott's-rule bandwidth for a 2-d point set: the RMS of the per-axis
+/// `σ_i · n^{-1/6}` bandwidths. Returns 0 for fewer than two points.
+pub fn scott_bandwidth(points: &[Point]) -> f64 {
+    let n = points.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let (sx, sy) = std_devs(points);
+    let rate = (n as f64).powf(-1.0 / 6.0);
+    let (bx, by) = (sx * rate, sy * rate);
+    ((bx * bx + by * by) * 0.5).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn std_devs_known_values() {
+        let pts = [
+            Point::new(0.0, 10.0),
+            Point::new(2.0, 10.0),
+            Point::new(4.0, 10.0),
+        ];
+        let (sx, sy) = std_devs(&pts);
+        // var_x = ((−2)² + 0 + 2²)/3 = 8/3
+        assert!((sx - (8.0_f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert_eq!(sy, 0.0);
+    }
+
+    #[test]
+    fn scott_shrinks_with_n() {
+        // same spread, more points ⇒ smaller bandwidth (n^{-1/6} rate)
+        let small: Vec<Point> = (0..100).map(|i| Point::new((i % 10) as f64, (i / 10) as f64)).collect();
+        let large: Vec<Point> = (0..10_000)
+            .map(|i| Point::new((i % 100) as f64 / 10.0, (i / 100) as f64 / 10.0))
+            .collect();
+        let b_small = scott_bandwidth(&small);
+        let b_large = scott_bandwidth(&large);
+        assert!(b_small > 0.0 && b_large > 0.0);
+        // spreads are similar (≈ unit grid 0..9.9); the n ratio is 100, so
+        // bandwidths should differ by ≈ 100^(1/6) ≈ 2.15
+        let ratio = b_small / b_large;
+        assert!(ratio > 1.8 && ratio < 2.6, "ratio {ratio}");
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(scott_bandwidth(&[]), 0.0);
+        assert_eq!(scott_bandwidth(&[Point::new(1.0, 1.0)]), 0.0);
+        // all identical points: zero spread ⇒ zero bandwidth
+        assert_eq!(scott_bandwidth(&vec![Point::new(3.0, 3.0); 50]), 0.0);
+    }
+
+    #[test]
+    fn scott_scales_with_spread() {
+        let tight: Vec<Point> = (0..1000).map(|i| Point::new((i % 32) as f64, (i / 32) as f64)).collect();
+        let wide: Vec<Point> = tight.iter().map(|p| Point::new(p.x * 10.0, p.y * 10.0)).collect();
+        let r = scott_bandwidth(&wide) / scott_bandwidth(&tight);
+        assert!((r - 10.0).abs() < 1e-9, "ratio {r}");
+    }
+}

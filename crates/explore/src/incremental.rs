@@ -1,0 +1,237 @@
+//! Incremental re-rendering for panning (extension beyond the paper).
+//!
+//! When a viewport pans by an exact multiple of the pixel gap, most pixel
+//! centres of the new raster coincide with pixel centres of the previous
+//! one, so their densities can be copied instead of recomputed. Only the
+//! newly exposed band needs a sweep:
+//!
+//! * a vertical pan of `dj` rows recomputes `|dj|` rows — `O(|dj|·(X+n))`
+//!   instead of `O(Y·(X+n))`;
+//! * a horizontal pan is handled by transposing the problem so the newly
+//!   exposed columns become rows;
+//! * diagonal or non-integral pans fall back to a full SLAM render.
+//!
+//! Copied pixels are bitwise-identical in real arithmetic; in `f64` they
+//! can differ from a fresh render by rounding because the recentring
+//! origin moves with the region, so [`pan_render`] recomputes the shared
+//! band only when the caller asks for strict freshness.
+
+use kdv_core::driver::KdvParams;
+use kdv_core::geom::Point;
+use kdv_core::grid::{DensityGrid, GridSpec};
+use kdv_core::{rao, Result};
+
+/// How a previous render can be reused for a new, panned viewport.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PanReuse {
+    /// New region is the old region translated by whole pixels
+    /// `(di, dj)`; the overlap can be copied.
+    Shift {
+        /// Pixel shift along x (positive = panned right).
+        di: isize,
+        /// Pixel shift along y (positive = panned up).
+        dj: isize,
+    },
+    /// No exploitable relationship — full recompute.
+    Full,
+}
+
+/// Classifies the relationship between two grids of equal resolution.
+pub fn classify_pan(prev: &GridSpec, next: &GridSpec) -> PanReuse {
+    if prev.res_x != next.res_x || prev.res_y != next.res_y {
+        return PanReuse::Full;
+    }
+    let (gx, gy) = (prev.gap_x(), prev.gap_y());
+    // same pixel gaps?
+    if (next.gap_x() - gx).abs() > 1e-9 * gx || (next.gap_y() - gy).abs() > 1e-9 * gy {
+        return PanReuse::Full;
+    }
+    let fx = (next.region.min_x - prev.region.min_x) / gx;
+    let fy = (next.region.min_y - prev.region.min_y) / gy;
+    let (ri, rj) = (fx.round(), fy.round());
+    // integral shift within float tolerance?
+    if (fx - ri).abs() > 1e-6 || (fy - rj).abs() > 1e-6 {
+        return PanReuse::Full;
+    }
+    if ri.abs() >= prev.res_x as f64 || rj.abs() >= prev.res_y as f64 {
+        return PanReuse::Full; // no overlap at all
+    }
+    PanReuse::Shift { di: ri as isize, dj: rj as isize }
+}
+
+/// Renders the KDV for `next_params`, reusing `prev` (rendered under
+/// `prev_spec` with the same kernel/bandwidth/weight) when the viewport
+/// pan allows it. Returns the new grid and the number of pixels actually
+/// recomputed (for instrumentation; equals `X·Y` on a full render).
+pub fn pan_render(
+    prev: &DensityGrid,
+    prev_spec: &GridSpec,
+    next_params: &KdvParams,
+    points: &[Point],
+) -> Result<(DensityGrid, usize)> {
+    let next_spec = next_params.grid;
+    match classify_pan(prev_spec, &next_spec) {
+        PanReuse::Shift { di, dj } if di == 0 && dj != 0 => {
+            vertical_shift(prev, next_params, points, dj)
+        }
+        PanReuse::Shift { di, dj } if dj == 0 && di != 0 => {
+            // transpose: horizontal pan becomes vertical in the transposed
+            // problem, then transpose the result back
+            let t_prev = prev.transposed();
+            let t_params = next_params.transposed();
+            let t_points: Vec<Point> = points.iter().map(Point::transposed).collect();
+            let (t_out, recomputed) = vertical_shift(&t_prev, &t_params, &t_points, di)?;
+            Ok((t_out.transposed(), recomputed))
+        }
+        PanReuse::Shift { di: 0, dj: 0 } => Ok((prev.clone(), 0)),
+        _ => {
+            let out = rao::compute_bucket(next_params, points)?;
+            let n = out.res_x() * out.res_y();
+            Ok((out, n))
+        }
+    }
+}
+
+/// Copies the overlapping rows and sweeps only the newly exposed band.
+fn vertical_shift(
+    prev: &DensityGrid,
+    next_params: &KdvParams,
+    points: &[Point],
+    dj: isize,
+) -> Result<(DensityGrid, usize)> {
+    let res_x = next_params.grid.res_x;
+    let res_y = next_params.grid.res_y;
+    let mut out = DensityGrid::zeroed(res_x, res_y);
+
+    // new row j corresponds to old row j + dj
+    let mut missing_rows: Vec<usize> = Vec::new();
+    for j in 0..res_y {
+        let old_j = j as isize + dj;
+        if (0..res_y as isize).contains(&old_j) {
+            out.row_mut(j).copy_from_slice(prev.row(old_j as usize));
+        } else {
+            missing_rows.push(j);
+        }
+    }
+
+    // sweep just the missing band: reuse the row driver manually
+    use kdv_core::driver::{RowEngine, SweepContext};
+    use kdv_core::envelope::EnvelopeBuffer;
+    use kdv_core::sweep_bucket::BucketSweep;
+    let ctx = SweepContext::new(next_params, points)?;
+    let mut envelope = EnvelopeBuffer::with_capacity(points.len().min(1 << 20));
+    let mut engine = BucketSweep::new(
+        next_params.kernel,
+        next_params.bandwidth,
+        next_params.weight,
+    );
+    for &j in &missing_rows {
+        let k = ctx.ks[j];
+        let intervals = envelope.fill(&ctx.points, next_params.bandwidth, k);
+        engine.process_row(&ctx.xs, k, intervals, out.row_mut(j));
+    }
+    Ok((out, missing_rows.len() * res_x))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kdv_core::geom::Rect;
+    use kdv_core::KernelType;
+
+    fn setup() -> (KdvParams, Vec<Point>) {
+        let grid = GridSpec::new(Rect::new(0.0, 0.0, 100.0, 80.0), 20, 16).unwrap();
+        let params = KdvParams::new(grid, KernelType::Epanechnikov, 15.0).with_weight(0.01);
+        let mut state = 77u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let pts = (0..400)
+            .map(|_| Point::new(next() * 140.0 - 20.0, next() * 120.0 - 20.0))
+            .collect();
+        (params, pts)
+    }
+
+    fn close(a: &DensityGrid, b: &DensityGrid) -> bool {
+        let scale = b.max_value().max(1e-300);
+        a.values()
+            .iter()
+            .zip(b.values())
+            .all(|(x, y)| (x - y).abs() / scale < 1e-9)
+    }
+
+    #[test]
+    fn classify_detects_integral_shifts() {
+        let (params, _) = setup();
+        let spec = params.grid;
+        let (gx, gy) = (spec.gap_x(), spec.gap_y());
+        let up3 = GridSpec::new(spec.region.translated(0.0, 3.0 * gy), 20, 16).unwrap();
+        assert_eq!(classify_pan(&spec, &up3), PanReuse::Shift { di: 0, dj: 3 });
+        let right2 = GridSpec::new(spec.region.translated(2.0 * gx, 0.0), 20, 16).unwrap();
+        assert_eq!(classify_pan(&spec, &right2), PanReuse::Shift { di: 2, dj: 0 });
+        let diag = GridSpec::new(spec.region.translated(gx, gy), 20, 16).unwrap();
+        assert_eq!(classify_pan(&spec, &diag), PanReuse::Shift { di: 1, dj: 1 });
+        let frac = GridSpec::new(spec.region.translated(0.5 * gx, 0.0), 20, 16).unwrap();
+        assert_eq!(classify_pan(&spec, &frac), PanReuse::Full);
+        let zoom = GridSpec::new(spec.region.scaled_about_center(0.5, 0.5), 20, 16).unwrap();
+        assert_eq!(classify_pan(&spec, &zoom), PanReuse::Full);
+    }
+
+    #[test]
+    fn vertical_pan_matches_full_render() {
+        let (params, pts) = setup();
+        let prev = rao::compute_bucket(&params, &pts).unwrap();
+        for dj in [-5isize, -1, 1, 4, 15] {
+            let region = params.grid.region.translated(0.0, dj as f64 * params.grid.gap_y());
+            let next_grid = GridSpec::new(region, 20, 16).unwrap();
+            let next_params = KdvParams { grid: next_grid, ..params };
+            let (inc, recomputed) = pan_render(&prev, &params.grid, &next_params, &pts).unwrap();
+            let full = rao::compute_bucket(&next_params, &pts).unwrap();
+            assert!(close(&inc, &full), "dj={dj}");
+            assert_eq!(recomputed, dj.unsigned_abs() * 20, "dj={dj}");
+        }
+    }
+
+    #[test]
+    fn horizontal_pan_matches_full_render() {
+        let (params, pts) = setup();
+        let prev = rao::compute_bucket(&params, &pts).unwrap();
+        for di in [-3isize, 2, 7] {
+            let region = params.grid.region.translated(di as f64 * params.grid.gap_x(), 0.0);
+            let next_grid = GridSpec::new(region, 20, 16).unwrap();
+            let next_params = KdvParams { grid: next_grid, ..params };
+            let (inc, recomputed) = pan_render(&prev, &params.grid, &next_params, &pts).unwrap();
+            let full = rao::compute_bucket(&next_params, &pts).unwrap();
+            assert!(close(&inc, &full), "di={di}");
+            assert_eq!(recomputed, di.unsigned_abs() * 16, "di={di}");
+        }
+    }
+
+    #[test]
+    fn diagonal_and_zoom_fall_back_to_full() {
+        let (params, pts) = setup();
+        let prev = rao::compute_bucket(&params, &pts).unwrap();
+        let region = params
+            .grid
+            .region
+            .translated(params.grid.gap_x(), params.grid.gap_y());
+        let next_grid = GridSpec::new(region, 20, 16).unwrap();
+        let next_params = KdvParams { grid: next_grid, ..params };
+        let (inc, recomputed) = pan_render(&prev, &params.grid, &next_params, &pts).unwrap();
+        assert_eq!(recomputed, 20 * 16, "diagonal pan must recompute fully");
+        let full = rao::compute_bucket(&next_params, &pts).unwrap();
+        assert!(close(&inc, &full));
+    }
+
+    #[test]
+    fn zero_shift_returns_copy() {
+        let (params, pts) = setup();
+        let prev = rao::compute_bucket(&params, &pts).unwrap();
+        let (inc, recomputed) = pan_render(&prev, &params.grid, &params, &pts).unwrap();
+        assert_eq!(recomputed, 0);
+        assert_eq!(inc, prev);
+    }
+}

@@ -1,0 +1,293 @@
+//! Interactive exploration sessions.
+//!
+//! An [`ExploreSession`] bundles a dataset with the state a visual-analytic
+//! tool mutates — viewport, kernel, bandwidth, time window, category — and
+//! re-renders the KDV after each operation (the workload of the paper's
+//! Figure 2 and the zoom/pan experiment of Figure 16). Rendering always
+//! goes through a SLAM engine, the point the paper makes: with
+//! `SLAM_BUCKET^(RAO)` each exploratory step is near-real-time.
+
+use std::time::{Duration, Instant};
+
+use kdv_core::driver::KdvParams;
+use kdv_core::geom::Point;
+use kdv_core::grid::DensityGrid;
+use kdv_core::{KdvEngine, KernelType, Method, Result};
+use kdv_data::record::Dataset;
+use kdv_data::scott::scott_bandwidth;
+
+use crate::viewport::Viewport;
+
+/// Bandwidth policy: explicit, or Scott's rule over the *filtered* points.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Bandwidth {
+    /// Fixed bandwidth in data units.
+    Fixed(f64),
+    /// Scott's rule, recomputed whenever the filters change.
+    ScottRule,
+}
+
+/// Outcome of one render: the raster plus workload statistics.
+#[derive(Debug, Clone)]
+pub struct RenderResult {
+    /// The density raster for the current viewport.
+    pub grid: DensityGrid,
+    /// Number of points that survived the filters.
+    pub points_used: usize,
+    /// Bandwidth actually applied.
+    pub bandwidth: f64,
+    /// Wall-clock time of the KDV computation itself.
+    pub elapsed: Duration,
+}
+
+/// A stateful KDV exploration over one dataset.
+///
+/// ```
+/// use kdv_data::City;
+/// use kdv_explore::{Bandwidth, ExploreSession, Viewport};
+///
+/// let mut session = ExploreSession::new(City::Seattle.dataset(0.0005));
+/// let mbr = session.viewport().region;
+/// session.set_viewport(Viewport::new(mbr, 64, 48));
+/// session.zoom(0.5).pan(0.25, 0.0).set_bandwidth(Bandwidth::Fixed(1_000.0));
+/// let result = session.render()?;
+/// assert_eq!(result.grid.res_x(), 64);
+/// assert!(result.points_used > 0);
+/// # Ok::<(), kdv_core::KdvError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ExploreSession {
+    dataset: Dataset,
+    viewport: Viewport,
+    kernel: KernelType,
+    bandwidth: Bandwidth,
+    method: Method,
+    time_window: Option<(i64, i64)>,
+    category: Option<u16>,
+}
+
+impl ExploreSession {
+    /// A session over `dataset`, initially showing its full MBR at the
+    /// paper's default resolution, Epanechnikov kernel, Scott's-rule
+    /// bandwidth and the best SLAM variant.
+    pub fn new(dataset: Dataset) -> Self {
+        let viewport = Viewport::paper_default(dataset.mbr());
+        Self {
+            dataset,
+            viewport,
+            kernel: KernelType::Epanechnikov,
+            bandwidth: Bandwidth::ScottRule,
+            method: Method::SlamBucketRao,
+            time_window: None,
+            category: None,
+        }
+    }
+
+    /// Current viewport.
+    pub fn viewport(&self) -> Viewport {
+        self.viewport
+    }
+
+    /// Replaces the viewport (arbitrary jump).
+    pub fn set_viewport(&mut self, viewport: Viewport) -> &mut Self {
+        self.viewport = viewport;
+        self
+    }
+
+    /// Zooms about the window centre (`ratio < 1` zooms in).
+    pub fn zoom(&mut self, ratio: f64) -> &mut Self {
+        self.viewport = self.viewport.zoomed(ratio);
+        self
+    }
+
+    /// Zooms about an anchor point.
+    pub fn zoom_about(&mut self, anchor: Point, ratio: f64) -> &mut Self {
+        self.viewport = self.viewport.zoomed_about(anchor, ratio);
+        self
+    }
+
+    /// Pans by window-size fractions.
+    pub fn pan(&mut self, dx_frac: f64, dy_frac: f64) -> &mut Self {
+        self.viewport = self.viewport.panned(dx_frac, dy_frac);
+        self
+    }
+
+    /// Switches the kernel function.
+    pub fn set_kernel(&mut self, kernel: KernelType) -> &mut Self {
+        self.kernel = kernel;
+        self
+    }
+
+    /// Sets the bandwidth policy (bandwidth-selection operation).
+    pub fn set_bandwidth(&mut self, bandwidth: Bandwidth) -> &mut Self {
+        self.bandwidth = bandwidth;
+        self
+    }
+
+    /// Chooses the SLAM variant used for rendering.
+    pub fn set_method(&mut self, method: Method) -> &mut Self {
+        self.method = method;
+        self
+    }
+
+    /// Restricts rendering to events with `from ≤ t < to`
+    /// (time-based filtering); `None` clears the filter.
+    pub fn set_time_window(&mut self, window: Option<(i64, i64)>) -> &mut Self {
+        self.time_window = window;
+        self
+    }
+
+    /// Restricts rendering to one category (attribute-based filtering);
+    /// `None` clears the filter.
+    pub fn set_category(&mut self, category: Option<u16>) -> &mut Self {
+        self.category = category;
+        self
+    }
+
+    /// The filtered point set the next render will use.
+    pub fn filtered_points(&self) -> Vec<Point> {
+        self.dataset
+            .records
+            .iter()
+            .filter(|r| match self.time_window {
+                Some((from, to)) => r.timestamp >= from && r.timestamp < to,
+                None => true,
+            })
+            .filter(|r| match self.category {
+                Some(c) => r.category == c,
+                None => true,
+            })
+            .map(|r| r.point)
+            .collect()
+    }
+
+    /// Renders the KDV for the current state.
+    ///
+    /// Weight is normalised to `1/n` over the filtered points, so densities
+    /// are comparable across filter settings.
+    pub fn render(&self) -> Result<RenderResult> {
+        let points = self.filtered_points();
+        let bandwidth = match self.bandwidth {
+            Bandwidth::Fixed(b) => b,
+            Bandwidth::ScottRule => {
+                let b = scott_bandwidth(&points);
+                if b > 0.0 {
+                    b
+                } else {
+                    // degenerate (≤1 point): fall back to 1% of the window
+                    0.01 * self.viewport.region.width().max(self.viewport.region.height())
+                }
+            }
+        };
+        let grid_spec = self.viewport.grid_spec()?;
+        let weight = if points.is_empty() { 1.0 } else { 1.0 / points.len() as f64 };
+        let params = KdvParams::new(grid_spec, self.kernel, bandwidth).with_weight(weight);
+        let start = Instant::now();
+        let grid = KdvEngine::new(self.method).compute(&params, &points)?;
+        Ok(RenderResult {
+            grid,
+            points_used: points.len(),
+            bandwidth,
+            elapsed: start.elapsed(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kdv_core::geom::Rect;
+    use kdv_data::record::{year_start, EventRecord};
+
+    fn dataset() -> Dataset {
+        let mut records = Vec::new();
+        for i in 0..400usize {
+            let x = (i % 20) as f64 * 5.0;
+            let y = (i / 20) as f64 * 5.0;
+            records.push(EventRecord {
+                point: Point::new(x, y),
+                timestamp: year_start(2018) + (i as i64) * 86_400,
+                category: (i % 3) as u16,
+            });
+        }
+        Dataset::new("grid-city", records)
+    }
+
+    fn small_session() -> ExploreSession {
+        let mut s = ExploreSession::new(dataset());
+        let mbr = Rect::new(0.0, 0.0, 95.0, 95.0);
+        s.set_viewport(Viewport::new(mbr, 32, 24));
+        s
+    }
+
+    #[test]
+    fn render_full_dataset() {
+        let s = small_session();
+        let r = s.render().unwrap();
+        assert_eq!(r.points_used, 400);
+        assert!(r.bandwidth > 0.0);
+        assert!(r.grid.max_value() > 0.0);
+        assert_eq!(r.grid.res_x(), 32);
+    }
+
+    #[test]
+    fn filters_shrink_the_workload() {
+        let mut s = small_session();
+        s.set_category(Some(0));
+        let r = s.render().unwrap();
+        assert_eq!(r.points_used, 134); // ⌈400/3⌉ for category 0
+
+        s.set_category(None);
+        s.set_time_window(Some((year_start(2018), year_start(2018) + 100 * 86_400)));
+        let r = s.render().unwrap();
+        assert_eq!(r.points_used, 100);
+
+        // composed filters
+        s.set_category(Some(1));
+        let r = s.render().unwrap();
+        assert!(r.points_used < 100 && r.points_used > 0);
+    }
+
+    #[test]
+    fn zoom_changes_region_not_resolution() {
+        let mut s = small_session();
+        let before = s.viewport().region;
+        s.zoom(0.5);
+        let after = s.viewport().region;
+        assert!((after.width() - before.width() * 0.5).abs() < 1e-9);
+        assert_eq!(s.viewport().res_x, 32);
+        assert!(s.render().is_ok());
+    }
+
+    #[test]
+    fn fixed_vs_scott_bandwidth() {
+        let mut s = small_session();
+        s.set_bandwidth(Bandwidth::Fixed(7.0));
+        assert_eq!(s.render().unwrap().bandwidth, 7.0);
+        s.set_bandwidth(Bandwidth::ScottRule);
+        let b = s.render().unwrap().bandwidth;
+        assert!(b > 0.0 && b != 7.0);
+    }
+
+    #[test]
+    fn empty_filter_result_renders_zero_grid() {
+        let mut s = small_session();
+        s.set_category(Some(999));
+        let r = s.render().unwrap();
+        assert_eq!(r.points_used, 0);
+        assert_eq!(r.grid.max_value(), 0.0);
+    }
+
+    #[test]
+    fn all_slam_methods_render_identically() {
+        let mut s = small_session();
+        s.set_bandwidth(Bandwidth::Fixed(12.0));
+        let reference = s.render().unwrap().grid;
+        for m in Method::ALL {
+            s.set_method(m);
+            let got = s.render().unwrap().grid;
+            let err = kdv_core::stats::max_rel_error(got.values(), reference.values());
+            assert!(err < 1e-9, "{m}: {err}");
+        }
+    }
+}

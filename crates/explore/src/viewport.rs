@@ -1,0 +1,163 @@
+//! Viewports: the geographic window + raster resolution a user is looking
+//! at, with the zoom/pan algebra of the paper's exploratory operations
+//! (Figure 2, Section 4.2).
+//!
+//! The paper's zooming experiment scales the dataset MBR by a ratio while
+//! holding the raster at 1280×960; panning slides a half-size window to
+//! random positions inside the MBR. Both are pure `Rect` transformations
+//! here, so a viewport can replay the exact experimental protocol.
+
+use kdv_core::geom::{Point, Rect};
+use kdv_core::grid::GridSpec;
+use kdv_core::Result;
+
+/// A geographic window rendered at a fixed pixel resolution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Viewport {
+    /// Geographic region currently visible.
+    pub region: Rect,
+    /// Raster width in pixels.
+    pub res_x: usize,
+    /// Raster height in pixels.
+    pub res_y: usize,
+}
+
+impl Viewport {
+    /// Creates a viewport; resolution defaults mirror the paper (1280×960).
+    pub fn new(region: Rect, res_x: usize, res_y: usize) -> Self {
+        Self { region, res_x, res_y }
+    }
+
+    /// The paper's default resolution over `region`.
+    pub fn paper_default(region: Rect) -> Self {
+        Self::new(region, 1280, 960)
+    }
+
+    /// The corresponding grid specification (validates the geometry).
+    pub fn grid_spec(&self) -> Result<GridSpec> {
+        GridSpec::new(self.region, self.res_x, self.res_y)
+    }
+
+    /// Zooms about the region centre: `ratio < 1` zooms in, `> 1` out.
+    /// Resolution is unchanged (the paper fixes it during zooming).
+    pub fn zoomed(&self, ratio: f64) -> Viewport {
+        Viewport { region: self.region.scaled_about_center(ratio, ratio), ..*self }
+    }
+
+    /// Zooms about an arbitrary anchor point, keeping the anchor at the
+    /// same relative position in the window (map-UI style zoom).
+    pub fn zoomed_about(&self, anchor: Point, ratio: f64) -> Viewport {
+        let r = &self.region;
+        let min_x = anchor.x - (anchor.x - r.min_x) * ratio;
+        let max_x = anchor.x + (r.max_x - anchor.x) * ratio;
+        let min_y = anchor.y - (anchor.y - r.min_y) * ratio;
+        let max_y = anchor.y + (r.max_y - anchor.y) * ratio;
+        Viewport { region: Rect::new(min_x, min_y, max_x, max_y), ..*self }
+    }
+
+    /// Pans by a fraction of the current window size (e.g. `(0.5, 0)` is
+    /// half a screen to the right).
+    pub fn panned(&self, dx_frac: f64, dy_frac: f64) -> Viewport {
+        Viewport {
+            region: self
+                .region
+                .translated(dx_frac * self.region.width(), dy_frac * self.region.height()),
+            ..*self
+        }
+    }
+}
+
+/// The zoom regions of the paper's Figure-16 zoom experiment: the MBR
+/// scaled about its centre by each ratio (0.25 / 0.5 / 0.75 / 1).
+pub fn zoom_regions(mbr: Rect, ratios: &[f64]) -> Vec<Rect> {
+    ratios.iter().map(|&r| mbr.scaled_about_center(r, r)).collect()
+}
+
+/// The pan regions of the paper's Figure-16 pan experiment: `count`
+/// randomly placed windows of size `0.5H × 0.5W` inside the MBR, seeded.
+pub fn pan_regions(mbr: Rect, count: usize, seed: u64) -> Vec<Rect> {
+    let (w, h) = (mbr.width() * 0.5, mbr.height() * 0.5);
+    let mut state = seed | 1;
+    let mut next = move || {
+        // xorshift64*: deterministic, dependency-free
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64 / (1u64 << 53) as f64
+    };
+    (0..count)
+        .map(|_| {
+            let x0 = mbr.min_x + next() * (mbr.width() - w);
+            let y0 = mbr.min_y + next() * (mbr.height() - h);
+            Rect::new(x0, y0, x0 + w, y0 + h)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vp() -> Viewport {
+        Viewport::new(Rect::new(0.0, 0.0, 100.0, 50.0), 64, 32)
+    }
+
+    #[test]
+    fn zoom_in_shrinks_about_center() {
+        let z = vp().zoomed(0.5);
+        assert_eq!(z.region, Rect::new(25.0, 12.5, 75.0, 37.5));
+        assert_eq!(z.res_x, 64, "resolution fixed during zoom");
+    }
+
+    #[test]
+    fn zoom_about_anchor_keeps_anchor_fraction() {
+        let v = vp();
+        let anchor = Point::new(20.0, 10.0); // at 20% / 20% of the window
+        let z = v.zoomed_about(anchor, 0.5);
+        let fx = (anchor.x - z.region.min_x) / z.region.width();
+        let fy = (anchor.y - z.region.min_y) / z.region.height();
+        assert!((fx - 0.2).abs() < 1e-12);
+        assert!((fy - 0.2).abs() < 1e-12);
+        assert!((z.region.width() - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pan_moves_by_window_fraction() {
+        let p = vp().panned(0.5, -0.25);
+        assert_eq!(p.region, Rect::new(50.0, -12.5, 150.0, 37.5));
+    }
+
+    #[test]
+    fn zoom_regions_match_paper_ratios() {
+        let mbr = Rect::new(0.0, 0.0, 40.0, 40.0);
+        let regions = zoom_regions(mbr, &[0.25, 0.5, 0.75, 1.0]);
+        assert_eq!(regions.len(), 4);
+        assert!((regions[0].width() - 10.0).abs() < 1e-12);
+        assert_eq!(regions[3], mbr);
+        for r in &regions {
+            assert_eq!(r.center(), mbr.center());
+        }
+    }
+
+    #[test]
+    fn pan_regions_are_half_size_and_inside() {
+        let mbr = Rect::new(10.0, 20.0, 110.0, 80.0);
+        let regions = pan_regions(mbr, 5, 99);
+        assert_eq!(regions.len(), 5);
+        for r in &regions {
+            assert!((r.width() - 50.0).abs() < 1e-9);
+            assert!((r.height() - 30.0).abs() < 1e-9);
+            assert!(r.min_x >= mbr.min_x - 1e-9 && r.max_x <= mbr.max_x + 1e-9);
+            assert!(r.min_y >= mbr.min_y - 1e-9 && r.max_y <= mbr.max_y + 1e-9);
+        }
+        // deterministic
+        assert_eq!(regions, pan_regions(mbr, 5, 99));
+    }
+
+    #[test]
+    fn grid_spec_validation_propagates() {
+        let bad = Viewport::new(Rect::new(0.0, 0.0, 10.0, 10.0), 0, 10);
+        assert!(bad.grid_spec().is_err());
+        assert!(vp().grid_spec().is_ok());
+    }
+}

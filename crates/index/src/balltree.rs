@@ -1,0 +1,201 @@
+//! A ball-tree (metric tree) supporting circular range queries.
+//!
+//! Substrate for the paper's `RQS_ball` baseline. Each node stores a
+//! bounding ball (centroid + radius); construction splits on the wider
+//! coordinate axis, which for 2-d point data gives balanced, tight balls
+//! without the anchor-selection machinery of the original formulation.
+//! Pruning uses the triangle inequality: a subtree whose ball lies entirely
+//! farther than `radius` from the query is skipped; one entirely inside can
+//! be enumerated without per-point distance checks.
+
+use kdv_core::geom::Point;
+
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    /// Ball centre (centroid of the subtree's points).
+    center: Point,
+    /// Ball radius: max distance from `center` to any point in the subtree.
+    radius: f64,
+    left: u32,
+    right: u32,
+    start: u32,
+    end: u32,
+}
+
+const NIL: u32 = u32::MAX;
+const LEAF_SIZE: usize = 16;
+
+/// A static ball-tree over a 2-d point set.
+#[derive(Debug, Clone)]
+pub struct BallTree {
+    nodes: Vec<Node>,
+    points: Vec<Point>,
+    root: u32,
+}
+
+impl BallTree {
+    /// Builds the tree in `O(n log n)`.
+    pub fn build(points: &[Point]) -> Self {
+        let mut pts = points.to_vec();
+        let mut nodes = Vec::with_capacity(points.len() / LEAF_SIZE * 2 + 1);
+        let n = pts.len();
+        let root = if n == 0 { NIL } else { Self::build_rec(&mut pts, 0, n, &mut nodes) };
+        Self { nodes, points: pts, root }
+    }
+
+    fn build_rec(pts: &mut [Point], start: usize, end: usize, nodes: &mut Vec<Node>) -> u32 {
+        let slice = &mut pts[start..end];
+        // centroid
+        let inv = 1.0 / slice.len() as f64;
+        let (mut cx, mut cy) = (0.0, 0.0);
+        for p in slice.iter() {
+            cx += p.x;
+            cy += p.y;
+        }
+        let center = Point::new(cx * inv, cy * inv);
+        let radius = slice
+            .iter()
+            .map(|p| center.dist_sq(p))
+            .fold(0.0_f64, f64::max)
+            .sqrt();
+        let id = nodes.len() as u32;
+        nodes.push(Node {
+            center,
+            radius,
+            left: NIL,
+            right: NIL,
+            start: start as u32,
+            end: end as u32,
+        });
+        if slice.len() > LEAF_SIZE {
+            // split on the wider axis at the median
+            let bounds = kdv_core::geom::Rect::mbr(slice);
+            let mid = slice.len() / 2;
+            if bounds.width() >= bounds.height() {
+                slice.select_nth_unstable_by(mid, |a, b| a.x.total_cmp(&b.x));
+            } else {
+                slice.select_nth_unstable_by(mid, |a, b| a.y.total_cmp(&b.y));
+            }
+            let left = Self::build_rec(pts, start, start + mid, nodes);
+            let right = Self::build_rec(pts, start + mid, end, nodes);
+            nodes[id as usize].left = left;
+            nodes[id as usize].right = right;
+        }
+        id
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Calls `f(p)` for every point with `dist(q, p) ≤ radius`.
+    pub fn for_each_in_range<F: FnMut(&Point)>(&self, q: &Point, radius: f64, mut f: F) {
+        if self.root == NIL {
+            return;
+        }
+        self.range_rec(self.root, q, radius, &mut f);
+    }
+
+    fn range_rec<F: FnMut(&Point)>(&self, id: u32, q: &Point, radius: f64, f: &mut F) {
+        let node = &self.nodes[id as usize];
+        let d = q.dist(&node.center);
+        if d > radius + node.radius {
+            return; // ball entirely outside the query circle
+        }
+        if d + node.radius <= radius {
+            // ball entirely inside: no per-point checks needed
+            for p in &self.points[node.start as usize..node.end as usize] {
+                f(p);
+            }
+            return;
+        }
+        if node.left == NIL {
+            let r2 = radius * radius;
+            for p in &self.points[node.start as usize..node.end as usize] {
+                if q.dist_sq(p) <= r2 {
+                    f(p);
+                }
+            }
+            return;
+        }
+        self.range_rec(node.left, q, radius, f);
+        self.range_rec(node.right, q, radius, f);
+    }
+
+    /// Counts points within `radius` of `q`.
+    pub fn count_in_range(&self, q: &Point, radius: f64) -> usize {
+        let mut n = 0usize;
+        self.for_each_in_range(q, radius, |_| n += 1);
+        n
+    }
+
+    /// Heap bytes held by the index.
+    pub fn space_bytes(&self) -> usize {
+        self.nodes.capacity() * std::mem::size_of::<Node>()
+            + self.points.capacity() * std::mem::size_of::<Point>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring_points() -> Vec<Point> {
+        // two rings plus noise: exercises both prune directions
+        let mut pts = Vec::new();
+        for i in 0..200 {
+            let a = i as f64 * 0.0314159;
+            pts.push(Point::new(10.0 * a.cos(), 10.0 * a.sin()));
+            pts.push(Point::new(50.0 + 3.0 * a.cos(), 3.0 * a.sin()));
+        }
+        for i in 0..100 {
+            pts.push(Point::new((i * 7 % 60) as f64, (i * 13 % 40) as f64 - 20.0));
+        }
+        pts
+    }
+
+    #[test]
+    fn empty_tree() {
+        let t = BallTree::build(&[]);
+        assert!(t.is_empty());
+        assert_eq!(t.count_in_range(&Point::new(0.0, 0.0), 1.0), 0);
+    }
+
+    #[test]
+    fn matches_linear_scan() {
+        let pts = ring_points();
+        let t = BallTree::build(&pts);
+        for (q, r) in [
+            (Point::new(0.0, 0.0), 10.0),   // ring boundary exactly
+            (Point::new(50.0, 0.0), 2.9),
+            (Point::new(25.0, 0.0), 14.0),
+            (Point::new(0.0, 0.0), 1000.0), // everything (inside-ball path)
+            (Point::new(-100.0, 0.0), 5.0), // nothing
+        ] {
+            let expect = pts.iter().filter(|p| q.dist_sq(p) <= r * r).count();
+            assert_eq!(t.count_in_range(&q, r), expect, "q={q}, r={r}");
+        }
+    }
+
+    #[test]
+    fn fully_contained_ball_fast_path() {
+        // query circle covering the whole dataset triggers the
+        // enumerate-without-checks branch; count must still be exact
+        let pts: Vec<Point> = (0..100).map(|i| Point::new(i as f64 % 10.0, i as f64 / 10.0)).collect();
+        let t = BallTree::build(&pts);
+        assert_eq!(t.count_in_range(&Point::new(5.0, 5.0), 100.0), 100);
+    }
+
+    #[test]
+    fn duplicates_preserved() {
+        let pts = vec![Point::new(-2.0, 3.0); 33];
+        let t = BallTree::build(&pts);
+        assert_eq!(t.count_in_range(&Point::new(-2.0, 3.0), 0.1), 33);
+    }
+}

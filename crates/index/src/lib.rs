@@ -1,0 +1,25 @@
+//! # kdv-index — spatial index substrates for KDV baselines
+//!
+//! The paper's comparator methods (Table 6) all rest on classic spatial
+//! data structures. This crate implements those substrates from scratch:
+//!
+//! * [`kdtree::KdTree`] — 2-d kd-tree (Bentley 1975) for the `RQS_kd`
+//!   range-query baseline.
+//! * [`balltree::BallTree`] — metric ball-tree (Moore 2000) for `RQS_ball`.
+//! * [`quadtree::QuadTree`] — aggregate-augmented quadtree, the shared
+//!   engine of the QUAD (exact, quadratic-bound) and aKDE (bounded
+//!   approximation) baselines.
+//! * [`zorder`] — Morton curve encode/decode, sorting and strided sampling
+//!   for the Z-order data-sampling baseline (Zheng et al. 2013).
+//!
+//! Every structure exposes `space_bytes()` so the space-consumption
+//! experiment (paper Figure 17) can account for index overhead.
+
+pub mod balltree;
+pub mod kdtree;
+pub mod quadtree;
+pub mod zorder;
+
+pub use balltree::BallTree;
+pub use kdtree::KdTree;
+pub use quadtree::QuadTree;

@@ -1,0 +1,203 @@
+//! Bounded Dijkstra over the road network.
+//!
+//! NKDV needs, per event, the network distance to every node within the
+//! bandwidth `b` — a Dijkstra run cut off at `b`. The searcher keeps its
+//! distance array and a visit list across runs so per-event resets cost
+//! `O(touched)` instead of `O(V)`.
+
+use std::collections::BinaryHeap;
+
+use crate::graph::{NetPosition, NodeId, RoadNetwork};
+
+/// Min-heap entry (BinaryHeap is a max-heap, so order is reversed).
+#[derive(Debug, PartialEq)]
+struct HeapEntry {
+    dist: f64,
+    node: NodeId,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other.dist.total_cmp(&self.dist)
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Reusable bounded-Dijkstra state.
+pub struct BoundedDijkstra {
+    dist: Vec<f64>,
+    touched: Vec<NodeId>,
+    heap: BinaryHeap<HeapEntry>,
+}
+
+impl BoundedDijkstra {
+    /// A searcher for networks with up to `num_nodes` nodes.
+    pub fn new(num_nodes: usize) -> Self {
+        Self {
+            dist: vec![f64::INFINITY; num_nodes],
+            touched: Vec::new(),
+            heap: BinaryHeap::new(),
+        }
+    }
+
+    /// Runs Dijkstra from a network position, stopping at `bound`.
+    /// Afterwards [`BoundedDijkstra::distance`] returns each node's
+    /// network distance (∞ when farther than `bound`), and
+    /// [`BoundedDijkstra::reached`] lists every settled or touched node.
+    pub fn run(&mut self, network: &RoadNetwork, source: &NetPosition, bound: f64) {
+        // reset previous run
+        for &u in &self.touched {
+            self.dist[u as usize] = f64::INFINITY;
+        }
+        self.touched.clear();
+        self.heap.clear();
+
+        let (from, to, length) = network.edge_info(source.edge);
+        let offset = source.offset.clamp(0.0, length);
+        // seed both endpoints of the source edge
+        let seeds = [(from, offset), (to, length - offset)];
+        for (node, d) in seeds {
+            if d <= bound && d < self.dist[node as usize] {
+                if self.dist[node as usize].is_infinite() {
+                    self.touched.push(node);
+                }
+                self.dist[node as usize] = d;
+                self.heap.push(HeapEntry { dist: d, node });
+            }
+        }
+        while let Some(HeapEntry { dist, node }) = self.heap.pop() {
+            if dist > self.dist[node as usize] {
+                continue; // stale entry
+            }
+            for &(v, e) in network.neighbors(node) {
+                let (_, _, elen) = network.edge_info(e);
+                let nd = dist + elen;
+                if nd <= bound && nd < self.dist[v as usize] {
+                    if self.dist[v as usize].is_infinite() {
+                        self.touched.push(v);
+                    }
+                    self.dist[v as usize] = nd;
+                    self.heap.push(HeapEntry { dist: nd, node: v });
+                }
+            }
+        }
+    }
+
+    /// Network distance of `u` from the last run's source (∞ if beyond
+    /// the bound or unreached).
+    #[inline]
+    pub fn distance(&self, u: NodeId) -> f64 {
+        self.dist[u as usize]
+    }
+
+    /// Nodes touched by the last run.
+    pub fn reached(&self) -> &[NodeId] {
+        &self.touched
+    }
+}
+
+/// Network distance between two positions (unbounded Dijkstra; intended
+/// for tests and small workloads). Handles the same-edge shortcut.
+pub fn network_distance(network: &RoadNetwork, a: &NetPosition, b: &NetPosition) -> f64 {
+    let mut best = f64::INFINITY;
+    if a.edge == b.edge {
+        best = (a.offset - b.offset).abs();
+    }
+    let mut search = BoundedDijkstra::new(network.num_nodes());
+    search.run(network, a, f64::INFINITY);
+    let (bf, bt, blen) = network.edge_info(b.edge);
+    let via_from = search.distance(bf) + b.offset;
+    let via_to = search.distance(bt) + (blen - b.offset);
+    best.min(via_from).min(via_to)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kdv_core::geom::Point;
+
+    /// 0 -10- 1 -20- 2, plus a 5-metre shortcut edge 0 - 2.
+    fn shortcut_graph() -> RoadNetwork {
+        RoadNetwork::new(
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(10.0, 0.0),
+                Point::new(30.0, 0.0),
+            ],
+            &[(0, 1, 10.0), (1, 2, 20.0), (0, 2, 5.0)],
+        )
+    }
+
+    #[test]
+    fn distances_from_mid_edge() {
+        let g = shortcut_graph();
+        let mut d = BoundedDijkstra::new(g.num_nodes());
+        // source 3 metres along edge 0 (between nodes 0 and 1)
+        d.run(&g, &NetPosition { edge: 0, offset: 3.0 }, f64::INFINITY);
+        assert_eq!(d.distance(0), 3.0);
+        assert_eq!(d.distance(1), 7.0);
+        // node 2: via shortcut 3 + 5 = 8 (beats 7 + 20)
+        assert_eq!(d.distance(2), 8.0);
+    }
+
+    #[test]
+    fn bound_cuts_off_search() {
+        let g = shortcut_graph();
+        let mut d = BoundedDijkstra::new(g.num_nodes());
+        d.run(&g, &NetPosition { edge: 0, offset: 0.0 }, 4.9);
+        assert_eq!(d.distance(0), 0.0);
+        assert!(d.distance(1).is_infinite());
+        assert!(d.distance(2).is_infinite());
+        assert_eq!(d.reached(), &[0]);
+    }
+
+    #[test]
+    fn reuse_resets_state() {
+        let g = shortcut_graph();
+        let mut d = BoundedDijkstra::new(g.num_nodes());
+        d.run(&g, &NetPosition { edge: 1, offset: 0.0 }, f64::INFINITY);
+        assert_eq!(d.distance(1), 0.0);
+        d.run(&g, &NetPosition { edge: 2, offset: 0.0 }, 1.0);
+        assert_eq!(d.distance(0), 0.0);
+        assert!(d.distance(1).is_infinite(), "stale distance must be cleared");
+    }
+
+    #[test]
+    fn same_edge_distance_shortcut() {
+        let g = shortcut_graph();
+        let a = NetPosition { edge: 1, offset: 2.0 };
+        let b = NetPosition { edge: 1, offset: 18.0 };
+        // along the edge: 16; around via nodes: 2 + (10+5) + 2 = way more
+        assert_eq!(network_distance(&g, &a, &b), 16.0);
+    }
+
+    #[test]
+    fn cross_edge_distance_picks_best_endpoint() {
+        let g = shortcut_graph();
+        let a = NetPosition { edge: 0, offset: 0.0 }; // at node 0
+        let b = NetPosition { edge: 1, offset: 15.0 }; // 15 from node 1, 5 from node 2
+        // via node 1: 10 + 15 = 25; via node 2 (shortcut): 5 + 5 = 10
+        assert_eq!(network_distance(&g, &a, &b), 10.0);
+    }
+
+    /// Network distance around a detour can exceed straight-line distance
+    /// on the same edge — the same-edge shortcut must win.
+    #[test]
+    fn same_edge_beats_detour() {
+        // two nodes joined by a long edge AND a long detour
+        let g = RoadNetwork::new(
+            vec![Point::new(0.0, 0.0), Point::new(100.0, 0.0), Point::new(50.0, 80.0)],
+            &[(0, 1, 100.0), (0, 2, 90.0), (2, 1, 90.0)],
+        );
+        let a = NetPosition { edge: 0, offset: 10.0 };
+        let b = NetPosition { edge: 0, offset: 90.0 };
+        assert_eq!(network_distance(&g, &a, &b), 80.0);
+    }
+}

@@ -1,0 +1,252 @@
+//! Road-network substrate: an undirected weighted graph with geometry.
+//!
+//! Nodes carry planar coordinates (junctions); edges carry positive
+//! lengths (road segments). Adjacency is stored in CSR form for
+//! cache-friendly Dijkstra. A seeded grid-city generator provides
+//! realistic test networks (Manhattan-style lattices with random
+//! omissions), and events are located *on* the network as
+//! `(edge, offset)` positions.
+
+use kdv_core::geom::Point;
+
+/// Index of a node.
+pub type NodeId = u32;
+/// Index of an edge.
+pub type EdgeId = u32;
+
+/// A position on the network: `offset` metres from the `from`-endpoint of
+/// `edge` (0 ≤ offset ≤ edge length).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetPosition {
+    /// The edge the position lies on.
+    pub edge: EdgeId,
+    /// Distance from the edge's `from` endpoint, in metres.
+    pub offset: f64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Edge {
+    from: NodeId,
+    to: NodeId,
+    length: f64,
+}
+
+/// An undirected road network.
+#[derive(Debug, Clone)]
+pub struct RoadNetwork {
+    nodes: Vec<Point>,
+    edges: Vec<Edge>,
+    /// CSR adjacency: for node `u`, `adj[adj_start[u]..adj_start[u+1]]`
+    /// holds `(neighbour, edge_id)` pairs.
+    adj_start: Vec<u32>,
+    adj: Vec<(NodeId, EdgeId)>,
+}
+
+impl RoadNetwork {
+    /// Builds a network from node coordinates and undirected edges
+    /// `(from, to, length)`.
+    ///
+    /// # Panics
+    /// Panics if an edge references a missing node or has a non-positive
+    /// length.
+    pub fn new(nodes: Vec<Point>, edge_list: &[(NodeId, NodeId, f64)]) -> Self {
+        let n = nodes.len();
+        let edges: Vec<Edge> = edge_list
+            .iter()
+            .map(|&(from, to, length)| {
+                assert!((from as usize) < n && (to as usize) < n, "edge endpoint out of range");
+                assert!(length > 0.0 && length.is_finite(), "edge length must be positive");
+                Edge { from, to, length }
+            })
+            .collect();
+        // CSR build
+        let mut degree = vec![0u32; n];
+        for e in &edges {
+            degree[e.from as usize] += 1;
+            degree[e.to as usize] += 1;
+        }
+        let mut adj_start = Vec::with_capacity(n + 1);
+        let mut acc = 0u32;
+        adj_start.push(0);
+        for d in &degree {
+            acc += d;
+            adj_start.push(acc);
+        }
+        let mut cursor = adj_start.clone();
+        let mut adj = vec![(0u32, 0u32); acc as usize];
+        for (eid, e) in edges.iter().enumerate() {
+            adj[cursor[e.from as usize] as usize] = (e.to, eid as u32);
+            cursor[e.from as usize] += 1;
+            adj[cursor[e.to as usize] as usize] = (e.from, eid as u32);
+            cursor[e.to as usize] += 1;
+        }
+        Self { nodes, edges, adj_start, adj }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Coordinates of a node.
+    pub fn node_point(&self, u: NodeId) -> Point {
+        self.nodes[u as usize]
+    }
+
+    /// `(from, to, length)` of an edge.
+    pub fn edge_info(&self, e: EdgeId) -> (NodeId, NodeId, f64) {
+        let edge = self.edges[e as usize];
+        (edge.from, edge.to, edge.length)
+    }
+
+    /// Neighbours of `u` as `(neighbour, edge_id)` pairs.
+    pub fn neighbors(&self, u: NodeId) -> &[(NodeId, EdgeId)] {
+        &self.adj[self.adj_start[u as usize] as usize..self.adj_start[u as usize + 1] as usize]
+    }
+
+    /// Planar coordinates of a network position (linear interpolation
+    /// along the edge's straight-line geometry).
+    pub fn position_point(&self, pos: &NetPosition) -> Point {
+        let e = self.edges[pos.edge as usize];
+        let a = self.nodes[e.from as usize];
+        let b = self.nodes[e.to as usize];
+        let t = (pos.offset / e.length).clamp(0.0, 1.0);
+        Point::new(a.x + t * (b.x - a.x), a.y + t * (b.y - a.y))
+    }
+
+    /// Validates and clamps an offset onto its edge.
+    pub fn clamp_position(&self, pos: NetPosition) -> NetPosition {
+        let len = self.edges[pos.edge as usize].length;
+        NetPosition { edge: pos.edge, offset: pos.offset.clamp(0.0, len) }
+    }
+
+    /// Total road length.
+    pub fn total_length(&self) -> f64 {
+        self.edges.iter().map(|e| e.length).sum()
+    }
+
+    /// Heap bytes held by the network.
+    pub fn space_bytes(&self) -> usize {
+        self.nodes.capacity() * std::mem::size_of::<Point>()
+            + self.edges.capacity() * std::mem::size_of::<Edge>()
+            + self.adj_start.capacity() * 4
+            + self.adj.capacity() * 8
+    }
+
+    /// A seeded `w × h` grid city with `spacing` metres between junctions;
+    /// `keep_fraction` of the lattice edges are kept (1.0 = full grid),
+    /// but a spanning backbone (all horizontal rows) is always retained so
+    /// the network stays connected.
+    pub fn grid_city(w: usize, h: usize, spacing: f64, keep_fraction: f64, seed: u64) -> Self {
+        assert!(w >= 2 && h >= 2, "grid must be at least 2x2");
+        let mut nodes = Vec::with_capacity(w * h);
+        for j in 0..h {
+            for i in 0..w {
+                nodes.push(Point::new(i as f64 * spacing, j as f64 * spacing));
+            }
+        }
+        let id = |i: usize, j: usize| (j * w + i) as NodeId;
+        let mut state = seed | 1;
+        let mut chance = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let mut edges = Vec::new();
+        for j in 0..h {
+            for i in 0..w {
+                // horizontal backbone: always kept
+                if i + 1 < w {
+                    edges.push((id(i, j), id(i + 1, j), spacing));
+                }
+                // vertical streets: kept with probability keep_fraction,
+                // except the first column which ties the rows together
+                if j + 1 < h && (i == 0 || chance() < keep_fraction) {
+                    edges.push((id(i, j), id(i, j + 1), spacing));
+                }
+            }
+        }
+        Self::new(nodes, &edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Path graph 0 - 1 - 2 with lengths 10, 20.
+    fn path() -> RoadNetwork {
+        RoadNetwork::new(
+            vec![Point::new(0.0, 0.0), Point::new(10.0, 0.0), Point::new(30.0, 0.0)],
+            &[(0, 1, 10.0), (1, 2, 20.0)],
+        )
+    }
+
+    #[test]
+    fn adjacency_is_symmetric() {
+        let g = path();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.neighbors(0), &[(1, 0)]);
+        assert_eq!(g.neighbors(2), &[(1, 1)]);
+        let mid: Vec<NodeId> = g.neighbors(1).iter().map(|&(v, _)| v).collect();
+        assert_eq!(mid, vec![0, 2]);
+    }
+
+    #[test]
+    fn position_interpolation() {
+        let g = path();
+        let p = g.position_point(&NetPosition { edge: 1, offset: 5.0 });
+        assert_eq!(p, Point::new(15.0, 0.0));
+        let clamped = g.clamp_position(NetPosition { edge: 0, offset: 99.0 });
+        assert_eq!(clamped.offset, 10.0);
+    }
+
+    #[test]
+    fn grid_city_structure() {
+        let g = RoadNetwork::grid_city(4, 3, 100.0, 1.0, 7);
+        assert_eq!(g.num_nodes(), 12);
+        // full lattice: 3·3 horizontal + 4·2 vertical = 17 edges
+        assert_eq!(g.num_edges(), 17);
+        assert!((g.total_length() - 1700.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn grid_city_stays_connected_when_sparse() {
+        let g = RoadNetwork::grid_city(6, 6, 50.0, 0.0, 3);
+        // BFS from node 0 must reach everything (backbone + first column)
+        let mut seen = vec![false; g.num_nodes()];
+        let mut stack = vec![0u32];
+        seen[0] = true;
+        while let Some(u) = stack.pop() {
+            for &(v, _) in g.neighbors(u) {
+                if !seen[v as usize] {
+                    seen[v as usize] = true;
+                    stack.push(v);
+                }
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "sparse grid city must stay connected");
+    }
+
+    #[test]
+    #[should_panic(expected = "length")]
+    fn zero_length_edge_rejected() {
+        let _ = RoadNetwork::new(
+            vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0)],
+            &[(0, 1, 0.0)],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn dangling_edge_rejected() {
+        let _ = RoadNetwork::new(vec![Point::new(0.0, 0.0)], &[(0, 5, 1.0)]);
+    }
+}

@@ -1,0 +1,23 @@
+//! # kdv-network — Network Kernel Density Visualization (NKDV)
+//!
+//! The paper's conclusion names NKDV (Chan et al., PVLDB 2021) as a KDV
+//! variant to support next. This crate builds it from scratch:
+//!
+//! * [`graph`] — the road-network substrate: CSR adjacency, on-network
+//!   event positions, a seeded grid-city generator.
+//! * [`dijkstra`] — bounded shortest-path search with reusable state
+//!   (one run per event).
+//! * [`nkdv`] — lixel subdivision and the forward-augmentation NKDV
+//!   evaluator, with a naive reference implementation for testing.
+//!
+//! Planar KDV smears road-bound events (accidents, street crime) across
+//! block interiors; NKDV confines density to the network by replacing
+//! Euclidean with shortest-path distance.
+
+pub mod dijkstra;
+pub mod graph;
+pub mod nkdv;
+
+pub use dijkstra::{network_distance, BoundedDijkstra};
+pub use graph::{NetPosition, RoadNetwork};
+pub use nkdv::{compute_nkdv, compute_nkdv_naive, lixel_points, NetworkDensity, NkdvParams};

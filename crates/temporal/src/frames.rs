@@ -1,0 +1,81 @@
+//! Frame specifications: the time axis of an STKDV animation.
+
+/// An evenly spaced sequence of frame times.
+///
+/// Frame `i` is centred at `start + i·stride` for `i = 0..count`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameSpec {
+    /// Centre time of the first frame (unix seconds).
+    pub start: i64,
+    /// Spacing between consecutive frame centres (seconds, > 0).
+    pub stride: i64,
+    /// Number of frames.
+    pub count: usize,
+}
+
+impl FrameSpec {
+    /// Creates a frame spec.
+    ///
+    /// # Panics
+    /// Panics if `stride <= 0`.
+    pub fn new(start: i64, stride: i64, count: usize) -> Self {
+        assert!(stride > 0, "stride must be positive");
+        Self { start, stride, count }
+    }
+
+    /// A spec covering `[from, to]` with `count` evenly spaced frames
+    /// (at least one; `to > from` required for more than one frame).
+    pub fn spanning(from: i64, to: i64, count: usize) -> Self {
+        let count = count.max(1);
+        let stride = if count > 1 {
+            ((to - from) / (count as i64 - 1)).max(1)
+        } else {
+            1
+        };
+        Self { start: from, stride, count }
+    }
+
+    /// Centre time of frame `i`.
+    #[inline]
+    pub fn frame_time(&self, i: usize) -> i64 {
+        self.start + self.stride * i as i64
+    }
+
+    /// Iterator over all frame centre times.
+    pub fn times(&self) -> impl Iterator<Item = i64> + '_ {
+        (0..self.count).map(|i| self.frame_time(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_times_are_evenly_spaced() {
+        let f = FrameSpec::new(100, 50, 4);
+        let times: Vec<i64> = f.times().collect();
+        assert_eq!(times, vec![100, 150, 200, 250]);
+    }
+
+    #[test]
+    fn spanning_covers_interval() {
+        let f = FrameSpec::spanning(0, 900, 10);
+        assert_eq!(f.count, 10);
+        assert_eq!(f.frame_time(0), 0);
+        assert_eq!(f.frame_time(9), 900);
+    }
+
+    #[test]
+    fn spanning_single_frame() {
+        let f = FrameSpec::spanning(42, 42, 1);
+        assert_eq!(f.count, 1);
+        assert_eq!(f.frame_time(0), 42);
+    }
+
+    #[test]
+    #[should_panic(expected = "stride")]
+    fn zero_stride_rejected() {
+        let _ = FrameSpec::new(0, 0, 3);
+    }
+}

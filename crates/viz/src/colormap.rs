@@ -1,0 +1,134 @@
+//! Colour maps for heat-map rendering.
+//!
+//! KDV tools colour pixels from cold (low density) to hot (red = hotspot,
+//! as in the paper's Figure 1). Maps here are small piecewise-linear
+//! gradients over control points, evaluated at a normalised density in
+//! `[0, 1]`.
+
+/// An RGB colour with 8-bit channels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rgb(pub u8, pub u8, pub u8);
+
+/// Available colour maps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ColorMap {
+    /// Blue → cyan → green → yellow → red: the classic KDV hotspot scheme.
+    #[default]
+    Heat,
+    /// Black → white.
+    Grayscale,
+    /// Perceptually ordered dark-violet → teal → yellow gradient
+    /// (viridis-like control points).
+    Viridis,
+}
+
+impl ColorMap {
+    fn control_points(&self) -> &'static [(f64, [f64; 3])] {
+        match self {
+            ColorMap::Heat => &[
+                (0.00, [0.0, 0.0, 0.5]),
+                (0.25, [0.0, 0.5, 1.0]),
+                (0.50, [0.0, 0.9, 0.2]),
+                (0.75, [1.0, 0.9, 0.0]),
+                (1.00, [0.9, 0.05, 0.05]),
+            ],
+            ColorMap::Grayscale => &[(0.0, [0.0, 0.0, 0.0]), (1.0, [1.0, 1.0, 1.0])],
+            ColorMap::Viridis => &[
+                (0.00, [0.267, 0.005, 0.329]),
+                (0.25, [0.230, 0.322, 0.546]),
+                (0.50, [0.128, 0.567, 0.551]),
+                (0.75, [0.369, 0.789, 0.383]),
+                (1.00, [0.993, 0.906, 0.144]),
+            ],
+        }
+    }
+
+    /// Maps a normalised value `t ∈ [0, 1]` (clamped) to a colour.
+    pub fn map(&self, t: f64) -> Rgb {
+        let t = if t.is_nan() { 0.0 } else { t.clamp(0.0, 1.0) };
+        let pts = self.control_points();
+        let mut lo = pts[0];
+        for &hi in &pts[1..] {
+            if t <= hi.0 {
+                let span = hi.0 - lo.0;
+                let f = if span > 0.0 { (t - lo.0) / span } else { 0.0 };
+                let c = [
+                    lo.1[0] + f * (hi.1[0] - lo.1[0]),
+                    lo.1[1] + f * (hi.1[1] - lo.1[1]),
+                    lo.1[2] + f * (hi.1[2] - lo.1[2]),
+                ];
+                return Rgb(
+                    (c[0] * 255.0).round() as u8,
+                    (c[1] * 255.0).round() as u8,
+                    (c[2] * 255.0).round() as u8,
+                );
+            }
+            lo = hi;
+        }
+        let last = pts[pts.len() - 1].1;
+        Rgb(
+            (last[0] * 255.0).round() as u8,
+            (last[1] * 255.0).round() as u8,
+            (last[2] * 255.0).round() as u8,
+        )
+    }
+}
+
+impl std::str::FromStr for ColorMap {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "heat" => Ok(ColorMap::Heat),
+            "gray" | "grayscale" | "grey" => Ok(ColorMap::Grayscale),
+            "viridis" => Ok(ColorMap::Viridis),
+            other => Err(format!("unknown colormap '{other}'")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoints() {
+        assert_eq!(ColorMap::Grayscale.map(0.0), Rgb(0, 0, 0));
+        assert_eq!(ColorMap::Grayscale.map(1.0), Rgb(255, 255, 255));
+        assert_eq!(ColorMap::Grayscale.map(0.5), Rgb(128, 128, 128));
+    }
+
+    #[test]
+    fn heat_goes_cold_to_hot() {
+        let cold = ColorMap::Heat.map(0.0);
+        let hot = ColorMap::Heat.map(1.0);
+        assert!(cold.2 > cold.0, "cold end is blue-ish: {cold:?}");
+        assert!(hot.0 > hot.2, "hot end is red-ish: {hot:?}");
+    }
+
+    #[test]
+    fn out_of_range_clamped() {
+        assert_eq!(ColorMap::Heat.map(-3.0), ColorMap::Heat.map(0.0));
+        assert_eq!(ColorMap::Heat.map(7.0), ColorMap::Heat.map(1.0));
+        assert_eq!(ColorMap::Heat.map(f64::NAN), ColorMap::Heat.map(0.0));
+    }
+
+    #[test]
+    fn monotone_red_channel_on_upper_half() {
+        // heat's red channel must not decrease between 0.5 and 1.0
+        let mut last = ColorMap::Heat.map(0.5).0;
+        for i in 1..=50 {
+            let t = 0.5 + i as f64 * 0.01;
+            let r = ColorMap::Heat.map(t).0;
+            assert!(r as u16 + 1 >= last as u16, "red dipped at t={t}");
+            last = r;
+        }
+    }
+
+    #[test]
+    fn parse() {
+        assert_eq!("heat".parse::<ColorMap>().unwrap(), ColorMap::Heat);
+        assert_eq!("GRAY".parse::<ColorMap>().unwrap(), ColorMap::Grayscale);
+        assert!("plasma".parse::<ColorMap>().is_err());
+    }
+}

@@ -1,0 +1,130 @@
+//! Colour-bar legends and image composition.
+//!
+//! Published hotspot maps (paper Figure 1) carry a colour bar mapping
+//! colours back to density. This module renders a vertical colour bar
+//! with tick marks for a given colour map/scale, and composes it next to
+//! a heat map into a single image.
+
+use crate::colormap::ColorMap;
+use crate::image::Image;
+use crate::normalize::Scale;
+
+/// A raw RGB buffer builder used for composition.
+struct Canvas {
+    width: usize,
+    height: usize,
+    pixels: Vec<u8>,
+}
+
+impl Canvas {
+    fn new(width: usize, height: usize, fill: (u8, u8, u8)) -> Self {
+        let mut pixels = Vec::with_capacity(width * height * 3);
+        for _ in 0..width * height {
+            pixels.extend_from_slice(&[fill.0, fill.1, fill.2]);
+        }
+        Self { width, height, pixels }
+    }
+
+    #[inline]
+    fn set(&mut self, x: usize, y: usize, rgb: (u8, u8, u8)) {
+        if x < self.width && y < self.height {
+            let i = (y * self.width + x) * 3;
+            self.pixels[i] = rgb.0;
+            self.pixels[i + 1] = rgb.1;
+            self.pixels[i + 2] = rgb.2;
+        }
+    }
+
+    fn blit(&mut self, img: &Image, ox: usize, oy: usize) {
+        let (w, h) = img.dimensions();
+        for y in 0..h {
+            for x in 0..w {
+                self.set(ox + x, oy + y, img.pixel(x, y));
+            }
+        }
+    }
+
+    fn into_image(self) -> Image {
+        Image::from_raw(self.width, self.height, self.pixels)
+    }
+}
+
+/// Renders a vertical colour bar of the given size: hottest at the top,
+/// with `ticks` horizontal tick marks (dark lines) at even value steps.
+pub fn color_bar(colormap: ColorMap, scale: Scale, width: usize, height: usize, ticks: usize) -> Image {
+    let mut canvas = Canvas::new(width, height, (255, 255, 255));
+    for y in 0..height {
+        // top = max value
+        let v = 1.0 - y as f64 / (height.max(2) - 1) as f64;
+        // the bar shows normalised *output* of the scale: invert it so the
+        // bar's vertical position is linear in displayed colour
+        let c = colormap.map(scale.normalize(v, 1.0));
+        for x in 0..width {
+            canvas.set(x, y, (c.0, c.1, c.2));
+        }
+    }
+    // tick marks
+    if ticks > 1 && height > 1 {
+        for t in 0..ticks {
+            let y = (t * (height - 1)) / (ticks - 1);
+            for x in 0..width.min(6) {
+                canvas.set(x, y, (20, 20, 20));
+            }
+        }
+    }
+    canvas.into_image()
+}
+
+/// Composes a heat map with a colour bar on its right, separated by a
+/// margin, on a white background.
+pub fn with_legend(heatmap: &Image, colormap: ColorMap, scale: Scale) -> Image {
+    let (w, h) = heatmap.dimensions();
+    let bar_w = (w / 20).clamp(8, 40);
+    let margin = (w / 40).clamp(4, 20);
+    let bar = color_bar(colormap, scale, bar_w, h, 5);
+    let mut canvas = Canvas::new(w + margin + bar_w, h, (255, 255, 255));
+    canvas.blit(heatmap, 0, 0);
+    canvas.blit(&bar, w + margin, 0);
+    canvas.into_image()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::image::render;
+    use kdv_core::grid::DensityGrid;
+
+    #[test]
+    fn color_bar_orientation_and_size() {
+        let bar = color_bar(ColorMap::Grayscale, Scale::Linear, 10, 50, 0);
+        assert_eq!(bar.dimensions(), (10, 50));
+        // top is hottest (white for grayscale), bottom coldest (black)
+        assert_eq!(bar.pixel(5, 0), (255, 255, 255));
+        assert_eq!(bar.pixel(5, 49), (0, 0, 0));
+    }
+
+    #[test]
+    fn ticks_are_drawn() {
+        let bar = color_bar(ColorMap::Grayscale, Scale::Linear, 10, 50, 3);
+        // tick rows at y = 0, 24(ish), 49 have dark pixels at x < 6
+        assert_eq!(bar.pixel(0, 0), (20, 20, 20));
+        assert_eq!(bar.pixel(0, 49), (20, 20, 20));
+        // non-tick interior pixel keeps the gradient colour
+        assert_ne!(bar.pixel(9, 25), (20, 20, 20));
+    }
+
+    #[test]
+    fn composition_dimensions_and_content() {
+        let mut g = DensityGrid::zeroed(40, 30);
+        g.set(20, 15, 1.0);
+        let hm = render(&g, ColorMap::Heat, Scale::Linear);
+        let composed = with_legend(&hm, ColorMap::Heat, Scale::Linear);
+        let (w, h) = composed.dimensions();
+        assert_eq!(h, 30);
+        assert!(w > 40, "legend adds width: {w}");
+        // original heat map pixels preserved on the left
+        assert_eq!(composed.pixel(20, 14), hm.pixel(20, 14));
+        // margin column is white
+        assert_eq!(composed.pixel(41, 10), (255, 255, 255));
+    }
+}

@@ -1,0 +1,92 @@
+//! Hotspot detection and ranking — the full KDV-to-decision pipeline.
+//!
+//! ```text
+//! cargo run --release --example hotspot_ranking
+//! ```
+//!
+//! Computes the exact KDV of the synthetic San Francisco 311-call feed,
+//! extracts the hotspot regions at 30% of peak density, ranks them by
+//! density mass, cross-checks the ranking against the generator's planted
+//! hotspot mixture, and runs Ripley's K-function to confirm clustering —
+//! exercising `kdv-core`, `kdv-data` and `kdv-analysis` together.
+
+use slam_kdv::analysis::{hotspots_by_peak_fraction, k_function};
+use slam_kdv::core::driver::KdvParams;
+use slam_kdv::{City, GridSpec, KdvEngine, KernelType, Method};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dataset = City::SanFrancisco.dataset(0.002);
+    let points = dataset.points();
+    let mbr = dataset.mbr();
+    let bandwidth = slam_kdv::data::scott_bandwidth(&points);
+    println!(
+        "San Francisco 311 calls (synthetic): n={}, b={bandwidth:.0} m",
+        points.len()
+    );
+
+    // 1. exact KDV with the best SLAM variant
+    let spec = GridSpec::new(mbr, 480, 480)?;
+    let params = KdvParams::new(spec, KernelType::Quartic, bandwidth)
+        .with_weight(1.0 / points.len() as f64);
+    let t0 = std::time::Instant::now();
+    let grid = KdvEngine::new(Method::SlamBucketRao).compute(&params, &points)?;
+    println!("KDV 480x480 in {:.1} ms\n", t0.elapsed().as_secs_f64() * 1e3);
+
+    // 2. hotspot extraction + ranking
+    let hotspots = hotspots_by_peak_fraction(&grid, &spec, 0.3);
+    println!("{} hotspot region(s) at >= 30% of peak:", hotspots.len());
+    println!(
+        "{:<3} {:>8} {:>13} {:>10} {:>22}",
+        "#", "pixels", "area (km^2)", "share", "centroid (m)"
+    );
+    let total_mass: f64 = hotspots.iter().map(|h| h.mass).sum();
+    for (i, h) in hotspots.iter().take(8).enumerate() {
+        println!(
+            "{:<3} {:>8} {:>13.3} {:>9.1}% ({:>8.0}, {:>8.0})",
+            i + 1,
+            h.pixels,
+            h.area / 1e6,
+            100.0 * h.mass / total_mass,
+            h.centroid.x,
+            h.centroid.y
+        );
+    }
+
+    // 3. compare with the planted mixture: the top hotspot should sit near
+    //    one of the generator's configured centres
+    let config = City::SanFrancisco.synth_config();
+    if let Some(top) = hotspots.first() {
+        let nearest = config
+            .hotspots
+            .iter()
+            .map(|h| top.centroid.dist(&h.center))
+            .fold(f64::INFINITY, f64::min);
+        println!(
+            "\ntop hotspot centroid is {:.0} m from the nearest planted centre",
+            nearest
+        );
+    }
+
+    // 4. Ripley's K-function: quantify clustering at a few scales
+    let radii = [100.0, 250.0, 500.0, 1_000.0];
+    let t0 = std::time::Instant::now();
+    let k = k_function(&points, mbr, &radii);
+    println!(
+        "\nRipley's K ({} points, {:.1} ms):",
+        points.len(),
+        t0.elapsed().as_secs_f64() * 1e3
+    );
+    println!("{:>8} {:>14} {:>14} {:>10}", "r (m)", "K(r)", "pi r^2 (CSR)", "L(r)-r");
+    for ((r, kv), l) in radii.iter().zip(&k.k_values).zip(k.l_minus_r()) {
+        println!(
+            "{:>8.0} {:>14.0} {:>14.0} {:>10.1}",
+            r,
+            kv,
+            std::f64::consts::PI * r * r,
+            l
+        );
+    }
+    println!("\nL(r) - r >> 0 at every scale: the 311 calls are strongly clustered,");
+    println!("which is exactly the regime KDV hotspot maps are built for.");
+    Ok(())
+}
