@@ -62,18 +62,10 @@ pub fn contour_segments(
     for j in 0..h - 1 {
         for i in 0..w - 1 {
             // corner values, CCW from bottom-left (pixel centres)
-            let v = [
-                grid.get(i, j),
-                grid.get(i + 1, j),
-                grid.get(i + 1, j + 1),
-                grid.get(i, j + 1),
-            ];
-            let inside = [
-                v[0] >= threshold,
-                v[1] >= threshold,
-                v[2] >= threshold,
-                v[3] >= threshold,
-            ];
+            let v =
+                [grid.get(i, j), grid.get(i + 1, j), grid.get(i + 1, j + 1), grid.get(i, j + 1)];
+            let inside =
+                [v[0] >= threshold, v[1] >= threshold, v[2] >= threshold, v[3] >= threshold];
             let case = (inside[0] as u8)
                 | (inside[1] as u8) << 1
                 | (inside[2] as u8) << 2

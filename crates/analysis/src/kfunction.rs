@@ -39,10 +39,7 @@ impl KFunction {
 
 fn validate(radii: &[f64]) {
     assert!(!radii.is_empty(), "at least one radius");
-    assert!(
-        radii.windows(2).all(|w| w[0] <= w[1]),
-        "radii must be ascending"
-    );
+    assert!(radii.windows(2).all(|w| w[0] <= w[1]), "radii must be ascending");
     assert!(radii.iter().all(|r| *r >= 0.0 && r.is_finite()));
 }
 

@@ -126,14 +126,7 @@ impl Baseline for Akde {
             for i in 0..g.res_x {
                 let q = g.pixel_center(i, j);
                 let mut acc = Kahan::new();
-                self.traverse(
-                    &tree,
-                    tree.root_id(),
-                    &q,
-                    params.kernel,
-                    params.bandwidth,
-                    &mut acc,
-                );
+                self.traverse(&tree, tree.root_id(), &q, params.kernel, params.bandwidth, &mut acc);
                 out.set(i, j, params.weight * acc.value());
             }
         }
@@ -157,9 +150,7 @@ mod tests {
             state ^= state << 17;
             (state >> 11) as f64 / (1u64 << 53) as f64
         };
-        let pts = (0..600)
-            .map(|_| Point::new(next() * 50.0, next() * 50.0))
-            .collect();
+        let pts = (0..600).map(|_| Point::new(next() * 50.0, next() * 50.0)).collect();
         (params, pts)
     }
 
@@ -183,10 +174,7 @@ mod tests {
             // absolute bound: w * n * eps / 2
             let bound = params.weight * pts.len() as f64 * eps * 0.5 + 1e-12;
             for (a, e) in got.values().iter().zip(reference.values()) {
-                assert!(
-                    (a - e).abs() <= bound,
-                    "eps={eps}: |{a} - {e}| > {bound}"
-                );
+                assert!((a - e).abs() <= bound, "eps={eps}: |{a} - {e}| > {bound}");
             }
         }
     }

@@ -145,9 +145,7 @@ impl AnyMethod {
     ) -> Result<MethodOutput> {
         match self {
             AnyMethod::Scan => scan::Scan.compute_with_deadline(params, points, deadline),
-            AnyMethod::RqsKd => {
-                rqs::Rqs::kd_tree().compute_with_deadline(params, points, deadline)
-            }
+            AnyMethod::RqsKd => rqs::Rqs::kd_tree().compute_with_deadline(params, points, deadline),
             AnyMethod::RqsBall => {
                 rqs::Rqs::ball_tree().compute_with_deadline(params, points, deadline)
             }
@@ -189,13 +187,7 @@ pub(crate) fn scan_reference(params: &KdvParams, points: &[Point]) -> DensityGri
     for j in 0..g.res_y {
         for i in 0..g.res_x {
             let q = g.pixel_center(i, j);
-            out.set(
-                i,
-                j,
-                params
-                    .kernel
-                    .density_scan(&q, points, params.bandwidth, params.weight),
-            );
+            out.set(i, j, params.kernel.density_scan(&q, points, params.bandwidth, params.weight));
         }
     }
     out
@@ -216,9 +208,7 @@ mod tests {
             state ^= state << 17;
             (state >> 11) as f64 / (1u64 << 53) as f64
         };
-        let pts = (0..300)
-            .map(|_| Point::new(next() * 40.0, next() * 30.0))
-            .collect();
+        let pts = (0..300).map(|_| Point::new(next() * 40.0, next() * 30.0)).collect();
         (params, pts)
     }
 

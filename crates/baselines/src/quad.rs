@@ -91,9 +91,8 @@ mod tests {
             state ^= state << 17;
             (state >> 11) as f64 / (1u64 << 53) as f64
         };
-        let mut pts: Vec<Point> = (0..500)
-            .map(|_| Point::new(next() * 60.0, next() * 45.0))
-            .collect();
+        let mut pts: Vec<Point> =
+            (0..500).map(|_| Point::new(next() * 60.0, next() * 45.0)).collect();
         // hotspot clump: exercises the fully-inside O(1) path heavily
         for _ in 0..200 {
             pts.push(Point::new(30.0 + next() * 2.0, 20.0 + next() * 2.0));
@@ -108,8 +107,7 @@ mod tests {
                 let (params, pts) = setup(kernel, b);
                 let reference = scan_reference(&params, &pts);
                 let got = Quad.compute(&params, &pts).unwrap();
-                let err =
-                    kdv_core::stats::max_rel_error(got.grid.values(), reference.values());
+                let err = kdv_core::stats::max_rel_error(got.grid.values(), reference.values());
                 assert!(err < 1e-9, "{kernel} b={b}: err {err}");
             }
         }
@@ -119,9 +117,8 @@ mod tests {
     fn large_coordinates_stay_conditioned() {
         // city-scale projected coordinates (~5e5 metres): the recentring
         // must keep the quartic decomposition accurate
-        let grid =
-            GridSpec::new(Rect::new(500_000.0, 4_000_000.0, 510_000.0, 4_008_000.0), 16, 12)
-                .unwrap();
+        let grid = GridSpec::new(Rect::new(500_000.0, 4_000_000.0, 510_000.0, 4_008_000.0), 16, 12)
+            .unwrap();
         let params = KdvParams::new(grid, KernelType::Quartic, 1500.0).with_weight(1e-4);
         let mut pts = Vec::new();
         for i in 0..300 {

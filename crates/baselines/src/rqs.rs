@@ -91,12 +91,8 @@ impl Baseline for Rqs {
                 let q = g.pixel_center(i, j);
                 let mut acc = Kahan::new();
                 match &tree {
-                    Tree::Kd(t) => {
-                        t.for_each_in_range(&q, b, |p| acc.add(kernel.eval(&q, p, b)))
-                    }
-                    Tree::Ball(t) => {
-                        t.for_each_in_range(&q, b, |p| acc.add(kernel.eval(&q, p, b)))
-                    }
+                    Tree::Kd(t) => t.for_each_in_range(&q, b, |p| acc.add(kernel.eval(&q, p, b))),
+                    Tree::Ball(t) => t.for_each_in_range(&q, b, |p| acc.add(kernel.eval(&q, p, b))),
                 }
                 out.set(i, j, w * acc.value());
             }
@@ -121,9 +117,8 @@ mod tests {
             state ^= state << 17;
             (state >> 11) as f64 / (1u64 << 53) as f64
         };
-        let pts = (0..400)
-            .map(|_| Point::new(-15.0 + next() * 50.0, -10.0 + next() * 40.0))
-            .collect();
+        let pts =
+            (0..400).map(|_| Point::new(-15.0 + next() * 50.0, -10.0 + next() * 40.0)).collect();
         (params, pts)
     }
 
@@ -134,8 +129,7 @@ mod tests {
             let reference = scan_reference(&params, &pts);
             for rqs in [Rqs::kd_tree(), Rqs::ball_tree()] {
                 let got = rqs.compute(&params, &pts).unwrap();
-                let err =
-                    kdv_core::stats::max_rel_error(got.grid.values(), reference.values());
+                let err = kdv_core::stats::max_rel_error(got.grid.values(), reference.values());
                 assert!(err < 1e-9, "{} {kernel}: err {err}", rqs.name());
                 assert!(got.aux_space_bytes > 0, "index space must be accounted");
             }

@@ -44,9 +44,7 @@ impl Baseline for Scan {
                 out.set(
                     i,
                     j,
-                    params
-                        .kernel
-                        .density_scan(&q, points, params.bandwidth, params.weight),
+                    params.kernel.density_scan(&q, points, params.bandwidth, params.weight),
                 );
             }
         }

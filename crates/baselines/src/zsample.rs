@@ -136,11 +136,7 @@ mod tests {
         // a few percent on a clustered dataset
         let (params, pts) = setup();
         let exact = scan_reference(&params, &pts).total();
-        let approx = ZOrderSampling::new(0.1)
-            .compute(&params, &pts)
-            .unwrap()
-            .grid
-            .total();
+        let approx = ZOrderSampling::new(0.1).compute(&params, &pts).unwrap().grid.total();
         let rel = (approx - exact).abs() / exact;
         assert!(rel < 0.05, "mass error {rel}");
     }

@@ -31,12 +31,16 @@ fn bench_rao_aspect(c: &mut Criterion) {
     for &(x, y) in &[(1280usize, 75usize), (640, 150), (320, 300), (160, 600), (80, 1200)] {
         let grid = GridSpec::new(region, x, y).unwrap();
         let params = KdvParams::new(grid, KernelType::Epanechnikov, 300.0);
-        group.bench_with_input(BenchmarkId::new("bucket_fixed", format!("{x}x{y}")), &params, |b, p| {
-            b.iter(|| sweep_bucket::compute(p, &pts).unwrap())
-        });
-        group.bench_with_input(BenchmarkId::new("bucket_rao", format!("{x}x{y}")), &params, |b, p| {
-            b.iter(|| rao::compute_bucket(p, &pts).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("bucket_fixed", format!("{x}x{y}")),
+            &params,
+            |b, p| b.iter(|| sweep_bucket::compute(p, &pts).unwrap()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("bucket_rao", format!("{x}x{y}")),
+            &params,
+            |b, p| b.iter(|| rao::compute_bucket(p, &pts).unwrap()),
+        );
     }
     group.finish();
 }

@@ -56,11 +56,9 @@ fn bench_incremental_pan(c: &mut Criterion) {
         let region = grid.region.translated(0.0, rows as f64 * grid.gap_y());
         let next_grid = GridSpec::new(region, 512, 384).unwrap();
         let next_params = KdvParams { grid: next_grid, ..params };
-        group.bench_with_input(
-            BenchmarkId::new("incremental", rows),
-            &next_params,
-            |b, p| b.iter(|| pan_render(&prev, &grid, p, &pts).unwrap()),
-        );
+        group.bench_with_input(BenchmarkId::new("incremental", rows), &next_params, |b, p| {
+            b.iter(|| pan_render(&prev, &grid, p, &pts).unwrap())
+        });
         group.bench_with_input(BenchmarkId::new("full", rows), &next_params, |b, p| {
             b.iter(|| rao::compute_bucket(p, &pts).unwrap())
         });
@@ -84,10 +82,5 @@ fn bench_weighted_overhead(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_multi_bandwidth,
-    bench_incremental_pan,
-    bench_weighted_overhead
-);
+criterion_group!(benches, bench_multi_bandwidth, bench_incremental_pan, bench_weighted_overhead);
 criterion_main!(benches);

@@ -34,9 +34,7 @@ fn bench_kernels(c: &mut Criterion) {
             group.bench_with_input(
                 BenchmarkId::new(format!("aggregate_{kernel}"), n),
                 &agg,
-                |bch, agg| {
-                    bch.iter(|| kernel.density_from_aggregates(black_box(&q), agg, b, 1.0))
-                },
+                |bch, agg| bch.iter(|| kernel.density_from_aggregates(black_box(&q), agg, b, 1.0)),
             );
         }
     }

@@ -13,7 +13,7 @@ use kdv_bench::{banner, format_secs, CityData, HarnessConfig, Table};
 use kdv_core::driver::KdvParams;
 use kdv_core::grid::GridSpec;
 use kdv_core::multi_bandwidth::compute_multi_bandwidth;
-use kdv_core::parallel::{compute_parallel, ParallelEngine};
+use kdv_core::parallel::{compute_parallel, compute_parallel_with_report, ParallelEngine};
 use kdv_core::weighted::compute_weighted;
 use kdv_core::{rao, sweep_bucket, KernelType};
 use kdv_data::catalog::City;
@@ -106,11 +106,12 @@ fn main() {
     ]);
     t3.emit(&cfg.out_dir, "ext_weighted");
 
-    // 4. row-parallel scaling
+    // 4. work-stealing row-parallel scaling (with telemetry)
     let mut t4 = Table::new(
-        "Row-parallel scaling (scoped threads; single-core hosts show ~1x)",
-        &["Threads", "Time (s)", "Speedup vs 1"],
+        "Work-stealing row-parallel scaling (single-core hosts show ~1x)",
+        &["Threads", "Time (s)", "Rows/s", "Speedup vs 1", "Imbalance"],
     );
+    let rows = params.grid.res_y;
     let t_one = time(|| {
         compute_parallel(&params, pts, ParallelEngine::Bucket, 1).unwrap();
     });
@@ -118,11 +119,21 @@ fn main() {
         let t = time(|| {
             compute_parallel(&params, pts, ParallelEngine::Bucket, threads).unwrap();
         });
+        let (_, report) =
+            compute_parallel_with_report(&params, pts, ParallelEngine::Bucket, threads).unwrap();
         t4.push_row(vec![
             threads.to_string(),
             format_secs(t),
+            format!("{:.0}", rows as f64 / t),
             format!("{:.2}x", t_one / t),
+            format!("{:.2}", report.imbalance()),
         ]);
     }
     t4.emit(&cfg.out_dir, "ext_parallel");
+
+    // telemetry snapshot at the largest thread count — the rows-per-worker
+    // distribution documents that scheduling is dynamic, not banded
+    let (_, report) =
+        compute_parallel_with_report(&params, pts, ParallelEngine::Bucket, 8).unwrap();
+    println!("\n{}", report.summary());
 }

@@ -28,26 +28,29 @@ fn main() {
 
     // 4x ladder like the paper's 320x240 .. 2560x1920
     let (bx, by) = cfg.resolution;
-    let resolutions: Vec<(usize, usize)> = (0..4)
-        .map(|i| ((bx / 2) << i, (by / 2) << i))
-        .collect();
+    let resolutions: Vec<(usize, usize)> = (0..4).map(|i| ((bx / 2) << i, (by / 2) << i)).collect();
 
     let methods = figure_lineup();
     for cd in CityData::load_all(cfg.scale) {
         let mut headers = vec!["Resolution".to_string()];
         headers.extend(methods.iter().map(|m| m.name()));
         let href: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
-        let mut table = Table::new(
-            format!("Figure 13 — {} (n={})", cd.city.name(), cd.points.len()),
-            &href,
-        );
+        let mut table =
+            Table::new(format!("Figure 13 — {} (n={})", cd.city.name(), cd.points.len()), &href);
         for &(rx, ry) in &resolutions {
             let params = cd.params((rx, ry), KernelType::Epanechnikov);
             let mut row = vec![format!("{rx}x{ry}")];
             for m in &methods {
                 let t = time_method(m, &params, &cd.points, cfg.cap);
                 row.push(t.cell(cfg.cap_secs()));
-                eprintln!("  {:<14} {:>9}x{:<4} {:<18} {}", cd.city.name(), rx, ry, m.name(), row.last().unwrap());
+                eprintln!(
+                    "  {:<14} {:>9}x{:<4} {:<18} {}",
+                    cd.city.name(),
+                    rx,
+                    ry,
+                    m.name(),
+                    row.last().unwrap()
+                );
             }
             table.push_row(row);
         }

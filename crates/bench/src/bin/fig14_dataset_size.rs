@@ -36,15 +36,19 @@ fn main() {
         // the paper ("default resolution size and bandwidth value")
         let params = cd.params(cfg.resolution, KernelType::Epanechnikov);
         for &frac in &[0.25, 0.5, 0.75, 1.0] {
-            let sampled: Vec<Point> = sample_fraction(&cd.dataset.records, frac, 1234)
-                .iter()
-                .map(|r| r.point)
-                .collect();
+            let sampled: Vec<Point> =
+                sample_fraction(&cd.dataset.records, frac, 1234).iter().map(|r| r.point).collect();
             let mut row = vec![format!("{:.0}%", frac * 100.0), sampled.len().to_string()];
             for m in &methods {
                 let t = time_method(m, &params, &sampled, cfg.cap);
                 row.push(t.cell(cfg.cap_secs()));
-                eprintln!("  {:<14} {:>4.0}% {:<18} {}", cd.city.name(), frac * 100.0, m.name(), row.last().unwrap());
+                eprintln!(
+                    "  {:<14} {:>4.0}% {:<18} {}",
+                    cd.city.name(),
+                    frac * 100.0,
+                    m.name(),
+                    row.last().unwrap()
+                );
             }
             table.push_row(row);
         }

@@ -42,7 +42,13 @@ fn main() {
             for m in &methods {
                 let t = time_method(m, &params, &cd.points, cfg.cap);
                 row.push(t.cell(cfg.cap_secs()));
-                eprintln!("  {:<14} x{:<5} {:<18} {}", cd.city.name(), ratio, m.name(), row.last().unwrap());
+                eprintln!(
+                    "  {:<14} x{:<5} {:<18} {}",
+                    cd.city.name(),
+                    ratio,
+                    m.name(),
+                    row.last().unwrap()
+                );
             }
             table.push_row(row);
         }

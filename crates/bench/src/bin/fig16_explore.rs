@@ -7,9 +7,9 @@
 
 use kdv_baselines::AnyMethod;
 use kdv_bench::{banner, time_method, CityData, HarnessConfig, Table};
+use kdv_core::driver::KdvParams;
 use kdv_core::geom::Point;
 use kdv_core::grid::GridSpec;
-use kdv_core::driver::KdvParams;
 use kdv_core::{KernelType, Method};
 use kdv_data::catalog::City;
 use kdv_data::record::year_start;
@@ -43,19 +43,13 @@ fn main() {
             .collect();
         let bandwidth = kdv_data::scott_bandwidth(&year_points);
         let weight = 1.0 / year_points.len().max(1) as f64;
-        eprintln!(
-            "{}: {} events in 2019, b={:.1} m",
-            city.name(),
-            year_points.len(),
-            bandwidth
-        );
+        eprintln!("{}: {} events in 2019, b={:.1} m", city.name(), year_points.len(), bandwidth);
 
         // (a, b): zooming
         let mut headers = vec!["Zoom ratio".to_string()];
         headers.extend(methods.iter().map(|m| m.name()));
         let href: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
-        let mut zoom_table =
-            Table::new(format!("Figure 16 zoom — {}", city.name()), &href);
+        let mut zoom_table = Table::new(format!("Figure 16 zoom — {}", city.name()), &href);
         let ratios = [0.25, 0.5, 0.75, 1.0];
         for (region, ratio) in zoom_regions(cd.mbr, &ratios).into_iter().zip(ratios) {
             let grid = GridSpec::new(region, cfg.resolution.0, cfg.resolution.1).unwrap();

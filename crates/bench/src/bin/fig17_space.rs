@@ -38,8 +38,7 @@ fn main() {
     banner("Figure 17: space consumption vs dataset size", &cfg);
 
     let methods = figure_lineup();
-    let raster_bytes =
-        cfg.resolution.0 * cfg.resolution.1 * std::mem::size_of::<f64>();
+    let raster_bytes = cfg.resolution.0 * cfg.resolution.1 * std::mem::size_of::<f64>();
     println!("shared output raster: {}\n", fmt_bytes(raster_bytes));
 
     for cd in CityData::load_all(cfg.scale) {
@@ -56,20 +55,22 @@ fn main() {
         );
         let params = cd.params(cfg.resolution, KernelType::Epanechnikov);
         for &frac in &[0.25, 0.5, 0.75, 1.0] {
-            let sampled: Vec<Point> = sample_fraction(&cd.dataset.records, frac, 1234)
-                .iter()
-                .map(|r| r.point)
-                .collect();
+            let sampled: Vec<Point> =
+                sample_fraction(&cd.dataset.records, frac, 1234).iter().map(|r| r.point).collect();
             let mut row = vec![format!("{:.0}%", frac * 100.0), sampled.len().to_string()];
             for m in &methods {
                 let cell = match time_method(m, &params, &sampled, cfg.cap) {
-                    Timing::Done { output, .. } => {
-                        fmt_bytes(output.aux_space_bytes + raster_bytes)
-                    }
+                    Timing::Done { output, .. } => fmt_bytes(output.aux_space_bytes + raster_bytes),
                     Timing::TimedOut => "> cap".to_string(),
                     Timing::Failed(e) => format!("ERR({e})"),
                 };
-                eprintln!("  {:<14} {:>4.0}% {:<18} {}", cd.city.name(), frac * 100.0, m.name(), cell);
+                eprintln!(
+                    "  {:<14} {:>4.0}% {:<18} {}",
+                    cd.city.name(),
+                    frac * 100.0,
+                    m.name(),
+                    cell
+                );
                 row.push(cell);
             }
             table.push_row(row);

@@ -33,12 +33,7 @@ fn main() {
             headers.extend(methods.iter().map(|m| m.name()));
             let href: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
             let mut table = Table::new(
-                format!(
-                    "Figure 18 — {} / {} kernel (n={})",
-                    city.name(),
-                    kernel,
-                    cd.points.len()
-                ),
+                format!("Figure 18 — {} / {} kernel (n={})", city.name(), kernel, cd.points.len()),
                 &href,
             );
             for &(rx, ry) in &resolutions {
@@ -47,15 +42,20 @@ fn main() {
                 for m in &methods {
                     let t = time_method(m, &params, &cd.points, cfg.cap);
                     row.push(t.cell(cfg.cap_secs()));
-                    eprintln!("  {:<14} {:<12} {:>4}x{:<4} {:<18} {}", city.name(), kernel.name(), rx, ry, m.name(), row.last().unwrap());
+                    eprintln!(
+                        "  {:<14} {:<12} {:>4}x{:<4} {:<18} {}",
+                        city.name(),
+                        kernel.name(),
+                        rx,
+                        ry,
+                        m.name(),
+                        row.last().unwrap()
+                    );
                 }
                 table.push_row(row);
             }
-            let stem = format!(
-                "fig18_{}_{}",
-                city.name().to_lowercase().replace(' ', "_"),
-                kernel.name()
-            );
+            let stem =
+                format!("fig18_{}_{}", city.name().to_lowercase().replace(' ', "_"), kernel.name());
             table.emit(&cfg.out_dir, &stem);
         }
     }

@@ -31,30 +31,31 @@ fn main() {
             let mut headers = vec!["Fraction".to_string(), "n".to_string()];
             headers.extend(methods.iter().map(|m| m.name()));
             let href: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
-            let mut table = Table::new(
-                format!("Figure 19 — {} / {} kernel", city.name(), kernel),
-                &href,
-            );
+            let mut table =
+                Table::new(format!("Figure 19 — {} / {} kernel", city.name(), kernel), &href);
             let params = cd.params(cfg.resolution, kernel);
             for &frac in &[0.25, 0.5, 0.75, 1.0] {
                 let sampled: Vec<Point> = sample_fraction(&cd.dataset.records, frac, 1234)
                     .iter()
                     .map(|r| r.point)
                     .collect();
-                let mut row =
-                    vec![format!("{:.0}%", frac * 100.0), sampled.len().to_string()];
+                let mut row = vec![format!("{:.0}%", frac * 100.0), sampled.len().to_string()];
                 for m in &methods {
                     let t = time_method(m, &params, &sampled, cfg.cap);
                     row.push(t.cell(cfg.cap_secs()));
-                    eprintln!("  {:<14} {:<12} {:>4.0}% {:<18} {}", city.name(), kernel.name(), frac * 100.0, m.name(), row.last().unwrap());
+                    eprintln!(
+                        "  {:<14} {:<12} {:>4.0}% {:<18} {}",
+                        city.name(),
+                        kernel.name(),
+                        frac * 100.0,
+                        m.name(),
+                        row.last().unwrap()
+                    );
                 }
                 table.push_row(row);
             }
-            let stem = format!(
-                "fig19_{}_{}",
-                city.name().to_lowercase().replace(' ', "_"),
-                kernel.name()
-            );
+            let stem =
+                format!("fig19_{}_{}", city.name().to_lowercase().replace(' ', "_"), kernel.name());
             table.emit(&cfg.out_dir, &stem);
         }
     }

@@ -53,10 +53,7 @@ fn main() {
 
     let extent = Rect::new(0.0, 0.0, 10_000.0, 10_000.0);
     let synth = SynthConfig::simple(extent);
-    let full: Vec<Point> = generate(&synth, 60_000, 7)
-        .into_iter()
-        .map(|r| r.point)
-        .collect();
+    let full: Vec<Point> = generate(&synth, 60_000, 7).into_iter().map(|r| r.point).collect();
     let bandwidth = 400.0;
 
     let methods: Vec<(AnyMethod, &str)> = vec![

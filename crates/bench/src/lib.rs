@@ -323,9 +323,7 @@ mod tests {
     #[test]
     fn timing_cells() {
         assert_eq!(Timing::TimedOut.cell(60.0), "> 60.00");
-        assert!(Timing::Failed(KdvError::InvalidBandwidth(0.0))
-            .cell(60.0)
-            .starts_with("ERR"));
+        assert!(Timing::Failed(KdvError::InvalidBandwidth(0.0)).cell(60.0).starts_with("ERR"));
     }
 
     #[test]

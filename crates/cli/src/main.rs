@@ -17,14 +17,19 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::time::Instant;
 
+use kdv_analysis::hotspots_by_peak_fraction;
 use kdv_baselines::AnyMethod;
 use kdv_core::driver::KdvParams;
-use kdv_core::grid::GridSpec;
+use kdv_core::grid::{DensityGrid, GridSpec};
+use kdv_core::parallel::{
+    compute_parallel, compute_parallel_rao, compute_parallel_rao_with_report,
+    compute_parallel_with_report, default_threads, ParallelEngine,
+};
+use kdv_core::telemetry::SweepReport;
 use kdv_core::{KernelType, Method};
 use kdv_data::catalog::City;
 use kdv_data::csvio;
-use kdv_analysis::hotspots_by_peak_fraction;
-use kdv_temporal::{compute_stkdv, FrameSpec, StKdvConfig, TemporalKernel};
+use kdv_temporal::{compute_stkdv_parallel, FrameSpec, StKdvConfig, TemporalKernel};
 use kdv_viz::{ascii_art, render, ColorMap, Scale};
 
 const USAGE: &str = "kdv — SLAM kernel density visualization tools
@@ -33,11 +38,13 @@ USAGE:
   kdv generate --city <seattle|la|ny|sf> [--scale F] [--out FILE.csv]
   kdv render   --input FILE.csv [--res WxH] [--kernel K] [--bandwidth B]
                [--method M] [--colormap C] [--scale-mode S] [--out FILE.ppm] [--ascii]
+               [--threads N] [--stats]
   kdv bench    --input FILE.csv --method M [--res WxH] [--kernel K] [--bandwidth B]
+               [--threads N] [--stats]
   kdv hotspots --input FILE.csv [--res WxH] [--kernel K] [--bandwidth B]
                [--peak-fraction F] [--top N]
   kdv stkdv    --input FILE.csv --frames N [--res WxH] [--kernel K] [--bandwidth B]
-               [--time-bandwidth SECS] [--out-prefix PREFIX]
+               [--time-bandwidth SECS] [--out-prefix PREFIX] [--threads N]
   kdv info     --input FILE.csv
 
 OPTIONS:
@@ -49,6 +56,9 @@ OPTIONS:
   --res          raster, e.g. 640x480                    (default 640x480)
   --colormap     heat | gray | viridis                   (default heat)
   --scale-mode   linear | sqrt | log                     (default sqrt)
+  --threads      sweep worker threads; 0 or omitted = all cores
+                 (SLAM methods and stkdv only)
+  --stats        print the sweep telemetry report (SLAM methods only)
 ";
 
 /// Minimal `--key value` argument map with flag support.
@@ -83,11 +93,7 @@ impl Args {
     }
 
     fn get(&self, key: &str) -> Option<&str> {
-        self.values
-            .iter()
-            .rev()
-            .find(|(k, _)| k == key)
-            .map(|(_, v)| v.as_str())
+        self.values.iter().rev().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
     }
 
     fn has_flag(&self, key: &str) -> bool {
@@ -123,10 +129,7 @@ fn parse_method(s: &str) -> Result<AnyMethod, String> {
 
 fn parse_res(s: &str) -> Result<(usize, usize), String> {
     let (x, y) = s.split_once(['x', 'X']).ok_or("resolution must be WxH")?;
-    Ok((
-        x.parse().map_err(|_| "bad width")?,
-        y.parse().map_err(|_| "bad height")?,
-    ))
+    Ok((x.parse().map_err(|_| "bad width")?, y.parse().map_err(|_| "bad height")?))
 }
 
 /// Loads a CSV dataset and assembles the KDV parameters shared by the
@@ -140,18 +143,14 @@ fn load_problem(args: &Args) -> Result<(Vec<kdv_core::Point>, KdvParams), String
     let points = dataset.points();
     let mbr = dataset.mbr();
     let (rx, ry) = args.get("res").map(parse_res).transpose()?.unwrap_or((640, 480));
-    let kernel: KernelType = args
-        .get("kernel")
-        .unwrap_or("epanechnikov")
-        .parse()
-        .map_err(|e: String| e)?;
+    let kernel: KernelType =
+        args.get("kernel").unwrap_or("epanechnikov").parse().map_err(|e: String| e)?;
     let bandwidth = match args.get("bandwidth") {
         Some(b) => b.parse().map_err(|_| "bad --bandwidth")?,
         None => kdv_data::scott_bandwidth(&points),
     };
     let grid = GridSpec::new(mbr, rx, ry).map_err(|e| e.to_string())?;
-    let params = KdvParams::new(grid, kernel, bandwidth)
-        .with_weight(1.0 / points.len() as f64);
+    let params = KdvParams::new(grid, kernel, bandwidth).with_weight(1.0 / points.len() as f64);
     Ok((points, params))
 }
 
@@ -174,30 +173,94 @@ fn cmd_generate(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Parses `--threads` (`0`/omitted = all cores, per [`default_threads`]).
+fn parse_threads(args: &Args) -> Result<usize, String> {
+    match args.get("threads") {
+        Some(t) => {
+            let n: usize = t.parse().map_err(|_| "bad --threads")?;
+            Ok(if n == 0 { default_threads() } else { n })
+        }
+        None => Ok(default_threads()),
+    }
+}
+
+/// Runs `method` honouring `--threads`/`--stats`: SLAM variants dispatch
+/// to the work-stealing parallel runtime; baselines stay sequential (with
+/// a note if parallel options were requested for them).
+fn compute_with_runtime(
+    method: AnyMethod,
+    params: &KdvParams,
+    points: &[kdv_core::Point],
+    threads: usize,
+    stats: bool,
+) -> Result<(DensityGrid, Option<SweepReport>), String> {
+    let AnyMethod::Slam(m) = method else {
+        if threads > 1 || stats {
+            eprintln!(
+                "note: --threads/--stats apply to SLAM methods only; running {} sequentially",
+                method.name()
+            );
+        }
+        let result = method.compute(params, points).map_err(|e| e.to_string())?;
+        return Ok((result.grid, None));
+    };
+    let engine = match m {
+        Method::SlamSort | Method::SlamSortRao => ParallelEngine::Sort,
+        Method::SlamBucket | Method::SlamBucketRao => ParallelEngine::Bucket,
+    };
+    let rao = matches!(m, Method::SlamSortRao | Method::SlamBucketRao);
+    let out = match (rao, stats) {
+        (false, false) => {
+            (compute_parallel(params, points, engine, threads).map_err(|e| e.to_string())?, None)
+        }
+        (true, false) => (
+            compute_parallel_rao(params, points, engine, threads).map_err(|e| e.to_string())?,
+            None,
+        ),
+        (false, true) => {
+            let (g, r) = compute_parallel_with_report(params, points, engine, threads)
+                .map_err(|e| e.to_string())?;
+            (g, Some(r))
+        }
+        (true, true) => {
+            let (g, r) = compute_parallel_rao_with_report(params, points, engine, threads)
+                .map_err(|e| e.to_string())?;
+            (g, Some(r))
+        }
+    };
+    Ok(out)
+}
+
 fn cmd_render(args: &Args) -> Result<(), String> {
     let (points, params) = load_problem(args)?;
     let method = parse_method(args.get("method").unwrap_or("slam-bucket-rao"))?;
     let colormap: ColorMap = args.get("colormap").unwrap_or("heat").parse()?;
     let scale_mode: Scale = args.get("scale-mode").unwrap_or("sqrt").parse()?;
     let out = PathBuf::from(args.get("out").unwrap_or("kdv.ppm"));
+    let threads = parse_threads(args)?;
+    let stats = args.has_flag("stats");
 
     let start = Instant::now();
-    let result = method.compute(&params, &points).map_err(|e| e.to_string())?;
+    let (grid, report) = compute_with_runtime(method, &params, &points, threads, stats)?;
     let elapsed = start.elapsed();
-    let image = render(&result.grid, colormap, scale_mode);
+    let image = render(&grid, colormap, scale_mode);
     image.save_ppm(&out).map_err(|e| e.to_string())?;
     println!(
-        "{}: {}x{} raster over {} points in {:.3}s -> {}",
+        "{}: {}x{} raster over {} points in {:.3}s ({} thread(s)) -> {}",
         method.name(),
         params.grid.res_x,
         params.grid.res_y,
         points.len(),
         elapsed.as_secs_f64(),
+        threads,
         out.display()
     );
+    if let Some(report) = report {
+        println!("{}", report.summary());
+    }
     if args.has_flag("ascii") {
         // coarse preview: subsample the grid to <= 72 columns
-        println!("{}", ascii_art(&result.grid, scale_mode));
+        println!("{}", ascii_art(&grid, scale_mode));
     }
     Ok(())
 }
@@ -205,26 +268,29 @@ fn cmd_render(args: &Args) -> Result<(), String> {
 fn cmd_bench(args: &Args) -> Result<(), String> {
     let (points, params) = load_problem(args)?;
     let method = parse_method(args.get("method").ok_or("--method is required")?)?;
+    let threads = parse_threads(args)?;
+    let stats = args.has_flag("stats");
     let start = Instant::now();
-    method.compute(&params, &points).map_err(|e| e.to_string())?;
+    let (_, report) = compute_with_runtime(method, &params, &points, threads, stats)?;
     println!(
-        "{}\t{}x{}\tn={}\t{:.4}s",
+        "{}\t{}x{}\tn={}\tthreads={}\t{:.4}s",
         method.name(),
         params.grid.res_x,
         params.grid.res_y,
         points.len(),
+        threads,
         start.elapsed().as_secs_f64()
     );
+    if let Some(report) = report {
+        println!("{}", report.summary());
+    }
     Ok(())
 }
 
 fn cmd_hotspots(args: &Args) -> Result<(), String> {
     let (points, params) = load_problem(args)?;
-    let fraction: f64 = args
-        .get("peak-fraction")
-        .unwrap_or("0.25")
-        .parse()
-        .map_err(|_| "bad --peak-fraction")?;
+    let fraction: f64 =
+        args.get("peak-fraction").unwrap_or("0.25").parse().map_err(|_| "bad --peak-fraction")?;
     let top: usize = args.get("top").unwrap_or("10").parse().map_err(|_| "bad --top")?;
 
     let grid = kdv_core::KdvEngine::new(Method::SlamBucketRao)
@@ -237,10 +303,7 @@ fn cmd_hotspots(args: &Args) -> Result<(), String> {
         fraction * 100.0,
         grid.max_value()
     );
-    println!(
-        "{:<4} {:>10} {:>14} {:>12} {:>22}",
-        "#", "pixels", "area (m^2)", "peak", "centroid"
-    );
+    println!("{:<4} {:>10} {:>14} {:>12} {:>22}", "#", "pixels", "area (m^2)", "peak", "centroid");
     for (i, h) in hotspots.iter().take(top).enumerate() {
         println!(
             "{:<4} {:>10} {:>14.0} {:>12.6} ({:>9.1}, {:>9.1})",
@@ -263,16 +326,11 @@ fn cmd_stkdv(args: &Args) -> Result<(), String> {
     }
     let (points, params) = load_problem(args)?;
     let _ = points;
-    let frames: usize = args
-        .get("frames")
-        .ok_or("--frames N is required")?
-        .parse()
-        .map_err(|_| "bad --frames")?;
+    let frames: usize =
+        args.get("frames").ok_or("--frames N is required")?.parse().map_err(|_| "bad --frames")?;
     let times: Vec<i64> = dataset.records.iter().map(|r| r.timestamp).collect();
-    let (t0, t1) = (
-        *times.iter().min().expect("non-empty"),
-        *times.iter().max().expect("non-empty"),
-    );
+    let (t0, t1) =
+        (*times.iter().min().expect("non-empty"), *times.iter().max().expect("non-empty"));
     let spec = FrameSpec::spanning(t0, t1, frames);
     let default_bt = (spec.stride * 2).max(1).to_string();
     let temporal_bandwidth: i64 = args
@@ -288,13 +346,16 @@ fn cmd_stkdv(args: &Args) -> Result<(), String> {
         temporal_bandwidth,
         temporal_kernel: TemporalKernel::Epanechnikov,
     };
+    let threads = parse_threads(args)?;
     let start = Instant::now();
-    let rendered = compute_stkdv(&config, &dataset.records).map_err(|e| e.to_string())?;
+    let rendered =
+        compute_stkdv_parallel(&config, &dataset.records, threads).map_err(|e| e.to_string())?;
     println!(
-        "computed {} frames in {:.2}s (temporal bandwidth {}s)",
+        "computed {} frames in {:.2}s (temporal bandwidth {}s, {} thread(s))",
         rendered.len(),
         start.elapsed().as_secs_f64(),
-        temporal_bandwidth
+        temporal_bandwidth,
+        threads
     );
     let colormap: ColorMap = args.get("colormap").unwrap_or("heat").parse()?;
     for (i, frame) in rendered.iter().enumerate() {
@@ -302,12 +363,7 @@ fn cmd_stkdv(args: &Args) -> Result<(), String> {
         render(&frame.grid, colormap, Scale::Sqrt)
             .save_ppm(Path::new(&file))
             .map_err(|e| e.to_string())?;
-        println!(
-            "frame {:>3}: t={} events={} -> {file}",
-            i + 1,
-            frame.time,
-            frame.events
-        );
+        println!("frame {:>3}: t={} events={} -> {file}", i + 1, frame.time, frame.events);
     }
     Ok(())
 }
@@ -331,11 +387,7 @@ fn cmd_info(args: &Args) -> Result<(), String> {
         );
         println!("scott b:   {:.2} m", kdv_data::scott_bandwidth(&points));
         let ts: Vec<i64> = dataset.records.iter().map(|r| r.timestamp).collect();
-        println!(
-            "time span: {} .. {}",
-            ts.iter().min().unwrap(),
-            ts.iter().max().unwrap()
-        );
+        println!("time span: {} .. {}", ts.iter().min().unwrap(), ts.iter().max().unwrap());
     }
     Ok(())
 }
@@ -409,10 +461,7 @@ mod tests {
             parse_method("slam-bucket-rao").unwrap(),
             AnyMethod::Slam(Method::SlamBucketRao)
         ));
-        assert!(matches!(
-            parse_method("Z-ORDER").unwrap(),
-            AnyMethod::ZOrder { .. }
-        ));
+        assert!(matches!(parse_method("Z-ORDER").unwrap(), AnyMethod::ZOrder { .. }));
         assert!(parse_method("magic").is_err());
     }
 

@@ -141,6 +141,47 @@ impl SweepAccumulator {
         *self = SweepAccumulator::new(mq);
     }
 
+    /// Translates the accumulated coordinate frame along x by `delta`:
+    /// afterwards the aggregates describe the same point multiset expressed
+    /// in coordinates `x' = x − delta` (y unchanged).
+    ///
+    /// Exact in real arithmetic — each power sum is a polynomial in the
+    /// coordinates, so a translation is a binomial re-expansion in terms of
+    /// the pre-shift sums. The engines use this to keep every stored
+    /// magnitude `O(b)` as the sweep advances (the rolling frame described
+    /// in `sweep_sort`), which is what keeps the quartic decomposition
+    /// conditioned at city-scale coordinates.
+    pub fn shift_x(&mut self, delta: f64) {
+        if self.count == 0 {
+            return;
+        }
+        let n = self.count as f64;
+        let d = delta;
+        // Snapshot pre-shift values: every update below must see the old
+        // frame, not a partially shifted one.
+        let ax = self.ax.value();
+        self.ax.add(-n * d);
+        if self.maintain_quartic {
+            let ay = self.ay.value();
+            let s = self.s.value();
+            let cx = self.cx.value();
+            let mxx = self.mxx.value();
+            let mxy = self.mxy.value();
+            let d2 = d * d;
+            self.s.add(-2.0 * d * ax + n * d2);
+            self.q4.add(
+                -4.0 * d * cx + 2.0 * d2 * s + 4.0 * d2 * mxx - 4.0 * d * d2 * ax + n * d2 * d2,
+            );
+            self.cx.add(-d * (s + 2.0 * mxx) + 3.0 * d2 * ax - n * d * d2);
+            self.cy.add(-2.0 * d * mxy + d2 * ay);
+            self.mxx.add(-2.0 * d * ax + n * d2);
+            self.mxy.add(-d * ay);
+            // myy is y-only: unchanged by an x-translation.
+        } else {
+            self.s.add(-2.0 * d * ax + n * d * d);
+        }
+    }
+
     /// Snapshot of the difference `self − other`, i.e. the aggregates of
     /// `L \ U` (valid because `U ⊆ L`, proven in Lemma 5).
     ///
@@ -234,6 +275,50 @@ mod tests {
         acc.insert(&Point::new(2.0, 0.0));
         let diff = acc.diff(&SweepAccumulator::new(true));
         assert!((diff.q4 - 16.0).abs() < 1e-12, "quartic terms still maintained");
+    }
+
+    #[test]
+    fn shift_x_matches_rebuilding_in_new_frame() {
+        let pts = sample_points();
+        for quartic in [false, true] {
+            let mut acc = SweepAccumulator::new(quartic);
+            for p in &pts {
+                acc.insert(p);
+            }
+            let delta = 3.75;
+            acc.shift_x(delta);
+            let shifted: Vec<Point> = pts.iter().map(|p| Point::new(p.x - delta, p.y)).collect();
+            let mut expect = SweepAccumulator::new(quartic);
+            for p in &shifted {
+                expect.insert(p);
+            }
+            let got = acc.diff(&SweepAccumulator::new(quartic));
+            let want = expect.diff(&SweepAccumulator::new(quartic));
+            assert_eq!(got.count, want.count);
+            for (g, w) in [
+                (got.ax, want.ax),
+                (got.ay, want.ay),
+                (got.s, want.s),
+                (got.cx, want.cx),
+                (got.cy, want.cy),
+                (got.q4, want.q4),
+                (got.mxx, want.mxx),
+                (got.mxy, want.mxy),
+                (got.myy, want.myy),
+            ] {
+                assert!((g - w).abs() <= 1e-10 * w.abs().max(1.0), "{g} vs {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn shift_x_on_empty_accumulator_is_a_noop() {
+        let mut acc = SweepAccumulator::new(true);
+        acc.shift_x(123.0);
+        let d = acc.diff(&SweepAccumulator::new(true));
+        assert_eq!(d.count, 0);
+        assert_eq!(d.ax, 0.0);
+        assert_eq!(d.q4, 0.0);
     }
 
     #[test]

@@ -127,7 +127,7 @@ pub fn sweep_grid<E: RowEngine>(
 ) -> Result<DensityGrid> {
     let ctx = SweepContext::new(params, points)?;
     let mut grid = DensityGrid::zeroed(params.grid.res_x, params.grid.res_y);
-    let mut envelope = EnvelopeBuffer::with_capacity(ctx.points.len().min(1 << 20));
+    let mut envelope = EnvelopeBuffer::for_points(ctx.points.len());
     for j in 0..params.grid.res_y {
         let k = ctx.ks[j];
         let intervals = envelope.fill(&ctx.points, params.bandwidth, k);

@@ -28,6 +28,11 @@ pub struct EnvelopeBuffer {
 }
 
 impl EnvelopeBuffer {
+    /// Upper bound on pre-allocated capacity (1 Mi intervals ≈ 32 MiB):
+    /// beyond this, [`EnvelopeBuffer::for_points`] lets the buffer grow on
+    /// demand instead of reserving the worst case up front.
+    pub const MAX_PREALLOC: usize = 1 << 20;
+
     /// An empty buffer; capacity grows on first use and is then reused.
     pub fn new() -> Self {
         Self::default()
@@ -36,6 +41,14 @@ impl EnvelopeBuffer {
     /// Pre-sizes the buffer for `n` points.
     pub fn with_capacity(n: usize) -> Self {
         Self { intervals: Vec::with_capacity(n) }
+    }
+
+    /// The buffer every sweep driver should use for a dataset of `n`
+    /// points: pre-sized for `n`, capped at [`EnvelopeBuffer::MAX_PREALLOC`]
+    /// so huge datasets don't commit worst-case memory before the first row
+    /// shows how large envelopes really get.
+    pub fn for_points(n: usize) -> Self {
+        Self::with_capacity(n.min(Self::MAX_PREALLOC))
     }
 
     /// Extracts the envelope point set `E(k)` for the row at y-coordinate
@@ -52,11 +65,7 @@ impl EnvelopeBuffer {
             if rem >= 0.0 {
                 // |k − p.y| ≤ b  ⟹  p ∈ E(k)
                 let half = rem.sqrt();
-                self.intervals.push(SweepInterval {
-                    point: *p,
-                    lb: p.x - half,
-                    ub: p.x + half,
-                });
+                self.intervals.push(SweepInterval { point: *p, lb: p.x - half, ub: p.x + half });
             }
         }
         &self.intervals
@@ -139,6 +148,17 @@ mod tests {
             let in_interval = iv.lb <= qx && qx <= iv.ub;
             assert_eq!(in_range, in_interval, "q.x = {qx}");
         }
+    }
+
+    #[test]
+    fn for_points_caps_preallocation() {
+        let small = EnvelopeBuffer::for_points(100);
+        assert_eq!(small.space_bytes(), 100 * std::mem::size_of::<SweepInterval>());
+        let huge = EnvelopeBuffer::for_points(usize::MAX / 64);
+        assert_eq!(
+            huge.space_bytes(),
+            EnvelopeBuffer::MAX_PREALLOC * std::mem::size_of::<SweepInterval>()
+        );
     }
 
     #[test]

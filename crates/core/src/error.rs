@@ -10,10 +10,7 @@ pub enum KdvError {
     /// The bandwidth must be finite and strictly positive.
     InvalidBandwidth(f64),
     /// The query region is degenerate (zero or negative extent).
-    DegenerateRegion {
-        width: f64,
-        height: f64,
-    },
+    DegenerateRegion { width: f64, height: f64 },
     /// A data point has a non-finite coordinate.
     NonFinitePoint { index: usize },
     /// The requested weight is non-finite.
@@ -55,9 +52,7 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert!(KdvError::EmptyResolution { x: 0, y: 5 }
-            .to_string()
-            .contains("0x5"));
+        assert!(KdvError::EmptyResolution { x: 0, y: 5 }.to_string().contains("0x5"));
         assert!(KdvError::InvalidBandwidth(-1.0).to_string().contains("-1"));
         assert!(KdvError::NonFinitePoint { index: 7 }.to_string().contains("#7"));
     }

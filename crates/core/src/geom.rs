@@ -140,10 +140,7 @@ impl Rect {
     /// The centre point.
     #[inline]
     pub fn center(&self) -> Point {
-        Point::new(
-            0.5 * (self.min_x + self.max_x),
-            0.5 * (self.min_y + self.max_y),
-        )
+        Point::new(0.5 * (self.min_x + self.max_x), 0.5 * (self.min_y + self.max_y))
     }
 
     /// Whether the (closed) rectangle contains `p`.
@@ -210,12 +207,7 @@ impl Rect {
 
     /// A rectangle translated by `(dx, dy)` (pan operation).
     pub fn translated(&self, dx: f64, dy: f64) -> Rect {
-        Rect::new(
-            self.min_x + dx,
-            self.min_y + dy,
-            self.max_x + dx,
-            self.max_y + dy,
-        )
+        Rect::new(self.min_x + dx, self.min_y + dy, self.max_x + dx, self.max_y + dy)
     }
 }
 
@@ -240,11 +232,7 @@ mod tests {
 
     #[test]
     fn mbr_covers_all_points() {
-        let pts = [
-            Point::new(0.0, 5.0),
-            Point::new(-3.0, 2.0),
-            Point::new(7.0, -1.0),
-        ];
+        let pts = [Point::new(0.0, 5.0), Point::new(-3.0, 2.0), Point::new(7.0, -1.0)];
         let r = Rect::mbr(&pts);
         assert_eq!(r, Rect::new(-3.0, -1.0, 7.0, 5.0));
         for p in &pts {

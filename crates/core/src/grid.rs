@@ -73,11 +73,7 @@ impl GridSpec {
     /// optimization to sweep along the shorter dimension.
     #[inline]
     pub fn transposed(&self) -> GridSpec {
-        GridSpec {
-            region: self.region.transposed(),
-            res_x: self.res_y,
-            res_y: self.res_x,
-        }
+        GridSpec { region: self.region.transposed(), res_x: self.res_y, res_y: self.res_x }
     }
 }
 
@@ -192,15 +188,9 @@ mod tests {
     #[test]
     fn rejects_invalid_inputs() {
         let r = Rect::new(0.0, 0.0, 1.0, 1.0);
-        assert!(matches!(
-            GridSpec::new(r, 0, 4),
-            Err(KdvError::EmptyResolution { .. })
-        ));
+        assert!(matches!(GridSpec::new(r, 0, 4), Err(KdvError::EmptyResolution { .. })));
         let deg = Rect::new(0.0, 0.0, 0.0, 1.0);
-        assert!(matches!(
-            GridSpec::new(deg, 2, 2),
-            Err(KdvError::DegenerateRegion { .. })
-        ));
+        assert!(matches!(GridSpec::new(deg, 2, 2), Err(KdvError::DegenerateRegion { .. })));
     }
 
     #[test]

@@ -122,9 +122,7 @@ pub fn read_tsv<R: BufRead>(reader: R) -> Result<DensityGrid, GridIoError> {
             continue;
         }
         let row: Result<Vec<f64>, _> = line.split('\t').map(str::parse::<f64>).collect();
-        let row = row.map_err(|e| {
-            GridIoError::Format(format!("line {}: {e}", lineno + 1))
-        })?;
+        let row = row.map_err(|e| GridIoError::Format(format!("line {}: {e}", lineno + 1)))?;
         match res_x {
             None => res_x = Some(row.len()),
             Some(w) if w != row.len() => {

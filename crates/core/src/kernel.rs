@@ -30,11 +30,8 @@ pub enum KernelType {
 
 impl KernelType {
     /// All supported kernels, in Table-2 order.
-    pub const ALL: [KernelType; 3] = [
-        KernelType::Uniform,
-        KernelType::Epanechnikov,
-        KernelType::Quartic,
-    ];
+    pub const ALL: [KernelType; 3] =
+        [KernelType::Uniform, KernelType::Epanechnikov, KernelType::Quartic];
 
     /// Human-readable name matching the paper.
     pub fn name(&self) -> &'static str {

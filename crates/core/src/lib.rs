@@ -47,7 +47,8 @@
 //!
 //! Extensions beyond the paper (each documented as such):
 //!
-//! * [`parallel`] — row-parallel sweeps via scoped threads.
+//! * [`parallel`] — work-stealing row-parallel runtime (plain, RAO,
+//!   weighted and multi-bandwidth sweeps) with [`telemetry`] reports.
 //! * [`weighted`] — per-point weights (temporal kernels, event counts).
 //! * [`multi_bandwidth`] — bandwidth-exploration sweeps sharing row scans.
 //! * [`grid_io`] — lossless raster persistence (binary and TSV).
@@ -66,6 +67,7 @@ pub mod rao;
 pub mod stats;
 pub mod sweep_bucket;
 pub mod sweep_sort;
+pub mod telemetry;
 pub mod weighted;
 
 pub use driver::KdvParams;
@@ -89,12 +91,8 @@ pub enum Method {
 
 impl Method {
     /// All SLAM variants, in Table-1 order.
-    pub const ALL: [Method; 4] = [
-        Method::SlamSort,
-        Method::SlamBucket,
-        Method::SlamSortRao,
-        Method::SlamBucketRao,
-    ];
+    pub const ALL: [Method; 4] =
+        [Method::SlamSort, Method::SlamBucket, Method::SlamSortRao, Method::SlamBucketRao];
 
     /// Paper-style name, e.g. `"SLAM_BUCKET^(RAO)"`.
     pub fn name(&self) -> &'static str {

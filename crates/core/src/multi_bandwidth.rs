@@ -46,17 +46,13 @@ pub fn compute_multi_bandwidth(
 
     let res_x = params.grid.res_x;
     let res_y = params.grid.res_y;
-    let mut grids: Vec<DensityGrid> = bandwidths
-        .iter()
-        .map(|_| DensityGrid::zeroed(res_x, res_y))
-        .collect();
+    let mut grids: Vec<DensityGrid> =
+        bandwidths.iter().map(|_| DensityGrid::zeroed(res_x, res_y)).collect();
 
-    let mut max_envelope = EnvelopeBuffer::with_capacity(points.len().min(1 << 20));
+    let mut max_envelope = EnvelopeBuffer::for_points(points.len());
     // per-bandwidth engines (reused across rows) and a scratch interval list
-    let mut engines: Vec<BucketSweep> = bandwidths
-        .iter()
-        .map(|&b| BucketSweep::new(params.kernel, b, params.weight))
-        .collect();
+    let mut engines: Vec<BucketSweep> =
+        bandwidths.iter().map(|&b| BucketSweep::new(params.kernel, b, params.weight)).collect();
     let mut scratch: Vec<SweepInterval> = Vec::new();
 
     for j in 0..res_y {
@@ -104,9 +100,7 @@ mod tests {
             state ^= state << 17;
             (state >> 11) as f64 / (1u64 << 53) as f64
         };
-        let pts = (0..400)
-            .map(|_| Point::new(next() * 80.0, next() * 50.0))
-            .collect();
+        let pts = (0..400).map(|_| Point::new(next() * 80.0, next() * 50.0)).collect();
         (params, pts)
     }
 

@@ -1,12 +1,33 @@
-//! Row-parallel SLAM — an extension beyond the paper.
+//! Work-stealing row-parallel sweep runtime — an extension beyond the paper.
 //!
 //! The paper evaluates a single-CPU setting and lists parallel execution as
 //! future work (Section 5, "Parallel/distributed and hardware-based
 //! methods"). Rows are embarrassingly parallel: each row sweep touches only
-//! its own envelope set and output row, so we shard rows across scoped
-//! threads, each with a private engine and envelope buffer. Results are
-//! bitwise identical to the sequential sweep because no floating-point
-//! reassociation crosses a row boundary.
+//! its own envelope set and output row, so any row partition yields the
+//! bitwise-sequential result. A *static* partition, however, balances badly
+//! on clustered data — envelope sizes `|E(k)|` (and hence row cost) can vary
+//! by orders of magnitude across rows, so contiguous bands leave most
+//! workers idle while one grinds through the hotspot.
+//!
+//! This module therefore schedules rows dynamically: workers claim small
+//! chunks of row indices from a shared atomic counter until the raster is
+//! exhausted. Each row is still swept start-to-finish by exactly one engine,
+//! so no floating-point reassociation crosses a row boundary and the output
+//! is **bitwise identical** to the sequential sweep for every thread count.
+//! One `fetch_add` per chunk keeps contention negligible next to an
+//! `O(X + n)` row.
+//!
+//! The same scheduler drives every parallel entry point in the workspace:
+//! plain sweeps ([`compute_parallel`]), RAO composition
+//! ([`compute_parallel_rao`]), weighted sweeps
+//! ([`compute_weighted_parallel`]), multi-bandwidth exploration
+//! ([`compute_multi_bandwidth_parallel`]) and — via [`for_each_index`] —
+//! the temporal frame driver in `kdv-temporal`. The `*_with_report`
+//! variants additionally collect a [`SweepReport`] of per-row envelope
+//! sizes, fill/sweep phase times and the rows-per-worker distribution.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
 
 use crate::driver::{KdvParams, RowEngine, SweepContext};
 use crate::envelope::EnvelopeBuffer;
@@ -15,6 +36,8 @@ use crate::geom::Point;
 use crate::grid::DensityGrid;
 use crate::sweep_bucket::BucketSweep;
 use crate::sweep_sort::SortSweep;
+use crate::telemetry::{SweepReport, WorkerStats};
+use crate::weighted::{fill_env_weights, WeightedRowSweep};
 
 /// Which sequential engine each worker thread instantiates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -25,62 +48,441 @@ pub enum ParallelEngine {
     Bucket,
 }
 
-/// Computes the raster with `threads` workers, each sweeping a contiguous
-/// band of rows. `threads == 0` or `1` falls back to the sequential path.
+/// Default worker count: the machine's available parallelism (1 if it
+/// cannot be determined).
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Resolves a user-facing thread request: `0` means "auto".
+fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        default_threads()
+    } else {
+        threads
+    }
+}
+
+/// Chunked claiming from a shared atomic row counter — the work-stealing
+/// heart of the runtime.
+struct RowClaimer {
+    next: AtomicUsize,
+    rows: usize,
+    chunk: usize,
+}
+
+impl RowClaimer {
+    fn new(rows: usize, workers: usize) -> Self {
+        // Chunks small enough that a clustered hotspot cannot pin a worker
+        // for long, large enough that the atomic traffic stays negligible.
+        let chunk = (rows / (workers.max(1) * 8)).clamp(1, 64);
+        Self { next: AtomicUsize::new(0), rows, chunk }
+    }
+
+    fn claim(&self) -> Option<std::ops::Range<usize>> {
+        let start = self.next.fetch_add(self.chunk, Ordering::Relaxed);
+        if start >= self.rows {
+            None
+        } else {
+            Some(start..(start + self.chunk).min(self.rows))
+        }
+    }
+}
+
+/// Hands out disjoint mutable raster rows to workers.
+///
+/// Safety contract: every row index is claimed by exactly one worker (the
+/// `RowClaimer` guarantees unique claims), so the aliasing rules hold even
+/// though the borrow checker cannot see it.
+struct RowTable {
+    base: *mut f64,
+    row_len: usize,
+    rows: usize,
+}
+
+unsafe impl Send for RowTable {}
+unsafe impl Sync for RowTable {}
+
+impl RowTable {
+    fn new(values: &mut [f64], row_len: usize) -> Self {
+        let rows = values.len().checked_div(row_len).unwrap_or(0);
+        debug_assert_eq!(values.len(), rows * row_len);
+        Self { base: values.as_mut_ptr(), row_len, rows }
+    }
+
+    /// # Safety
+    /// `j` must be claimed by exactly one worker for the table's lifetime.
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn row(&self, j: usize) -> &mut [f64] {
+        debug_assert!(j < self.rows);
+        unsafe { std::slice::from_raw_parts_mut(self.base.add(j * self.row_len), self.row_len) }
+    }
+}
+
+/// Generic work-stealing scheduler: spawns `workers` scoped threads, each
+/// building private state with `make_state` and running `sweep_row` for
+/// every claimed row. Returns the per-worker telemetry records in spawn
+/// order.
+fn run_scheduler<S>(
+    rows: usize,
+    workers: usize,
+    make_state: &(impl Fn() -> S + Sync),
+    sweep_row: &(impl Fn(&mut S, usize, &mut WorkerStats) + Sync),
+    aux_bytes: &(impl Fn(&S) -> usize + Sync),
+) -> Vec<WorkerStats> {
+    let workers = workers.min(rows).max(1);
+    let claimer = RowClaimer::new(rows, workers);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let claimer = &claimer;
+                scope.spawn(move || {
+                    let mut state = make_state();
+                    let mut stats = WorkerStats::default();
+                    while let Some(range) = claimer.claim() {
+                        for j in range {
+                            sweep_row(&mut state, j, &mut stats);
+                            stats.rows += 1;
+                        }
+                    }
+                    stats.aux_bytes = aux_bytes(&state);
+                    stats
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("sweep worker panicked")).collect()
+    })
+}
+
+/// Sequential-engine dispatch for one worker.
+enum AnyEngine {
+    Sort(SortSweep),
+    Bucket(BucketSweep),
+}
+
+impl AnyEngine {
+    fn new(kind: ParallelEngine, params: &KdvParams) -> Self {
+        match kind {
+            ParallelEngine::Sort => {
+                Self::Sort(SortSweep::new(params.kernel, params.bandwidth, params.weight))
+            }
+            ParallelEngine::Bucket => {
+                Self::Bucket(BucketSweep::new(params.kernel, params.bandwidth, params.weight))
+            }
+        }
+    }
+
+    fn process_row(
+        &mut self,
+        xs: &[f64],
+        k: f64,
+        intervals: &[crate::envelope::SweepInterval],
+        out: &mut [f64],
+    ) {
+        match self {
+            Self::Sort(e) => e.process_row(xs, k, intervals, out),
+            Self::Bucket(e) => e.process_row(xs, k, intervals, out),
+        }
+    }
+
+    fn space_bytes(&self) -> usize {
+        match self {
+            Self::Sort(e) => e.space_bytes(),
+            Self::Bucket(e) => e.space_bytes(),
+        }
+    }
+}
+
+/// Computes the raster with `threads` workers claiming rows dynamically.
+/// `threads == 0` uses [`default_threads`]; `1` falls back to the
+/// sequential path. Output is bitwise identical to the sequential sweep
+/// for every thread count.
 pub fn compute_parallel(
     params: &KdvParams,
     points: &[Point],
     engine: ParallelEngine,
     threads: usize,
 ) -> Result<DensityGrid> {
+    let threads = resolve_threads(threads);
     if threads <= 1 {
         return match engine {
             ParallelEngine::Sort => crate::sweep_sort::compute(params, points),
             ParallelEngine::Bucket => crate::sweep_bucket::compute(params, points),
         };
     }
+    compute_parallel_with_report(params, points, engine, threads).map(|(grid, _)| grid)
+}
+
+/// [`compute_parallel`] plus execution telemetry. Runs the scheduler even
+/// for `threads == 1` so the report is always populated.
+pub fn compute_parallel_with_report(
+    params: &KdvParams,
+    points: &[Point],
+    engine: ParallelEngine,
+    threads: usize,
+) -> Result<(DensityGrid, SweepReport)> {
+    let threads = resolve_threads(threads);
     let ctx = SweepContext::new(params, points)?;
     let res_x = params.grid.res_x;
     let res_y = params.grid.res_y;
     let mut values = vec![0.0_f64; res_x * res_y];
-    let workers = threads.min(res_y.max(1));
-    // Split the flat buffer into per-thread row bands.
-    let rows_per = res_y.div_ceil(workers);
-    std::thread::scope(|scope| {
-        let mut rest: &mut [f64] = &mut values;
-        let mut start_row = 0usize;
-        while start_row < res_y {
-            let band_rows = rows_per.min(res_y - start_row);
-            let (band, tail) = rest.split_at_mut(band_rows * res_x);
-            rest = tail;
-            let ctx = &ctx;
-            scope.spawn(move || {
-                let mut envelope = EnvelopeBuffer::with_capacity(ctx.points.len().min(1 << 20));
-                let mut sort_engine;
-                let mut bucket_engine;
-                let eng: &mut dyn RowEngine = match engine {
-                    ParallelEngine::Sort => {
-                        sort_engine =
-                            SortSweep::new(params.kernel, params.bandwidth, params.weight);
-                        &mut sort_engine
-                    }
-                    ParallelEngine::Bucket => {
-                        bucket_engine =
-                            BucketSweep::new(params.kernel, params.bandwidth, params.weight);
-                        &mut bucket_engine
-                    }
-                };
-                for (local_j, out_row) in band.chunks_mut(res_x).enumerate() {
-                    let j = start_row + local_j;
-                    let k = ctx.ks[j];
-                    let intervals = envelope.fill(&ctx.points, params.bandwidth, k);
-                    eng.process_row(&ctx.xs, k, intervals, out_row);
-                }
-            });
-            start_row += band_rows;
+    let table = RowTable::new(&mut values, res_x);
+
+    let start = Instant::now();
+    let workers = run_scheduler(
+        res_y,
+        threads,
+        &|| (EnvelopeBuffer::for_points(ctx.points.len()), AnyEngine::new(engine, params)),
+        &|(envelope, eng), j, stats| {
+            let k = ctx.ks[j];
+            let t0 = Instant::now();
+            let intervals = envelope.fill(&ctx.points, params.bandwidth, k);
+            let t1 = Instant::now();
+            // SAFETY: the scheduler claims each row exactly once.
+            let out = unsafe { table.row(j) };
+            eng.process_row(&ctx.xs, k, intervals, out);
+            stats.fill_nanos += (t1 - t0).as_nanos() as u64;
+            stats.sweep_nanos += t1.elapsed().as_nanos() as u64;
+            stats.envelope_sizes.push((j, intervals.len()));
+        },
+        &|(envelope, eng)| envelope.space_bytes() + eng.space_bytes(),
+    );
+    let mut report = SweepReport::from_workers(workers, res_y, ctx.space_bytes());
+    report.wall_nanos = start.elapsed().as_nanos() as u64;
+    Ok((DensityGrid::from_values(res_x, res_y, values), report))
+}
+
+/// Parallel sweep with the resolution-aware optimization: transposes when
+/// the raster is taller than wide (Theorem 3), then runs the work-stealing
+/// sweep over the (fewer, longer) rows.
+pub fn compute_parallel_rao(
+    params: &KdvParams,
+    points: &[Point],
+    engine: ParallelEngine,
+    threads: usize,
+) -> Result<DensityGrid> {
+    compute_parallel_rao_with_report(params, points, engine, threads).map(|(grid, _)| grid)
+}
+
+/// [`compute_parallel_rao`] plus telemetry. When the problem transposes,
+/// the report describes the *transposed* sweep (rows = original columns).
+pub fn compute_parallel_rao_with_report(
+    params: &KdvParams,
+    points: &[Point],
+    engine: ParallelEngine,
+    threads: usize,
+) -> Result<(DensityGrid, SweepReport)> {
+    if crate::rao::should_transpose(params) {
+        let t_params = params.transposed();
+        let t_points: Vec<Point> = points.iter().map(Point::transposed).collect();
+        let (grid, report) = compute_parallel_with_report(&t_params, &t_points, engine, threads)?;
+        return Ok((grid.transposed(), report));
+    }
+    compute_parallel_with_report(params, points, engine, threads)
+}
+
+/// Parallel weighted sweep (bucket engine plus RAO dispatch), bitwise
+/// identical to [`crate::weighted::compute_weighted`].
+pub fn compute_weighted_parallel(
+    params: &KdvParams,
+    points: &[Point],
+    weights: &[f64],
+    threads: usize,
+) -> Result<DensityGrid> {
+    compute_weighted_parallel_with_report(params, points, weights, threads).map(|(g, _)| g)
+}
+
+/// [`compute_weighted_parallel`] plus telemetry (transposed semantics as in
+/// [`compute_parallel_rao_with_report`]).
+pub fn compute_weighted_parallel_with_report(
+    params: &KdvParams,
+    points: &[Point],
+    weights: &[f64],
+    threads: usize,
+) -> Result<(DensityGrid, SweepReport)> {
+    crate::weighted::validate_weights(points, weights)?;
+    if params.grid.res_y > params.grid.res_x {
+        let t_params = params.transposed();
+        let t_points: Vec<Point> = points.iter().map(Point::transposed).collect();
+        let (grid, report) =
+            compute_weighted_rows_parallel(&t_params, &t_points, weights, threads)?;
+        return Ok((grid.transposed(), report));
+    }
+    compute_weighted_rows_parallel(params, points, weights, threads)
+}
+
+fn compute_weighted_rows_parallel(
+    params: &KdvParams,
+    points: &[Point],
+    weights: &[f64],
+    threads: usize,
+) -> Result<(DensityGrid, SweepReport)> {
+    let threads = resolve_threads(threads);
+    let ctx = SweepContext::new(params, points)?;
+    let res_x = params.grid.res_x;
+    let res_y = params.grid.res_y;
+    let bandwidth = params.bandwidth;
+    let mut values = vec![0.0_f64; res_x * res_y];
+    let table = RowTable::new(&mut values, res_x);
+
+    let start = Instant::now();
+    let workers = run_scheduler(
+        res_y,
+        threads,
+        &|| {
+            (
+                EnvelopeBuffer::for_points(ctx.points.len()),
+                Vec::<f64>::new(),
+                WeightedRowSweep::new(params.kernel, bandwidth, params.weight),
+            )
+        },
+        &|(envelope, env_weights, eng), j, stats| {
+            let k = ctx.ks[j];
+            let t0 = Instant::now();
+            let intervals = envelope.fill(&ctx.points, bandwidth, k);
+            fill_env_weights(&ctx.points, weights, bandwidth, k, env_weights);
+            let t1 = Instant::now();
+            // SAFETY: the scheduler claims each row exactly once.
+            let out = unsafe { table.row(j) };
+            eng.process_row(&ctx.xs, k, intervals, env_weights, out);
+            stats.fill_nanos += (t1 - t0).as_nanos() as u64;
+            stats.sweep_nanos += t1.elapsed().as_nanos() as u64;
+            stats.envelope_sizes.push((j, intervals.len()));
+        },
+        &|(envelope, env_weights, eng)| {
+            envelope.space_bytes()
+                + env_weights.capacity() * std::mem::size_of::<f64>()
+                + eng.space_bytes()
+        },
+    );
+    let mut report = SweepReport::from_workers(workers, res_y, ctx.space_bytes());
+    report.wall_nanos = start.elapsed().as_nanos() as u64;
+    Ok((DensityGrid::from_values(res_x, res_y, values), report))
+}
+
+/// Parallel multi-bandwidth exploration, bitwise identical to
+/// [`crate::multi_bandwidth::compute_multi_bandwidth`]: each worker refines
+/// the shared max-bandwidth envelope for every requested bandwidth of its
+/// claimed rows.
+pub fn compute_multi_bandwidth_parallel(
+    params: &KdvParams,
+    points: &[Point],
+    bandwidths: &[f64],
+    threads: usize,
+) -> Result<Vec<DensityGrid>> {
+    use crate::envelope::SweepInterval;
+    use crate::error::KdvError;
+
+    for &b in bandwidths {
+        if !b.is_finite() || b <= 0.0 {
+            return Err(KdvError::InvalidBandwidth(b));
         }
+    }
+    if bandwidths.is_empty() {
+        return Ok(Vec::new());
+    }
+    let threads = resolve_threads(threads);
+    let b_max = bandwidths.iter().copied().fold(f64::MIN, f64::max);
+    let mut check = *params;
+    check.bandwidth = b_max;
+    let ctx = SweepContext::new(&check, points)?;
+
+    let res_x = params.grid.res_x;
+    let res_y = params.grid.res_y;
+    let mut buffers: Vec<Vec<f64>> =
+        bandwidths.iter().map(|_| vec![0.0_f64; res_x * res_y]).collect();
+    let tables: Vec<RowTable> = buffers.iter_mut().map(|b| RowTable::new(b, res_x)).collect();
+
+    run_scheduler(
+        res_y,
+        threads,
+        &|| {
+            let engines: Vec<BucketSweep> = bandwidths
+                .iter()
+                .map(|&b| BucketSweep::new(params.kernel, b, params.weight))
+                .collect();
+            (EnvelopeBuffer::for_points(points.len()), engines, Vec::<SweepInterval>::new())
+        },
+        &|(max_envelope, engines, scratch), j, stats| {
+            let k = ctx.ks[j];
+            let t0 = Instant::now();
+            max_envelope.fill(&ctx.points, b_max, k);
+            let t1 = Instant::now();
+            let superset = max_envelope.intervals();
+            for (bi, &b) in bandwidths.iter().enumerate() {
+                let b2 = b * b;
+                scratch.clear();
+                for iv in superset {
+                    let dy = k - iv.point.y;
+                    let rem = b2 - dy * dy;
+                    if rem >= 0.0 {
+                        let half = rem.sqrt();
+                        scratch.push(SweepInterval {
+                            point: iv.point,
+                            lb: iv.point.x - half,
+                            ub: iv.point.x + half,
+                        });
+                    }
+                }
+                // SAFETY: the scheduler claims each row exactly once, and
+                // each bandwidth writes to its own raster.
+                let out = unsafe { tables[bi].row(j) };
+                engines[bi].process_row(&ctx.xs, k, scratch, out);
+            }
+            stats.fill_nanos += (t1 - t0).as_nanos() as u64;
+            stats.sweep_nanos += t1.elapsed().as_nanos() as u64;
+            stats.envelope_sizes.push((j, superset.len()));
+        },
+        &|(max_envelope, engines, scratch)| {
+            max_envelope.space_bytes()
+                + engines.iter().map(|e| e.space_bytes()).sum::<usize>()
+                + scratch.capacity() * std::mem::size_of::<SweepInterval>()
+        },
+    );
+    drop(tables);
+    Ok(buffers.into_iter().map(|v| DensityGrid::from_values(res_x, res_y, v)).collect())
+}
+
+/// Generic work-stealing index loop for embarrassingly parallel tasks that
+/// are not row sweeps (e.g. temporal frames in `kdv-temporal`). Runs
+/// `task(i)` for every `i in 0..count` on up to `threads` workers and
+/// returns the results in index order. `threads == 0` means "auto".
+pub fn for_each_index<T: Send>(
+    count: usize,
+    threads: usize,
+    task: impl Fn(usize) -> T + Sync,
+) -> Vec<T> {
+    let workers = resolve_threads(threads).min(count).max(1);
+    if count == 0 {
+        return Vec::new();
+    }
+    let claimer = RowClaimer::new(count, workers);
+    let mut collected: Vec<Vec<(usize, T)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let claimer = &claimer;
+                let task = &task;
+                scope.spawn(move || {
+                    let mut local = Vec::new();
+                    while let Some(range) = claimer.claim() {
+                        for i in range {
+                            local.push((i, task(i)));
+                        }
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("index worker panicked")).collect()
     });
-    Ok(DensityGrid::from_values(res_x, res_y, values))
+    let mut slots: Vec<Option<T>> = (0..count).map(|_| None).collect();
+    for worker in collected.iter_mut() {
+        for (i, value) in worker.drain(..) {
+            debug_assert!(slots[i].is_none(), "index {i} produced twice");
+            slots[i] = Some(value);
+        }
+    }
+    slots.into_iter().map(|s| s.expect("index not produced")).collect()
 }
 
 #[cfg(test)]
@@ -100,9 +502,7 @@ mod tests {
             state ^= state << 17;
             (state >> 11) as f64 / (1u64 << 53) as f64
         };
-        let pts = (0..800)
-            .map(|_| Point::new(next() * 100.0, next() * 70.0))
-            .collect();
+        let pts = (0..800).map(|_| Point::new(next() * 100.0, next() * 70.0)).collect();
         (params, pts)
     }
 
@@ -111,8 +511,7 @@ mod tests {
         let (params, pts) = setup();
         let seq = crate::sweep_bucket::compute(&params, &pts).unwrap();
         for threads in [2, 3, 8, 64] {
-            let par =
-                compute_parallel(&params, &pts, ParallelEngine::Bucket, threads).unwrap();
+            let par = compute_parallel(&params, &pts, ParallelEngine::Bucket, threads).unwrap();
             assert_eq!(par, seq, "threads={threads}");
         }
         let seq = crate::sweep_sort::compute(&params, &pts).unwrap();
@@ -136,5 +535,76 @@ mod tests {
         let par = compute_parallel(&params, &pts, ParallelEngine::Bucket, 16).unwrap();
         let seq = crate::sweep_bucket::compute(&params, &pts).unwrap();
         assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn report_accounts_for_every_row() {
+        let (params, pts) = setup();
+        let (grid, report) =
+            compute_parallel_with_report(&params, &pts, ParallelEngine::Bucket, 3).unwrap();
+        assert_eq!(grid, crate::sweep_bucket::compute(&params, &pts).unwrap());
+        assert_eq!(report.rows, 23);
+        assert_eq!(report.rows_per_worker.iter().sum::<usize>(), 23);
+        assert_eq!(report.envelope_sizes.len(), 23);
+        // every row of this dense dataset has a non-empty envelope
+        assert!(report.envelope_sizes.iter().all(|&s| s > 0));
+        assert!(report.total_aux_bytes > 0);
+        assert!(report.threads <= 3);
+    }
+
+    #[test]
+    fn rao_parallel_matches_sequential_rao() {
+        // tall raster: the RAO path transposes
+        let grid = GridSpec::new(Rect::new(0.0, 0.0, 70.0, 100.0), 23, 40).unwrap();
+        let params = KdvParams::new(grid, KernelType::Quartic, 9.0).with_weight(0.002);
+        let (_, pts) = setup();
+        let seq = crate::rao::compute_bucket(&params, &pts).unwrap();
+        for threads in [2, 5] {
+            let par = compute_parallel_rao(&params, &pts, ParallelEngine::Bucket, threads).unwrap();
+            assert_eq!(par, seq, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn weighted_parallel_matches_sequential() {
+        let (params, pts) = setup();
+        let weights: Vec<f64> = (0..pts.len()).map(|i| 0.25 + (i % 7) as f64).collect();
+        let seq = crate::weighted::compute_weighted(&params, &pts, &weights).unwrap();
+        for threads in [2, 4] {
+            let par = compute_weighted_parallel(&params, &pts, &weights, threads).unwrap();
+            assert_eq!(par, seq, "threads={threads}");
+        }
+        // weight validation propagates
+        assert!(compute_weighted_parallel(&params, &pts, &weights[1..], 2).is_err());
+    }
+
+    #[test]
+    fn multi_bandwidth_parallel_matches_sequential() {
+        let (params, pts) = setup();
+        let bandwidths = [3.0, 9.0, 25.0];
+        let seq =
+            crate::multi_bandwidth::compute_multi_bandwidth(&params, &pts, &bandwidths).unwrap();
+        let par = compute_multi_bandwidth_parallel(&params, &pts, &bandwidths, 3).unwrap();
+        assert_eq!(seq, par);
+        assert!(compute_multi_bandwidth_parallel(&params, &pts, &[-1.0], 2).is_err());
+        assert!(compute_multi_bandwidth_parallel(&params, &pts, &[], 2).unwrap().is_empty());
+    }
+
+    #[test]
+    fn for_each_index_preserves_order() {
+        let out = for_each_index(100, 4, |i| i * i);
+        assert_eq!(out.len(), 100);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i * i);
+        }
+        assert!(for_each_index(0, 4, |i| i).is_empty());
+    }
+
+    #[test]
+    fn zero_threads_means_auto() {
+        let (params, pts) = setup();
+        let auto = compute_parallel(&params, &pts, ParallelEngine::Bucket, 0).unwrap();
+        let seq = crate::sweep_bucket::compute(&params, &pts).unwrap();
+        assert_eq!(auto, seq);
     }
 }

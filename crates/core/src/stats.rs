@@ -108,10 +108,7 @@ mod tests {
         }
         k.sub(1.0);
         let got = k.value();
-        assert!(
-            approx_eq(got, 1e-10, 1e-6, 0.0),
-            "kahan total {got} should be ~1e-10"
-        );
+        assert!(approx_eq(got, 1e-10, 1e-6, 0.0), "kahan total {got} should be ~1e-10");
     }
 
     #[test]

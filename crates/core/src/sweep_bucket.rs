@@ -13,6 +13,13 @@
 //! two `O(X)` head resets and two `O(|E(k)|)` scatter passes — no nested
 //! allocations. Row cost `O(X + |E(k)|)`; whole raster `O(Y(X + n))`
 //! (Theorem 2).
+//!
+//! Accumulation uses the same rolling recentred frame as SLAM_SORT (see the
+//! `sweep_sort` module docs): intervals containing no pixel centre are
+//! dropped at scatter time (`bl == bu` — they would activate and deactivate
+//! at the same pixel), deactivation is processed at the last pixel an
+//! interval contains, and the accumulators are periodically translated so
+//! every stored coordinate stays within `5b` of the frame origin.
 
 use crate::aggregate::SweepAccumulator;
 use crate::driver::{sweep_grid, KdvParams, RowEngine};
@@ -110,42 +117,62 @@ impl RowEngine for BucketSweep {
         self.next_u.resize(intervals.len(), NIL);
 
         let x0 = xs[0];
-        let inv_gap = if x_count > 1 {
-            (x_count - 1) as f64 / (xs[x_count - 1] - x0)
-        } else {
-            0.0
-        };
+        let inv_gap = if x_count > 1 { (x_count - 1) as f64 / (xs[x_count - 1] - x0) } else { 0.0 };
 
         // Scatter pass (lines 6–9 of Algorithm 2): O(1) per point.
+        // `bl == bu` means the interval contains no pixel centre: it would
+        // activate and deactivate at the same pixel, contributing nothing,
+        // so it is dropped here (saving work *and* rounding noise).
         for (idx, iv) in intervals.iter().enumerate() {
             let bl = Self::lower_bucket_index(xs, x0, inv_gap, iv.lb);
+            let bu = Self::upper_bucket_index(xs, x0, inv_gap, iv.ub);
+            if bl == bu {
+                continue;
+            }
             self.next_l[idx] = self.head_l[bl];
             self.head_l[bl] = idx as u32;
-            let bu = Self::upper_bucket_index(xs, x0, inv_gap, iv.ub);
             self.next_u[idx] = self.head_u[bu];
             self.head_u[bu] = idx as u32;
         }
 
         // Sweep pass (lines 13–20): each interval visited at most once per
-        // side across the whole row, so O(X + |E(k)|) total.
+        // side across the whole row, so O(X + |E(k)|) total. Accumulation
+        // runs in the rolling frame `(frame_x, k)` — see the module docs of
+        // `sweep_sort` for the conditioning argument.
         self.l_acc.reset();
         self.u_acc.reset();
+        let shift_limit = 4.0 * self.bandwidth;
+        let mut frame_x = xs[0];
         for (i, &x) in xs.iter().enumerate() {
+            if self.l_acc.count() == self.u_acc.count() {
+                // Active set is empty: restart clean at the current pixel.
+                self.l_acc.reset();
+                self.u_acc.reset();
+                frame_x = x;
+            } else if x - frame_x > shift_limit {
+                let delta = x - frame_x;
+                self.l_acc.shift_x(delta);
+                self.u_acc.shift_x(delta);
+                frame_x = x;
+            }
             let mut cur = self.head_l[i];
             while cur != NIL {
-                self.l_acc.insert(&intervals[cur as usize].point);
+                let p = &intervals[cur as usize].point;
+                self.l_acc.insert(&Point::new(p.x - frame_x, p.y - k));
                 cur = self.next_l[cur as usize];
             }
-            let mut cur = self.head_u[i];
+            let agg = self.l_acc.diff(&self.u_acc);
+            let q = Point::new(x - frame_x, 0.0);
+            out[i] = self.kernel.density_from_aggregates(&q, &agg, self.bandwidth, self.weight);
+            // Deactivate intervals whose bucket is the next pixel — i.e.
+            // whose last contained pixel is the current one — while their
+            // coordinates are still within `b` of the sweep position.
+            let mut cur = self.head_u[i + 1];
             while cur != NIL {
-                self.u_acc.insert(&intervals[cur as usize].point);
+                let p = &intervals[cur as usize].point;
+                self.u_acc.insert(&Point::new(p.x - frame_x, p.y - k));
                 cur = self.next_u[cur as usize];
             }
-            let agg = self.l_acc.diff(&self.u_acc);
-            let q = Point::new(x, k);
-            out[i] = self
-                .kernel
-                .density_from_aggregates(&q, &agg, self.bandwidth, self.weight);
         }
     }
 
@@ -185,9 +212,7 @@ mod tests {
             state ^= state << 17;
             (state >> 11) as f64 / (1u64 << 53) as f64
         };
-        (0..n)
-            .map(|_| Point::new(-30.0 + next() * 120.0, -10.0 + next() * 70.0))
-            .collect()
+        (0..n).map(|_| Point::new(-30.0 + next() * 120.0, -10.0 + next() * 70.0)).collect()
     }
 
     #[test]
@@ -215,7 +240,7 @@ mod tests {
         assert_eq!(BucketSweep::lower_bucket_index(&xs, x0, inv, 1.0001), 1);
         assert_eq!(BucketSweep::lower_bucket_index(&xs, x0, inv, 19.0), 9);
         assert_eq!(BucketSweep::lower_bucket_index(&xs, x0, inv, 19.1), 10); // never
-        // upper: first xs[i] > ub strictly
+                                                                             // upper: first xs[i] > ub strictly
         assert_eq!(BucketSweep::upper_bucket_index(&xs, x0, inv, 0.0), 0);
         assert_eq!(BucketSweep::upper_bucket_index(&xs, x0, inv, 1.0), 1); // pixel 0 keeps it
         assert_eq!(BucketSweep::upper_bucket_index(&xs, x0, inv, 18.99), 9);

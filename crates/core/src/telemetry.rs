@@ -1,0 +1,224 @@
+//! Execution telemetry for the parallel sweep runtime.
+//!
+//! The work-stealing scheduler in [`crate::parallel`] optionally records
+//! what each worker did: which rows it claimed, how long it spent building
+//! envelopes versus sweeping, how large the per-row envelope sets were, and
+//! how much auxiliary heap it held. A [`SweepReport`] aggregates those
+//! per-worker records so callers (the CLI's `--stats` flag, the bench
+//! binaries) can inspect load balance and the envelope-size distribution —
+//! the quantities that decide whether dynamic row scheduling pays off on
+//! clustered data.
+
+/// What one worker thread did during a parallel sweep.
+#[derive(Debug, Clone, Default)]
+pub struct WorkerStats {
+    /// Rows this worker claimed and swept.
+    pub rows: usize,
+    /// Nanoseconds spent building envelope sets (the `O(n)` per-row scan).
+    pub fill_nanos: u64,
+    /// Nanoseconds spent in the sweep phase proper.
+    pub sweep_nanos: u64,
+    /// Auxiliary heap bytes held at the end of the run (envelope buffer
+    /// plus engine scratch — the parallel extension of
+    /// [`crate::driver::RowEngine::space_bytes`]).
+    pub aux_bytes: usize,
+    /// `(row index, |E(k)|)` for every row this worker processed.
+    pub envelope_sizes: Vec<(usize, usize)>,
+}
+
+/// Aggregated telemetry of one parallel sweep execution.
+#[derive(Debug, Clone, Default)]
+pub struct SweepReport {
+    /// Worker threads the scheduler actually spawned.
+    pub threads: usize,
+    /// Total raster rows processed.
+    pub rows: usize,
+    /// Wall-clock nanoseconds of the whole parallel section.
+    pub wall_nanos: u64,
+    /// `|E(k)|` per row, indexed by row.
+    pub envelope_sizes: Vec<usize>,
+    /// Rows claimed per worker — unequal on clustered data, which is the
+    /// point of dynamic scheduling.
+    pub rows_per_worker: Vec<usize>,
+    /// Envelope-fill nanoseconds per worker.
+    pub fill_nanos: Vec<u64>,
+    /// Sweep-phase nanoseconds per worker.
+    pub sweep_nanos: Vec<u64>,
+    /// Peak auxiliary heap bytes over all workers (their buffers coexist,
+    /// so the parallel footprint is the *sum*; both are reported).
+    pub peak_worker_bytes: usize,
+    /// Total auxiliary heap bytes across workers plus shared context.
+    pub total_aux_bytes: usize,
+}
+
+impl SweepReport {
+    /// Builds a report from per-worker records.
+    ///
+    /// `shared_bytes` is the heap held by row-independent shared state
+    /// (recentred points, pixel coordinates).
+    pub fn from_workers(workers: Vec<WorkerStats>, rows: usize, shared_bytes: usize) -> Self {
+        let mut envelope_sizes = vec![0usize; rows];
+        let mut rows_per_worker = Vec::with_capacity(workers.len());
+        let mut fill_nanos = Vec::with_capacity(workers.len());
+        let mut sweep_nanos = Vec::with_capacity(workers.len());
+        let mut peak_worker_bytes = 0usize;
+        let mut total_aux_bytes = shared_bytes;
+        for w in &workers {
+            rows_per_worker.push(w.rows);
+            fill_nanos.push(w.fill_nanos);
+            sweep_nanos.push(w.sweep_nanos);
+            peak_worker_bytes = peak_worker_bytes.max(w.aux_bytes);
+            total_aux_bytes += w.aux_bytes;
+            for &(row, size) in &w.envelope_sizes {
+                envelope_sizes[row] = size;
+            }
+        }
+        Self {
+            threads: workers.len(),
+            rows,
+            wall_nanos: 0,
+            envelope_sizes,
+            rows_per_worker,
+            fill_nanos,
+            sweep_nanos,
+            peak_worker_bytes,
+            total_aux_bytes,
+        }
+    }
+
+    /// Largest per-row envelope set.
+    pub fn max_envelope(&self) -> usize {
+        self.envelope_sizes.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Sum of all per-row envelope sizes (total interval insertions).
+    pub fn total_envelope(&self) -> usize {
+        self.envelope_sizes.iter().sum()
+    }
+
+    /// Total envelope-fill time across workers, in nanoseconds.
+    pub fn total_fill_nanos(&self) -> u64 {
+        self.fill_nanos.iter().sum()
+    }
+
+    /// Total sweep-phase time across workers, in nanoseconds.
+    pub fn total_sweep_nanos(&self) -> u64 {
+        self.sweep_nanos.iter().sum()
+    }
+
+    /// Ratio of the busiest worker's row count to the ideal equal share —
+    /// 1.0 is perfect balance.
+    pub fn imbalance(&self) -> f64 {
+        let max = self.rows_per_worker.iter().copied().max().unwrap_or(0);
+        if self.rows == 0 || self.rows_per_worker.is_empty() {
+            return 1.0;
+        }
+        let ideal = self.rows as f64 / self.rows_per_worker.len() as f64;
+        if ideal == 0.0 {
+            1.0
+        } else {
+            max as f64 / ideal
+        }
+    }
+
+    /// Multi-line human-readable summary (what `--stats` prints).
+    pub fn summary(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "sweep stats: {} rows on {} workers, wall {:.3} ms",
+            self.rows,
+            self.threads,
+            self.wall_nanos as f64 / 1e6
+        );
+        let _ = writeln!(
+            s,
+            "  phases: envelope fill {:.3} ms, sweep {:.3} ms (cpu totals)",
+            self.total_fill_nanos() as f64 / 1e6,
+            self.total_sweep_nanos() as f64 / 1e6
+        );
+        let _ = writeln!(
+            s,
+            "  envelopes: total {} intervals, max/row {}, mean/row {:.1}",
+            self.total_envelope(),
+            self.max_envelope(),
+            if self.rows == 0 { 0.0 } else { self.total_envelope() as f64 / self.rows as f64 }
+        );
+        let _ = writeln!(
+            s,
+            "  rows/worker: {:?} (imbalance {:.2})",
+            self.rows_per_worker,
+            self.imbalance()
+        );
+        let _ = write!(
+            s,
+            "  aux space: peak worker {} B, total {} B",
+            self.peak_worker_bytes, self.total_aux_bytes
+        );
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn worker(rows: &[(usize, usize)], fill: u64, sweep: u64, bytes: usize) -> WorkerStats {
+        WorkerStats {
+            rows: rows.len(),
+            fill_nanos: fill,
+            sweep_nanos: sweep,
+            aux_bytes: bytes,
+            envelope_sizes: rows.to_vec(),
+        }
+    }
+
+    #[test]
+    fn merges_worker_records() {
+        let report = SweepReport::from_workers(
+            vec![worker(&[(0, 5), (2, 7)], 100, 300, 64), worker(&[(1, 1), (3, 0)], 50, 150, 128)],
+            4,
+            1000,
+        );
+        assert_eq!(report.threads, 2);
+        assert_eq!(report.envelope_sizes, vec![5, 1, 7, 0]);
+        assert_eq!(report.rows_per_worker, vec![2, 2]);
+        assert_eq!(report.max_envelope(), 7);
+        assert_eq!(report.total_envelope(), 13);
+        assert_eq!(report.total_fill_nanos(), 150);
+        assert_eq!(report.total_sweep_nanos(), 450);
+        assert_eq!(report.peak_worker_bytes, 128);
+        assert_eq!(report.total_aux_bytes, 1000 + 64 + 128);
+        assert!((report.imbalance() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn imbalance_reflects_skew() {
+        let report = SweepReport::from_workers(
+            vec![worker(&[(0, 1), (1, 1), (2, 1)], 0, 0, 0), worker(&[(3, 1)], 0, 0, 0)],
+            4,
+            0,
+        );
+        assert!((report.imbalance() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_mentions_key_figures() {
+        let mut report =
+            SweepReport::from_workers(vec![worker(&[(0, 9)], 1_000_000, 2_000_000, 42)], 1, 0);
+        report.wall_nanos = 3_000_000;
+        let s = report.summary();
+        assert!(s.contains("1 workers"));
+        assert!(s.contains("max/row 9"));
+        assert!(s.contains("imbalance"));
+    }
+
+    #[test]
+    fn empty_report_is_safe() {
+        let report = SweepReport::from_workers(Vec::new(), 0, 0);
+        assert_eq!(report.max_envelope(), 0);
+        assert_eq!(report.imbalance(), 1.0);
+        assert!(!report.summary().is_empty());
+    }
+}

@@ -30,12 +30,7 @@ pub enum City {
 
 impl City {
     /// All four cities in Table-5 order.
-    pub const ALL: [City; 4] = [
-        City::Seattle,
-        City::LosAngeles,
-        City::NewYork,
-        City::SanFrancisco,
-    ];
+    pub const ALL: [City; 4] = [City::Seattle, City::LosAngeles, City::NewYork, City::SanFrancisco];
 
     /// Display name matching the paper.
     pub fn name(&self) -> &'static str {
@@ -74,7 +69,9 @@ impl City {
                 &["burglary", "robbery", "assault", "theft", "vandalism"]
             }
             City::NewYork => &["rear-end", "sideswipe", "pedestrian", "cyclist"],
-            City::SanFrancisco => &["graffiti", "street-cleaning", "encampment", "noise", "pothole", "tree"],
+            City::SanFrancisco => {
+                &["graffiti", "street-cleaning", "encampment", "noise", "pothole", "tree"]
+            }
         }
     }
 
@@ -119,9 +116,9 @@ impl City {
                 Rect::new(0.0, 0.0, 12_000.0, 12_000.0),
                 90.0,
                 vec![
-                    (6_500.0, 7_500.0, 500.0, 500.0, 3.0),  // Tenderloin/SoMa
-                    (7_500.0, 8_200.0, 400.0, 400.0, 2.0),  // downtown
-                    (5_000.0, 5_000.0, 900.0, 900.0, 1.5),  // Mission
+                    (6_500.0, 7_500.0, 500.0, 500.0, 3.0),   // Tenderloin/SoMa
+                    (7_500.0, 8_200.0, 400.0, 400.0, 2.0),   // downtown
+                    (5_000.0, 5_000.0, 900.0, 900.0, 1.5),   // Mission
                     (3_000.0, 8_000.0, 1_000.0, 800.0, 1.0), // Richmond
                 ],
             ),

@@ -76,12 +76,9 @@ pub fn read_csv<R: BufRead>(reader: R, name: &str) -> Result<Dataset, CsvError> 
         };
         let x: f64 = next_field("x")?.parse().map_err(|_| parse_err("x"))?;
         let y: f64 = next_field("y")?.parse().map_err(|_| parse_err("y"))?;
-        let timestamp: i64 = next_field("timestamp")?
-            .parse()
-            .map_err(|_| parse_err("timestamp"))?;
-        let category: u16 = next_field("category")?
-            .parse()
-            .map_err(|_| parse_err("category"))?;
+        let timestamp: i64 =
+            next_field("timestamp")?.parse().map_err(|_| parse_err("timestamp"))?;
+        let category: u16 = next_field("category")?.parse().map_err(|_| parse_err("category"))?;
         records.push(EventRecord { point: Point::new(x, y), timestamp, category });
     }
     Ok(Dataset::new(name, records))
@@ -106,7 +103,11 @@ mod tests {
         Dataset::new(
             "s",
             vec![
-                EventRecord { point: Point::new(1.5, -2.25), timestamp: 1_600_000_000, category: 3 },
+                EventRecord {
+                    point: Point::new(1.5, -2.25),
+                    timestamp: 1_600_000_000,
+                    category: 3,
+                },
                 EventRecord { point: Point::new(0.0, 0.0), timestamp: 0, category: 0 },
             ],
         )

@@ -65,20 +65,12 @@ impl Dataset {
 
     /// Records with `from ≤ timestamp < to` (time-based filtering).
     pub fn filter_time(&self, from: i64, to: i64) -> Vec<EventRecord> {
-        self.records
-            .iter()
-            .filter(|r| r.timestamp >= from && r.timestamp < to)
-            .copied()
-            .collect()
+        self.records.iter().filter(|r| r.timestamp >= from && r.timestamp < to).copied().collect()
     }
 
     /// Records with the given category (attribute-based filtering).
     pub fn filter_category(&self, category: u16) -> Vec<EventRecord> {
-        self.records
-            .iter()
-            .filter(|r| r.category == category)
-            .copied()
-            .collect()
+        self.records.iter().filter(|r| r.category == category).copied().collect()
     }
 
     /// Heap bytes held by the record buffer.
@@ -101,14 +93,26 @@ mod tests {
         Dataset::new(
             "t",
             vec![
-                EventRecord { point: Point::new(0.0, 0.0), timestamp: year_start(2018), category: 1 },
-                EventRecord { point: Point::new(5.0, 2.0), timestamp: year_start(2019), category: 2 },
+                EventRecord {
+                    point: Point::new(0.0, 0.0),
+                    timestamp: year_start(2018),
+                    category: 1,
+                },
+                EventRecord {
+                    point: Point::new(5.0, 2.0),
+                    timestamp: year_start(2019),
+                    category: 2,
+                },
                 EventRecord {
                     point: Point::new(1.0, 8.0),
                     timestamp: year_start(2019) + 100,
                     category: 1,
                 },
-                EventRecord { point: Point::new(3.0, 3.0), timestamp: year_start(2021), category: 3 },
+                EventRecord {
+                    point: Point::new(3.0, 3.0),
+                    timestamp: year_start(2021),
+                    category: 3,
+                },
             ],
         )
     }

@@ -49,11 +49,7 @@ mod tests {
 
     #[test]
     fn std_devs_known_values() {
-        let pts = [
-            Point::new(0.0, 10.0),
-            Point::new(2.0, 10.0),
-            Point::new(4.0, 10.0),
-        ];
+        let pts = [Point::new(0.0, 10.0), Point::new(2.0, 10.0), Point::new(4.0, 10.0)];
         let (sx, sy) = std_devs(&pts);
         // var_x = ((−2)² + 0 + 2²)/3 = 8/3
         assert!((sx - (8.0_f64 / 3.0).sqrt()).abs() < 1e-12);
@@ -63,7 +59,8 @@ mod tests {
     #[test]
     fn scott_shrinks_with_n() {
         // same spread, more points ⇒ smaller bandwidth (n^{-1/6} rate)
-        let small: Vec<Point> = (0..100).map(|i| Point::new((i % 10) as f64, (i / 10) as f64)).collect();
+        let small: Vec<Point> =
+            (0..100).map(|i| Point::new((i % 10) as f64, (i / 10) as f64)).collect();
         let large: Vec<Point> = (0..10_000)
             .map(|i| Point::new((i % 100) as f64 / 10.0, (i / 100) as f64 / 10.0))
             .collect();
@@ -86,7 +83,8 @@ mod tests {
 
     #[test]
     fn scott_scales_with_spread() {
-        let tight: Vec<Point> = (0..1000).map(|i| Point::new((i % 32) as f64, (i / 32) as f64)).collect();
+        let tight: Vec<Point> =
+            (0..1000).map(|i| Point::new((i % 32) as f64, (i / 32) as f64)).collect();
         let wide: Vec<Point> = tight.iter().map(|p| Point::new(p.x * 10.0, p.y * 10.0)).collect();
         let r = scott_bandwidth(&wide) / scott_bandwidth(&tight);
         assert!((r - 10.0).abs() < 1e-9, "ratio {r}");

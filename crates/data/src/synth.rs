@@ -81,12 +81,8 @@ pub fn generate(config: &SynthConfig, n: usize, seed: u64) -> Vec<EventRecord> {
     let ext = &config.extent;
     let mut out = Vec::with_capacity(n);
     while out.len() < n {
-        let mut p = if config.hotspots.is_empty() || rng.gen::<f64>() < config.background_fraction
-        {
-            Point::new(
-                rng.gen_range(ext.min_x..=ext.max_x),
-                rng.gen_range(ext.min_y..=ext.max_y),
-            )
+        let mut p = if config.hotspots.is_empty() || rng.gen::<f64>() < config.background_fraction {
+            Point::new(rng.gen_range(ext.min_x..=ext.max_x), rng.gen_range(ext.min_y..=ext.max_y))
         } else {
             // pick a hotspot by weight
             let mut pick = rng.gen::<f64>() * total_weight;
@@ -180,10 +176,8 @@ mod tests {
     fn hotspots_concentrate_mass() {
         let c = config();
         let recs = generate(&c, 4000, 1);
-        let near_hot1 = recs
-            .iter()
-            .filter(|r| r.point.dist(&Point::new(3_000.0, 4_000.0)) < 1_000.0)
-            .count();
+        let near_hot1 =
+            recs.iter().filter(|r| r.point.dist(&Point::new(3_000.0, 4_000.0)) < 1_000.0).count();
         // hotspot 1 carries 2/3 of the 80% mixture mass; even loosely this
         // must far exceed the ~3% a uniform distribution would put there
         assert!(

@@ -10,17 +10,13 @@ use proptest::prelude::*;
 
 fn records_strategy() -> impl Strategy<Value = Vec<EventRecord>> {
     prop::collection::vec(
-        (
-            -1e7f64..1e7,
-            -1e7f64..1e7,
-            0i64..2_000_000_000,
-            0u16..32,
-        )
-            .prop_map(|(x, y, timestamp, category)| EventRecord {
+        (-1e7f64..1e7, -1e7f64..1e7, 0i64..2_000_000_000, 0u16..32).prop_map(
+            |(x, y, timestamp, category)| EventRecord {
                 point: Point::new(x, y),
                 timestamp,
                 category,
-            }),
+            },
+        ),
         0..200,
     )
 }

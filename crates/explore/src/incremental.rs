@@ -120,11 +120,8 @@ fn vertical_shift(
     use kdv_core::sweep_bucket::BucketSweep;
     let ctx = SweepContext::new(next_params, points)?;
     let mut envelope = EnvelopeBuffer::with_capacity(points.len().min(1 << 20));
-    let mut engine = BucketSweep::new(
-        next_params.kernel,
-        next_params.bandwidth,
-        next_params.weight,
-    );
+    let mut engine =
+        BucketSweep::new(next_params.kernel, next_params.bandwidth, next_params.weight);
     for &j in &missing_rows {
         let k = ctx.ks[j];
         let intervals = envelope.fill(&ctx.points, next_params.bandwidth, k);
@@ -149,18 +146,14 @@ mod tests {
             state ^= state << 17;
             (state >> 11) as f64 / (1u64 << 53) as f64
         };
-        let pts = (0..400)
-            .map(|_| Point::new(next() * 140.0 - 20.0, next() * 120.0 - 20.0))
-            .collect();
+        let pts =
+            (0..400).map(|_| Point::new(next() * 140.0 - 20.0, next() * 120.0 - 20.0)).collect();
         (params, pts)
     }
 
     fn close(a: &DensityGrid, b: &DensityGrid) -> bool {
         let scale = b.max_value().max(1e-300);
-        a.values()
-            .iter()
-            .zip(b.values())
-            .all(|(x, y)| (x - y).abs() / scale < 1e-9)
+        a.values().iter().zip(b.values()).all(|(x, y)| (x - y).abs() / scale < 1e-9)
     }
 
     #[test]
@@ -214,10 +207,7 @@ mod tests {
     fn diagonal_and_zoom_fall_back_to_full() {
         let (params, pts) = setup();
         let prev = rao::compute_bucket(&params, &pts).unwrap();
-        let region = params
-            .grid
-            .region
-            .translated(params.grid.gap_x(), params.grid.gap_y());
+        let region = params.grid.region.translated(params.grid.gap_x(), params.grid.gap_y());
         let next_grid = GridSpec::new(region, 20, 16).unwrap();
         let next_params = KdvParams { grid: next_grid, ..params };
         let (inc, recomputed) = pan_render(&prev, &params.grid, &next_params, &pts).unwrap();

@@ -184,12 +184,7 @@ impl ExploreSession {
         let params = KdvParams::new(grid_spec, self.kernel, bandwidth).with_weight(weight);
         let start = Instant::now();
         let grid = KdvEngine::new(self.method).compute(&params, &points)?;
-        Ok(RenderResult {
-            grid,
-            points_used: points.len(),
-            bandwidth,
-            elapsed: start.elapsed(),
-        })
+        Ok(RenderResult { grid, points_used: points.len(), bandwidth, elapsed: start.elapsed() })
     }
 }
 

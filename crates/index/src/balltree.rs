@@ -53,11 +53,7 @@ impl BallTree {
             cy += p.y;
         }
         let center = Point::new(cx * inv, cy * inv);
-        let radius = slice
-            .iter()
-            .map(|p| center.dist_sq(p))
-            .fold(0.0_f64, f64::max)
-            .sqrt();
+        let radius = slice.iter().map(|p| center.dist_sq(p)).fold(0.0_f64, f64::max).sqrt();
         let id = nodes.len() as u32;
         nodes.push(Node {
             center,
@@ -172,7 +168,7 @@ mod tests {
         let pts = ring_points();
         let t = BallTree::build(&pts);
         for (q, r) in [
-            (Point::new(0.0, 0.0), 10.0),   // ring boundary exactly
+            (Point::new(0.0, 0.0), 10.0), // ring boundary exactly
             (Point::new(50.0, 0.0), 2.9),
             (Point::new(25.0, 0.0), 14.0),
             (Point::new(0.0, 0.0), 1000.0), // everything (inside-ball path)
@@ -187,7 +183,8 @@ mod tests {
     fn fully_contained_ball_fast_path() {
         // query circle covering the whole dataset triggers the
         // enumerate-without-checks branch; count must still be exact
-        let pts: Vec<Point> = (0..100).map(|i| Point::new(i as f64 % 10.0, i as f64 / 10.0)).collect();
+        let pts: Vec<Point> =
+            (0..100).map(|i| Point::new(i as f64 % 10.0, i as f64 / 10.0)).collect();
         let t = BallTree::build(&pts);
         assert_eq!(t.count_in_range(&Point::new(5.0, 5.0), 100.0), 100);
     }

@@ -43,11 +43,7 @@ impl KdTree {
         let mut pts = points.to_vec();
         let mut nodes = Vec::with_capacity(points.len() / LEAF_SIZE * 2 + 1);
         let n = pts.len();
-        let root = if n == 0 {
-            NIL
-        } else {
-            Self::build_rec(&mut pts, 0, n, 0, &mut nodes)
-        };
+        let root = if n == 0 { NIL } else { Self::build_rec(&mut pts, 0, n, 0, &mut nodes) };
         Self { nodes, points: pts, root }
     }
 
@@ -176,7 +172,7 @@ mod tests {
         for (q, r) in [
             (Point::new(15.0, 15.0), 4.5),
             (Point::new(0.0, 0.0), 2.0),
-            (Point::new(-5.0, -5.0), 3.0),  // fully outside
+            (Point::new(-5.0, -5.0), 3.0),   // fully outside
             (Point::new(29.0, 29.0), 100.0), // covers everything
             (Point::new(10.5, 10.5), 0.0),   // zero radius between points
             (Point::new(10.0, 10.0), 0.0),   // zero radius on a point

@@ -283,12 +283,7 @@ mod tests {
         let q = Point::new(40.0, 35.0);
         let r = 25.0;
         let got = std::cell::RefCell::new(RangeAggregates::default());
-        t.visit_range(
-            &q,
-            r,
-            |agg| got.borrow_mut().merge(agg),
-            |p| got.borrow_mut().add(p),
-        );
+        t.visit_range(&q, r, |agg| got.borrow_mut().merge(agg), |p| got.borrow_mut().add(p));
         let got = got.into_inner();
         let mut expect = RangeAggregates::default();
         for p in pts.iter().filter(|p| q.dist_sq(p) <= r * r) {
@@ -320,12 +315,7 @@ mod tests {
         assert!(t.is_empty());
         assert!(t.root_info().is_none());
         let visited = std::cell::Cell::new(false);
-        t.visit_range(
-            &Point::new(0.0, 0.0),
-            10.0,
-            |_| visited.set(true),
-            |_| visited.set(true),
-        );
+        t.visit_range(&Point::new(0.0, 0.0), 10.0, |_| visited.set(true), |_| visited.set(true));
         assert!(!visited.get());
     }
 

@@ -60,11 +60,7 @@ impl ZQuantizer {
         assert!((1..=31).contains(&bits), "bits must be in 1..=31");
         let cells = (1u64 << bits) as f64;
         let extent = bounds.width().max(bounds.height()).max(f64::MIN_POSITIVE);
-        Self {
-            bounds,
-            scale: cells / extent,
-            max_cell: (1u32 << bits) - 1,
-        }
+        Self { bounds, scale: cells / extent, max_cell: (1u32 << bits) - 1 }
     }
 
     /// Cell coordinates of `p` (clamped to the grid).
@@ -113,9 +109,7 @@ pub fn strided_sample(zsorted: &[Point], sample_size: usize) -> Vec<Point> {
         return zsorted.to_vec();
     }
     let stride = n as f64 / sample_size as f64;
-    (0..sample_size)
-        .map(|i| zsorted[((i as f64 + 0.5) * stride) as usize])
-        .collect()
+    (0..sample_size).map(|i| zsorted[((i as f64 + 0.5) * stride) as usize]).collect()
 }
 
 #[cfg(test)]
@@ -132,12 +126,8 @@ mod tests {
     #[test]
     fn morton_orders_quadrants() {
         // the four unit cells follow the Z pattern: (0,0) < (1,0) < (0,1) < (1,1)
-        let codes = [
-            morton_encode(0, 0),
-            morton_encode(1, 0),
-            morton_encode(0, 1),
-            morton_encode(1, 1),
-        ];
+        let codes =
+            [morton_encode(0, 0), morton_encode(1, 0), morton_encode(0, 1), morton_encode(1, 1)];
         assert!(codes.windows(2).all(|w| w[0] < w[1]));
     }
 
@@ -160,10 +150,7 @@ mod tests {
         }
         let sorted = sort_by_zorder(&pts, 16);
         let first_b = sorted.iter().position(|p| p.x > 50.0).unwrap();
-        assert!(
-            sorted[first_b..].iter().all(|p| p.x > 50.0),
-            "clusters must not interleave"
-        );
+        assert!(sorted[first_b..].iter().all(|p| p.x > 50.0), "clusters must not interleave");
     }
 
     #[test]

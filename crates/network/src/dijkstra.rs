@@ -40,11 +40,7 @@ pub struct BoundedDijkstra {
 impl BoundedDijkstra {
     /// A searcher for networks with up to `num_nodes` nodes.
     pub fn new(num_nodes: usize) -> Self {
-        Self {
-            dist: vec![f64::INFINITY; num_nodes],
-            touched: Vec::new(),
-            heap: BinaryHeap::new(),
-        }
+        Self { dist: vec![f64::INFINITY; num_nodes], touched: Vec::new(), heap: BinaryHeap::new() }
     }
 
     /// Runs Dijkstra from a network position, stopping at `bound`.
@@ -126,11 +122,7 @@ mod tests {
     /// 0 -10- 1 -20- 2, plus a 5-metre shortcut edge 0 - 2.
     fn shortcut_graph() -> RoadNetwork {
         RoadNetwork::new(
-            vec![
-                Point::new(0.0, 0.0),
-                Point::new(10.0, 0.0),
-                Point::new(30.0, 0.0),
-            ],
+            vec![Point::new(0.0, 0.0), Point::new(10.0, 0.0), Point::new(30.0, 0.0)],
             &[(0, 1, 10.0), (1, 2, 20.0), (0, 2, 5.0)],
         )
     }
@@ -183,7 +175,7 @@ mod tests {
         let g = shortcut_graph();
         let a = NetPosition { edge: 0, offset: 0.0 }; // at node 0
         let b = NetPosition { edge: 1, offset: 15.0 }; // 15 from node 1, 5 from node 2
-        // via node 1: 10 + 15 = 25; via node 2 (shortcut): 5 + 5 = 10
+                                                       // via node 1: 10 + 15 = 25; via node 2 (shortcut): 5 + 5 = 10
         assert_eq!(network_distance(&g, &a, &b), 10.0);
     }
 

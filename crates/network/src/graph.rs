@@ -238,10 +238,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "length")]
     fn zero_length_edge_rejected() {
-        let _ = RoadNetwork::new(
-            vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0)],
-            &[(0, 1, 0.0)],
-        );
+        let _ = RoadNetwork::new(vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0)], &[(0, 1, 0.0)]);
     }
 
     #[test]

@@ -58,8 +58,8 @@ impl NetworkDensity {
 
     /// Density values of one edge's lixels, in offset order.
     pub fn edge_values(&self, e: EdgeId) -> &[f64] {
-        &self.values[self.lixel_start[e as usize] as usize
-            ..self.lixel_start[e as usize + 1] as usize]
+        &self.values
+            [self.lixel_start[e as usize] as usize..self.lixel_start[e as usize + 1] as usize]
     }
 
     /// Flat view of all lixel densities.
@@ -121,8 +121,8 @@ impl Lixels {
 
     /// Centre offsets of one edge's lixels.
     pub fn edge_centers(&self, e: EdgeId) -> &[f64] {
-        &self.centers[self.lixel_start[e as usize] as usize
-            ..self.lixel_start[e as usize + 1] as usize]
+        &self.centers
+            [self.lixel_start[e as usize] as usize..self.lixel_start[e as usize + 1] as usize]
     }
 
     /// The network position of a lixel (for rendering/debugging).
@@ -298,11 +298,7 @@ mod tests {
     fn single_event_profile_on_a_path() {
         // straight road 0 -100- 1 -100- 2; event at the middle of edge 0
         let g = RoadNetwork::new(
-            vec![
-                Point::new(0.0, 0.0),
-                Point::new(100.0, 0.0),
-                Point::new(200.0, 0.0),
-            ],
+            vec![Point::new(0.0, 0.0), Point::new(100.0, 0.0), Point::new(200.0, 0.0)],
             &[(0, 1, 100.0), (1, 2, 100.0)],
         );
         let p = NkdvParams {
@@ -315,12 +311,7 @@ mod tests {
         let edge0 = density.edge_values(0);
         assert_eq!(edge0.len(), 10);
         // peak at the lixel containing the event (centre 45 or 55)
-        let peak_idx = edge0
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.total_cmp(b.1))
-            .unwrap()
-            .0;
+        let peak_idx = edge0.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).unwrap().0;
         assert!(peak_idx == 4 || peak_idx == 5, "peak at {peak_idx}");
         // symmetric around the event
         assert!((edge0[4] - edge0[5]).abs() < 1e-12);
@@ -385,10 +376,8 @@ mod tests {
 
     #[test]
     fn lixel_points_follow_geometry() {
-        let g = RoadNetwork::new(
-            vec![Point::new(0.0, 0.0), Point::new(40.0, 0.0)],
-            &[(0, 1, 40.0)],
-        );
+        let g =
+            RoadNetwork::new(vec![Point::new(0.0, 0.0), Point::new(40.0, 0.0)], &[(0, 1, 40.0)]);
         let p = NkdvParams {
             kernel: KernelType::Uniform,
             bandwidth: 10.0,

@@ -27,11 +27,7 @@ impl FrameSpec {
     /// (at least one; `to > from` required for more than one frame).
     pub fn spanning(from: i64, to: i64, count: usize) -> Self {
         let count = count.max(1);
-        let stride = if count > 1 {
-            ((to - from) / (count as i64 - 1)).max(1)
-        } else {
-            1
-        };
+        let stride = if count > 1 { ((to - from) / (count as i64 - 1)).max(1) } else { 1 };
         Self { start: from, stride, count }
     }
 

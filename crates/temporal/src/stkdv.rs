@@ -94,35 +94,72 @@ pub struct Frame {
 /// # Ok::<(), kdv_core::KdvError>(())
 /// ```
 pub fn compute_stkdv(config: &StKdvConfig, records: &[EventRecord]) -> Result<Vec<Frame>> {
+    compute_stkdv_threaded(config, records, 1)
+}
+
+/// [`compute_stkdv`] with frames distributed over a work-stealing thread
+/// pool ([`kdv_core::parallel::for_each_index`]). Frames are independent
+/// weighted sweeps, so each is computed whole by one worker and the result
+/// is bitwise identical to the sequential driver for every thread count
+/// (`threads == 0` means "auto", `<= 1` stays on the calling thread).
+pub fn compute_stkdv_parallel(
+    config: &StKdvConfig,
+    records: &[EventRecord],
+    threads: usize,
+) -> Result<Vec<Frame>> {
+    compute_stkdv_threaded(config, records, threads)
+}
+
+fn compute_stkdv_threaded(
+    config: &StKdvConfig,
+    records: &[EventRecord],
+    threads: usize,
+) -> Result<Vec<Frame>> {
     assert!(config.temporal_bandwidth > 0, "temporal bandwidth must be positive");
     // sort by time once
     let mut sorted: Vec<&EventRecord> = records.iter().collect();
     sorted.sort_by_key(|r| r.timestamp);
     let times: Vec<i64> = sorted.iter().map(|r| r.timestamp).collect();
+    let frame_times: Vec<i64> = config.frames.times().collect();
 
-    let bt = config.temporal_bandwidth;
-    let mut frames = Vec::with_capacity(config.frames.count);
-    let mut points: Vec<Point> = Vec::new();
-    let mut weights: Vec<f64> = Vec::new();
-
-    for t in config.frames.times() {
-        // temporal support [t - bt, t + bt]
-        let lo = times.partition_point(|&ts| ts < t - bt);
-        let hi = times.partition_point(|&ts| ts <= t + bt);
-        points.clear();
-        weights.clear();
-        for r in &sorted[lo..hi] {
-            let u = (r.timestamp - t).abs() as f64 / bt as f64;
-            let w = config.temporal_kernel.eval(u);
-            if w > 0.0 {
-                points.push(r.point);
-                weights.push(w);
-            }
+    if threads <= 1 {
+        let mut frames = Vec::with_capacity(frame_times.len());
+        for &t in &frame_times {
+            frames.push(compute_frame(config, &sorted, &times, t)?);
         }
-        let grid = compute_weighted(&config.params, &points, &weights)?;
-        frames.push(Frame { time: t, events: points.len(), grid });
+        return Ok(frames);
     }
-    Ok(frames)
+    kdv_core::parallel::for_each_index(frame_times.len(), threads, |i| {
+        compute_frame(config, &sorted, &times, frame_times[i])
+    })
+    .into_iter()
+    .collect()
+}
+
+/// Renders one frame: select the temporal support `[t − b_t, t + b_t]` by
+/// binary search, weight each event by the temporal kernel, run one
+/// weighted SLAM sweep.
+fn compute_frame(
+    config: &StKdvConfig,
+    sorted: &[&EventRecord],
+    times: &[i64],
+    t: i64,
+) -> Result<Frame> {
+    let bt = config.temporal_bandwidth;
+    let lo = times.partition_point(|&ts| ts < t - bt);
+    let hi = times.partition_point(|&ts| ts <= t + bt);
+    let mut points: Vec<Point> = Vec::with_capacity(hi - lo);
+    let mut weights: Vec<f64> = Vec::with_capacity(hi - lo);
+    for r in &sorted[lo..hi] {
+        let u = (r.timestamp - t).abs() as f64 / bt as f64;
+        let w = config.temporal_kernel.eval(u);
+        if w > 0.0 {
+            points.push(r.point);
+            weights.push(w);
+        }
+    }
+    let grid = compute_weighted(&config.params, &points, &weights)?;
+    Ok(Frame { time: t, events: points.len(), grid })
 }
 
 #[cfg(test)]
@@ -196,8 +233,7 @@ mod tests {
             let mut pts = Vec::new();
             let mut ws = Vec::new();
             for r in &recs {
-                let u = (r.timestamp - frame.time).abs() as f64
-                    / cfg.temporal_bandwidth as f64;
+                let u = (r.timestamp - frame.time).abs() as f64 / cfg.temporal_bandwidth as f64;
                 let w = cfg.temporal_kernel.eval(u);
                 if w > 0.0 {
                     pts.push(r.point);
@@ -226,11 +262,8 @@ mod tests {
         let recs = records();
         let frames = compute_stkdv(&cfg, &recs).unwrap();
         // uniform weights: equals the unweighted KDV over the window
-        let window: Vec<Point> = recs
-            .iter()
-            .filter(|r| (r.timestamp - 1_030).abs() <= 500)
-            .map(|r| r.point)
-            .collect();
+        let window: Vec<Point> =
+            recs.iter().filter(|r| (r.timestamp - 1_030).abs() <= 500).map(|r| r.point).collect();
         let plain = kdv_core::rao::compute_bucket(&cfg.params, &window).unwrap();
         let scale = plain.max_value().max(1e-300);
         for (a, b) in frames[0].grid.values().iter().zip(plain.values()) {
@@ -239,15 +272,28 @@ mod tests {
     }
 
     #[test]
+    fn parallel_frames_match_sequential_bitwise() {
+        let cfg = config(FrameSpec::new(1_000, 700, 13), TemporalKernel::Epanechnikov);
+        let recs = records();
+        let seq = compute_stkdv(&cfg, &recs).unwrap();
+        for threads in [2, 3, 8] {
+            let par = compute_stkdv_parallel(&cfg, &recs, threads).unwrap();
+            assert_eq!(par.len(), seq.len());
+            for (a, b) in par.iter().zip(&seq) {
+                assert_eq!(a.time, b.time, "threads={threads}");
+                assert_eq!(a.events, b.events, "threads={threads}");
+                assert_eq!(a.grid, b.grid, "threads={threads} t={}", a.time);
+            }
+        }
+    }
+
+    #[test]
     fn temporal_kernel_shapes() {
         assert_eq!(TemporalKernel::Uniform.eval(0.5), 1.0);
         assert_eq!(TemporalKernel::Triangular.eval(0.25), 0.75);
         assert_eq!(TemporalKernel::Epanechnikov.eval(0.5), 0.75);
-        for k in [
-            TemporalKernel::Uniform,
-            TemporalKernel::Triangular,
-            TemporalKernel::Epanechnikov,
-        ] {
+        for k in [TemporalKernel::Uniform, TemporalKernel::Triangular, TemporalKernel::Epanechnikov]
+        {
             assert_eq!(k.eval(1.5), 0.0);
             assert_eq!(k.eval(-0.1), 0.0);
         }

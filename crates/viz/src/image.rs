@@ -105,8 +105,8 @@ pub fn ascii_art(grid: &DensityGrid, scale: Scale) -> String {
         let j = grid.res_y() - 1 - y;
         for i in 0..grid.res_x() {
             let t = scale.normalize(grid.get(i, j), max);
-            let idx = ((t * (ASCII_RAMP.len() - 1) as f64).round() as usize)
-                .min(ASCII_RAMP.len() - 1);
+            let idx =
+                ((t * (ASCII_RAMP.len() - 1) as f64).round() as usize).min(ASCII_RAMP.len() - 1);
             out.push(ASCII_RAMP[idx] as char);
         }
         out.push('\n');

@@ -51,7 +51,13 @@ impl Canvas {
 
 /// Renders a vertical colour bar of the given size: hottest at the top,
 /// with `ticks` horizontal tick marks (dark lines) at even value steps.
-pub fn color_bar(colormap: ColorMap, scale: Scale, width: usize, height: usize, ticks: usize) -> Image {
+pub fn color_bar(
+    colormap: ColorMap,
+    scale: Scale,
+    width: usize,
+    height: usize,
+    ticks: usize,
+) -> Image {
     let mut canvas = Canvas::new(width, height, (255, 255, 255));
     for y in 0..height {
         // top = max value

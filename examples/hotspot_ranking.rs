@@ -19,15 +19,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let points = dataset.points();
     let mbr = dataset.mbr();
     let bandwidth = slam_kdv::data::scott_bandwidth(&points);
-    println!(
-        "San Francisco 311 calls (synthetic): n={}, b={bandwidth:.0} m",
-        points.len()
-    );
+    println!("San Francisco 311 calls (synthetic): n={}, b={bandwidth:.0} m", points.len());
 
     // 1. exact KDV with the best SLAM variant
     let spec = GridSpec::new(mbr, 480, 480)?;
-    let params = KdvParams::new(spec, KernelType::Quartic, bandwidth)
-        .with_weight(1.0 / points.len() as f64);
+    let params =
+        KdvParams::new(spec, KernelType::Quartic, bandwidth).with_weight(1.0 / points.len() as f64);
     let t0 = std::time::Instant::now();
     let grid = KdvEngine::new(Method::SlamBucketRao).compute(&params, &points)?;
     println!("KDV 480x480 in {:.1} ms\n", t0.elapsed().as_secs_f64() * 1e3);
@@ -61,30 +58,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .iter()
             .map(|h| top.centroid.dist(&h.center))
             .fold(f64::INFINITY, f64::min);
-        println!(
-            "\ntop hotspot centroid is {:.0} m from the nearest planted centre",
-            nearest
-        );
+        println!("\ntop hotspot centroid is {:.0} m from the nearest planted centre", nearest);
     }
 
     // 4. Ripley's K-function: quantify clustering at a few scales
     let radii = [100.0, 250.0, 500.0, 1_000.0];
     let t0 = std::time::Instant::now();
     let k = k_function(&points, mbr, &radii);
-    println!(
-        "\nRipley's K ({} points, {:.1} ms):",
-        points.len(),
-        t0.elapsed().as_secs_f64() * 1e3
-    );
+    println!("\nRipley's K ({} points, {:.1} ms):", points.len(), t0.elapsed().as_secs_f64() * 1e3);
     println!("{:>8} {:>14} {:>14} {:>10}", "r (m)", "K(r)", "pi r^2 (CSR)", "L(r)-r");
     for ((r, kv), l) in radii.iter().zip(&k.k_values).zip(k.l_minus_r()) {
-        println!(
-            "{:>8.0} {:>14.0} {:>14.0} {:>10.1}",
-            r,
-            kv,
-            std::f64::consts::PI * r * r,
-            l
-        );
+        println!("{:>8.0} {:>14.0} {:>14.0} {:>10.1}", r, kv, std::f64::consts::PI * r * r, l);
     }
     println!("\nL(r) - r >> 0 at every scale: the 311 calls are strongly clustered,");
     println!("which is exactly the regime KDV hotspot maps are built for.");

@@ -18,23 +18,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let points = dataset.points();
     let bandwidth = slam_kdv::data::scott_bandwidth(&points);
     let grid = GridSpec::new(dataset.mbr(), 320, 240)?;
-    println!(
-        "Los Angeles (synthetic): n={}, b={:.0} m, raster 320x240\n",
-        points.len(),
-        bandwidth
-    );
+    println!("Los Angeles (synthetic): n={}, b={:.0} m, raster 320x240\n", points.len(), bandwidth);
 
     for kernel in KernelType::ALL {
         println!("--- {kernel} kernel ---");
-        let params = KdvParams::new(grid, kernel, bandwidth)
-            .with_weight(1.0 / points.len() as f64);
+        let params = KdvParams::new(grid, kernel, bandwidth).with_weight(1.0 / points.len() as f64);
         let reference = AnyMethod::Scan.compute(&params, &points)?.grid;
         for method in AnyMethod::paper_lineup() {
             let t0 = std::time::Instant::now();
             let out = method.compute(&params, &points)?;
             let ms = t0.elapsed().as_secs_f64() * 1e3;
-            let err =
-                slam_kdv::core::stats::max_rel_error(out.grid.values(), reference.values());
+            let err = slam_kdv::core::stats::max_rel_error(out.grid.values(), reference.values());
             let status = if method.is_exact() {
                 assert!(err < 1e-9, "{method} deviates: {err}");
                 "exact".to_string()

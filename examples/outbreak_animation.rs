@@ -45,10 +45,8 @@ fn synthesize_outbreak() -> Vec<EventRecord> {
             let u1: f64 = 1.0 - next();
             let u2 = next();
             let r = (-2.0 * u1.ln()).sqrt();
-            let (dx, dy) = (
-                r * (std::f64::consts::TAU * u2).cos(),
-                r * (std::f64::consts::TAU * u2).sin(),
-            );
+            let (dx, dy) =
+                (r * (std::f64::consts::TAU * u2).cos(), r * (std::f64::consts::TAU * u2).sin());
             records.push(EventRecord {
                 point: Point::new(cx + spread * dx, cy + spread * dy),
                 timestamp: day as i64 * DAY + (next() * DAY as f64) as i64,
@@ -106,8 +104,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             c.y
         );
         let file = format!("outbreak_{:02}.ppm", i + 1);
-        render(&frame.grid, ColorMap::Heat, Scale::Sqrt)
-            .save_ppm(std::path::Path::new(&file))?;
+        render(&frame.grid, ColorMap::Heat, Scale::Sqrt).save_ppm(std::path::Path::new(&file))?;
     }
     println!("\nwrote outbreak_01.ppm .. outbreak_12.ppm");
     Ok(())

@@ -34,9 +34,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         state ^= state << 17;
         (state >> 11) as f64 / (1u64 << 53) as f64
     };
-    let hot_edges: Vec<u32> = (0..6)
-        .map(|_| (next() * network.num_edges() as f64) as u32)
-        .collect();
+    let hot_edges: Vec<u32> =
+        (0..6).map(|_| (next() * network.num_edges() as f64) as u32).collect();
     let mut events = Vec::new();
     for _ in 0..600 {
         let edge = if next() < 0.7 {
@@ -66,10 +65,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // 2. planar KDV over the same events (projected to the plane)
-    let planar_events: Vec<Point> = events
-        .iter()
-        .map(|e| network.position_point(e))
-        .collect();
+    let planar_events: Vec<Point> = events.iter().map(|e| network.position_point(e)).collect();
     let region = Rect::new(-50.0, -50.0, 1_150.0, 850.0);
     let grid = GridSpec::new(region, 480, 360)?;
     let planar_params = KdvParams::new(grid, KernelType::Epanechnikov, 220.0)

@@ -36,12 +36,7 @@ fn hotspot_window(
         }
     }
     let c = spec.pixel_center(best.0, best.1);
-    Rect::new(
-        c.x - half_extent_m,
-        c.y - half_extent_m,
-        c.x + half_extent_m,
-        c.y + half_extent_m,
-    )
+    Rect::new(c.x - half_extent_m, c.y - half_extent_m, c.x + half_extent_m, c.y + half_extent_m)
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -50,11 +45,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let bandwidth = slam_kdv::data::scott_bandwidth(&points);
     let engine = KdvEngine::new(Method::SlamBucketRao);
     let weight = 1.0 / points.len() as f64;
-    println!(
-        "New York traffic accidents (synthetic): n={}, b={:.0} m",
-        points.len(),
-        bandwidth
-    );
+    println!("New York traffic accidents (synthetic): n={}, b={:.0} m", points.len(), bandwidth);
 
     // city-wide overview
     let overview_spec = GridSpec::new(dataset.mbr(), 640, 480)?;

@@ -23,14 +23,14 @@
 //! The most common entry points are lifted to the top level; see
 //! `examples/quickstart.rs` for a tour.
 
+pub use kdv_analysis as analysis;
 pub use kdv_baselines as baselines;
 pub use kdv_core as core;
 pub use kdv_data as data;
 pub use kdv_explore as explore;
 pub use kdv_index as index;
-pub use kdv_temporal as temporal;
-pub use kdv_analysis as analysis;
 pub use kdv_network as network;
+pub use kdv_temporal as temporal;
 pub use kdv_viz as viz;
 
 pub use kdv_baselines::AnyMethod;

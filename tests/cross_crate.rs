@@ -49,12 +49,8 @@ fn csv_round_trip_preserves_density() {
 
     let grid = GridSpec::new(dataset.mbr(), 40, 30).unwrap();
     let params = KdvParams::new(grid, KernelType::Quartic, 1500.0);
-    let a = KdvEngine::new(Method::SlamBucketRao)
-        .compute(&params, &dataset.points())
-        .unwrap();
-    let b = KdvEngine::new(Method::SlamBucketRao)
-        .compute(&params, &reloaded.points())
-        .unwrap();
+    let a = KdvEngine::new(Method::SlamBucketRao).compute(&params, &dataset.points()).unwrap();
+    let b = KdvEngine::new(Method::SlamBucketRao).compute(&params, &reloaded.points()).unwrap();
     assert_eq!(a, b, "CSV round trip must be lossless for the engines");
     std::fs::remove_dir_all(&dir).ok();
 }
@@ -128,10 +124,7 @@ fn zorder_sampling_quality_on_city_data() {
     let params =
         KdvParams::new(grid, KernelType::Epanechnikov, b).with_weight(1.0 / points.len() as f64);
     let exact = AnyMethod::Scan.compute(&params, &points).unwrap().grid;
-    let approx = AnyMethod::ZOrder { sample_fraction: 0.1 }
-        .compute(&params, &points)
-        .unwrap()
-        .grid;
+    let approx = AnyMethod::ZOrder { sample_fraction: 0.1 }.compute(&params, &points).unwrap().grid;
     let mass_err = (approx.total() - exact.total()).abs() / exact.total();
     assert!(mass_err < 0.1, "sampled mass error {mass_err}");
 }

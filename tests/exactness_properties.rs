@@ -67,12 +67,11 @@ proptest! {
         let params = KdvParams::new(grid, kernel, bandwidth).with_weight(weight);
 
         let reference = AnyMethod::Scan.compute(&params, &points).unwrap().grid;
-        // Conditioning bound: the aggregate expansion evaluates terms of
-        // magnitude (c/b)^4 (quartic; (c/b)^2 Epanechnikov) for recentred
-        // coordinate magnitude c ~ 160 here, so the achievable f64 error
-        // scales accordingly when b << c. This is inherent to Eq. 5, not an
-        // implementation defect - the tolerance tracks it.
-        let tol = 1e-9 + 1e-12 * (160.0 / bandwidth).powi(4);
+        // The sweep engines evaluate in a rolling recentred frame (see the
+        // sweep_sort module docs), which keeps the aggregate expansion's
+        // error at O(eps·|E(k)|) no matter how small b is relative to the
+        // region — a flat tolerance suffices.
+        let tol = 1e-9;
         for m in Method::ALL {
             let got = AnyMethod::Slam(m).compute(&params, &points).unwrap().grid;
             let err = max_scaled_error(&got, &reference);
@@ -89,7 +88,11 @@ proptest! {
         let params = KdvParams::new(grid, kernel_of(ksel), bandwidth).with_weight(1.0);
 
         let reference = AnyMethod::Scan.compute(&params, &points).unwrap().grid;
-        let tol = 1e-9 + 1e-12 * (160.0 / bandwidth).powi(4); // see above
+        // Unlike the sweep engines, the tree baselines evaluate the
+        // aggregate expansion (Eq. 5) in the globally recentred frame, so
+        // their achievable f64 error keeps the inherent (c/b)^4 (quartic)
+        // conditioning term for coordinate magnitude c ~ 160 here.
+        let tol = 1e-9 + 1e-12 * (160.0 / bandwidth).powi(4);
         for m in [AnyMethod::RqsKd, AnyMethod::RqsBall, AnyMethod::Quad] {
             let got = m.compute(&params, &points).unwrap().grid;
             let err = max_scaled_error(&got, &reference);

@@ -17,9 +17,7 @@ fn pseudo_points(n: usize) -> Vec<Point> {
         state ^= state << 17;
         (state >> 11) as f64 / (1u64 << 53) as f64
     };
-    (0..n)
-        .map(|_| Point::new(next() * 10_000.0, next() * 10_000.0))
-        .collect()
+    (0..n).map(|_| Point::new(next() * 10_000.0, next() * 10_000.0)).collect()
 }
 
 fn time_of(m: &AnyMethod, params: &KdvParams, pts: &[Point]) -> f64 {
@@ -37,10 +35,7 @@ fn slam_bucket_rao_beats_scan_by_a_wide_margin() {
     let params = KdvParams::new(grid, KernelType::Epanechnikov, 800.0);
     let t_scan = time_of(&AnyMethod::Scan, &params, &pts);
     let t_slam = time_of(&AnyMethod::Slam(Method::SlamBucketRao), &params, &pts);
-    assert!(
-        t_scan > 3.0 * t_slam,
-        "expected SCAN ({t_scan:.3}s) >> SLAM ({t_slam:.3}s)"
-    );
+    assert!(t_scan > 3.0 * t_slam, "expected SCAN ({t_scan:.3}s) >> SLAM ({t_slam:.3}s)");
 }
 
 /// Theorem 2 vs Theorem 1: bucketing removes the sort bottleneck, so on
@@ -87,14 +82,9 @@ fn slam_aux_space_is_linear_in_n() {
     let rqs = AnyMethod::RqsKd.compute(&params, &pts).unwrap();
     // both are O(n); ratios must be small constants
     let ratio = slam.aux_space_bytes as f64 / rqs.aux_space_bytes as f64;
-    assert!(
-        (0.05..20.0).contains(&ratio),
-        "aux space ratio {ratio} out of the O(n) family"
-    );
+    assert!((0.05..20.0).contains(&ratio), "aux space ratio {ratio} out of the O(n) family");
     // and both scale roughly linearly with n
-    let half = AnyMethod::Slam(Method::SlamBucketRao)
-        .compute(&params, &pts[..10_000])
-        .unwrap();
+    let half = AnyMethod::Slam(Method::SlamBucketRao).compute(&params, &pts[..10_000]).unwrap();
     let growth = slam.aux_space_bytes as f64 / half.aux_space_bytes as f64;
     assert!((1.2..3.5).contains(&growth), "space growth {growth} not ~2x");
 }

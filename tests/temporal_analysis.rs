@@ -3,7 +3,9 @@
 //! extraction per frame should recover the moving epicentre, contours
 //! should enclose it, and the K-function should flag the clustering.
 
-use slam_kdv::analysis::{contours, grid_diff, hotspot_jaccard, hotspots_by_peak_fraction, k_function};
+use slam_kdv::analysis::{
+    contours, grid_diff, hotspot_jaccard, hotspots_by_peak_fraction, k_function,
+};
 use slam_kdv::core::driver::KdvParams;
 use slam_kdv::core::geom::{Point, Rect};
 use slam_kdv::core::grid::GridSpec;
@@ -13,11 +15,7 @@ use slam_kdv::{KdvEngine, KernelType, Method};
 
 /// A burst that jumps between three sites over three epochs.
 fn moving_bursts() -> Vec<EventRecord> {
-    let sites = [
-        Point::new(20.0, 20.0),
-        Point::new(60.0, 50.0),
-        Point::new(85.0, 15.0),
-    ];
+    let sites = [Point::new(20.0, 20.0), Point::new(60.0, 50.0), Point::new(85.0, 15.0)];
     let mut out = Vec::new();
     let mut state = 31u64;
     let mut next = move || {
@@ -53,11 +51,7 @@ fn stkdv_frames_track_the_moving_hotspot() {
     let cfg = config();
     let frames = compute_stkdv(&cfg, &moving_bursts()).unwrap();
     assert_eq!(frames.len(), 3);
-    let expected = [
-        Point::new(20.0, 20.0),
-        Point::new(60.0, 50.0),
-        Point::new(85.0, 15.0),
-    ];
+    let expected = [Point::new(20.0, 20.0), Point::new(60.0, 50.0), Point::new(85.0, 15.0)];
     for (frame, site) in frames.iter().zip(expected) {
         assert!(frame.events > 0, "frame at t={} lost its burst", frame.time);
         let hs = hotspots_by_peak_fraction(&frame.grid, &cfg.params.grid, 0.5);
@@ -102,9 +96,7 @@ fn per_frame_grids_equal_direct_slam_on_uniform_kernel() {
             .filter(|r| (r.timestamp - frame.time).abs() <= cfg.temporal_bandwidth)
             .map(|r| r.point)
             .collect();
-        let direct = KdvEngine::new(Method::SlamBucketRao)
-            .compute(&cfg.params, &window)
-            .unwrap();
+        let direct = KdvEngine::new(Method::SlamBucketRao).compute(&cfg.params, &window).unwrap();
         let diff = grid_diff(&frame.grid, &direct);
         assert!(diff.max_rel_to_peak < 1e-9, "t={}: {diff:?}", frame.time);
         assert_eq!(hotspot_jaccard(&frame.grid, &direct, direct.max_value() * 0.3), 1.0);

@@ -1,0 +1,485 @@
+//! Minimal offline stand-in for the `proptest` crate.
+//!
+//! The build container has no registry access, so the workspace vendors the
+//! slice of proptest it uses: the [`Strategy`] trait with `prop_map`,
+//! numeric range strategies, tuple composition, `prop::collection::vec`,
+//! `prop::sample::select`, `prop::num::f64::NORMAL`, the `proptest!` /
+//! `prop_assert!` / `prop_assert_eq!` / `prop_assume!` macros and
+//! [`ProptestConfig::with_cases`].
+//!
+//! Differences from real proptest, deliberate for a test-only stand-in:
+//! - **No shrinking.** A failing case reports the generated input verbatim.
+//! - **Deterministic seeding** from the test name, so failures reproduce on
+//!   every run (there is no persistence; `.proptest-regressions` files are
+//!   ignored — promote recorded seeds to explicit unit tests instead).
+//! - Value distributions are not bit-compatible with upstream.
+
+use std::fmt::Debug;
+use std::ops::{Range, RangeFrom, RangeInclusive};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+/// Deterministic generator used by strategies (xoshiro256++).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// Builds the generator from a 64-bit seed via SplitMix64.
+    pub fn from_seed(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut word = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        TestRng { s: [word(), word(), word(), word()] }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, n)` (`n > 0`).
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+}
+
+/// A recipe for generating test values.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms generated values with `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Strategy adapter returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty f64 strategy range");
+        self.start + (self.end - self.start) * rng.unit_f64()
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty f64 strategy range");
+        lo + (hi - lo) * rng.unit_f64()
+    }
+}
+
+macro_rules! int_strategies {
+    ($($t:ty => $max:expr),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty integer strategy range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let draw = rng.next_u64() as u128 % span;
+                (self.start as i128 + draw as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty integer strategy range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let draw = rng.next_u64() as u128 % span;
+                (lo as i128 + draw as i128) as $t
+            }
+        }
+        impl Strategy for RangeFrom<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                (self.start..=$max).generate(rng)
+            }
+        }
+    )*};
+}
+
+int_strategies!(
+    u8 => u8::MAX, u16 => u16::MAX, u32 => u32::MAX, u64 => u64::MAX,
+    usize => usize::MAX, i8 => i8::MAX, i16 => i16::MAX, i32 => i32::MAX,
+    i64 => i64::MAX, isize => isize::MAX
+);
+
+macro_rules! tuple_strategies {
+    ($(($($S:ident . $idx:tt),+))*) => {$(
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategies!((A.0)(A.0, B.1)(A.0, B.1, C.2)(A.0, B.1, C.2, D.3)(A.0, B.1, C.2, D.3, E.4)(
+    A.0, B.1, C.2, D.3, E.4, F.5
+));
+
+/// Combinator namespaces mirroring `proptest::prop`.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use crate::{Strategy, TestRng};
+        use std::ops::Range;
+
+        /// Strategy for `Vec`s with uniformly drawn length in `size`.
+        #[derive(Debug, Clone)]
+        pub struct VecStrategy<S> {
+            elem: S,
+            size: Range<usize>,
+        }
+
+        /// `Vec` of values from `elem` with length drawn from `size`.
+        pub fn vec<S: Strategy>(elem: S, size: Range<usize>) -> VecStrategy<S> {
+            assert!(size.start < size.end, "empty vec-length range");
+            VecStrategy { elem, size }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let span = (self.size.end - self.size.start) as u64;
+                let len = self.size.start + rng.below(span) as usize;
+                (0..len).map(|_| self.elem.generate(rng)).collect()
+            }
+        }
+    }
+
+    /// Sampling strategies.
+    pub mod sample {
+        use crate::{Strategy, TestRng};
+
+        /// Strategy picking uniformly from a fixed list.
+        #[derive(Debug, Clone)]
+        pub struct Select<T> {
+            options: Vec<T>,
+        }
+
+        /// Uniform choice from `options` (must be non-empty).
+        pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+            assert!(!options.is_empty(), "select requires at least one option");
+            Select { options }
+        }
+
+        impl<T: Clone> Strategy for Select<T> {
+            type Value = T;
+            fn generate(&self, rng: &mut TestRng) -> T {
+                let i = rng.below(self.options.len() as u64) as usize;
+                self.options[i].clone()
+            }
+        }
+    }
+
+    /// Numeric strategies.
+    pub mod num {
+        /// `f64` strategies.
+        pub mod f64 {
+            use crate::{Strategy, TestRng};
+
+            /// Strategy over normal (non-zero, non-subnormal, finite)
+            /// `f64` bit patterns of either sign and any magnitude.
+            #[derive(Debug, Clone, Copy)]
+            pub struct NormalF64;
+
+            /// All normal `f64` values.
+            pub const NORMAL: NormalF64 = NormalF64;
+
+            impl Strategy for NormalF64 {
+                type Value = f64;
+                fn generate(&self, rng: &mut TestRng) -> f64 {
+                    loop {
+                        let v = f64::from_bits(rng.next_u64());
+                        if v.is_normal() {
+                            return v;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Runner configuration (only `cases` is honoured).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required per property.
+    pub cases: u32,
+    /// Rejection budget before the runner gives up (`prop_assume!`).
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` successful cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases, max_global_rejects: 1024 + cases * 16 }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig::with_cases(256)
+    }
+}
+
+/// Why a single test case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The property is violated for this input.
+    Fail(String),
+    /// The input does not satisfy a `prop_assume!` precondition.
+    Reject(String),
+}
+
+/// Result of one test case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+fn fnv1a(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Drives one property: generates inputs, runs the body, reports failures
+/// with the offending input. Called by the [`proptest!`] macro.
+pub fn run_proptest<S, F>(config: &ProptestConfig, name: &str, strategy: &S, test: F)
+where
+    S: Strategy,
+    S::Value: Debug + Clone,
+    F: Fn(S::Value) -> TestCaseResult,
+{
+    let base = fnv1a(name);
+    let mut passed = 0u32;
+    let mut rejected = 0u32;
+    let mut case = 0u64;
+    while passed < config.cases {
+        let mut rng = TestRng::from_seed(base ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        case += 1;
+        let value = strategy.generate(&mut rng);
+        let kept = value.clone();
+        match catch_unwind(AssertUnwindSafe(|| test(value))) {
+            Ok(Ok(())) => passed += 1,
+            Ok(Err(TestCaseError::Reject(why))) => {
+                rejected += 1;
+                assert!(
+                    rejected <= config.max_global_rejects,
+                    "{name}: too many prop_assume! rejections (last: {why})"
+                );
+            }
+            Ok(Err(TestCaseError::Fail(msg))) => {
+                panic!("{name}: property failed at case {case}: {msg}\n  input: {kept:?}")
+            }
+            Err(payload) => {
+                eprintln!("{name}: panic at case {case}\n  input: {kept:?}");
+                resume_unwind(payload);
+            }
+        }
+    }
+}
+
+/// Asserts a condition inside a property, recording the strategy inputs on
+/// failure (returns `Err(TestCaseError::Fail)` rather than panicking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts equality inside a property (see [`prop_assert!`]).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "{}: {:?} != {:?}", format!($($fmt)+), l, r);
+    }};
+}
+
+/// Discards the current case unless a precondition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::Reject(
+                concat!("assumption failed: ", stringify!($cond)).to_string(),
+            ));
+        }
+    };
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running `body` over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    // Internal muncher arms must come first: the public entry arms below
+    // are catch-alls and would otherwise shadow them.
+    (@munch ($config:expr)) => {};
+    (@munch ($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            let strategy = ($($strategy,)+);
+            $crate::run_proptest(&config, stringify!($name), &strategy, |($($pat,)+)| {
+                $body
+                ::core::result::Result::Ok(())
+            });
+        }
+        $crate::proptest!(@munch ($config) $($rest)*);
+    };
+    // With a leading config attribute.
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@munch ($config) $($rest)*);
+    };
+    // Without one: use the default config.
+    ($($rest:tt)*) => {
+        $crate::proptest!(@munch ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// One-stop imports, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assume, proptest, ProptestConfig, Strategy,
+        TestCaseError, TestCaseResult,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = crate::TestRng::from_seed(1);
+        for _ in 0..1_000 {
+            let f = (2.0f64..3.0).generate(&mut rng);
+            assert!((2.0..3.0).contains(&f));
+            let u = (5u32..9).generate(&mut rng);
+            assert!((5..9).contains(&u));
+            let any = (0u64..).generate(&mut rng);
+            let _ = any;
+        }
+    }
+
+    #[test]
+    fn vec_and_select_compose_with_map() {
+        let strat =
+            prop::collection::vec((0.0f64..1.0, 0.0f64..1.0).prop_map(|(a, b)| a + b), 3..7);
+        let mut rng = crate::TestRng::from_seed(2);
+        let v = strat.generate(&mut rng);
+        assert!((3..7).contains(&v.len()));
+        assert!(v.iter().all(|&x| (0.0..2.0).contains(&x)));
+        let sel = prop::sample::select(vec![10, 20, 30]);
+        for _ in 0..50 {
+            assert!([10, 20, 30].contains(&sel.generate(&mut rng)));
+        }
+    }
+
+    #[test]
+    fn normal_f64_is_normal() {
+        let mut rng = crate::TestRng::from_seed(3);
+        for _ in 0..200 {
+            assert!(prop::num::f64::NORMAL.generate(&mut rng).is_normal());
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro wires patterns, assumes and asserts together.
+        #[test]
+        fn macro_end_to_end(
+            (a, b) in (0u32..1_000, 0u32..1_000),
+            extra in prop::sample::select(vec![1u32, 2, 3]),
+        ) {
+            prop_assume!(a != b);
+            let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+            prop_assert!(hi > lo, "hi {} lo {}", hi, lo);
+            prop_assert_eq!(hi + extra - extra, hi);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property failed")]
+    fn failures_report_inputs() {
+        let config = ProptestConfig::with_cases(8);
+        crate::run_proptest(&config, "always_fails", &(0u32..10,), |(v,)| {
+            prop_assert!(v > 100, "v was {}", v);
+            Ok(())
+        });
+    }
+}
