@@ -9,6 +9,9 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> cargo bench --no-run"
+cargo bench --no-run
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 

@@ -160,8 +160,10 @@ impl AnyMethod {
                 // honour the deadline by checking before starting.
                 check_deadline(deadline)?;
                 let grid = kdv_core::KdvEngine::new(*m).compute(params, points)?;
-                // aux space: recentred copy + envelope buffer, ~O(n)
-                let aux = std::mem::size_of_val(points) * 2;
+                // aux space: recentred copy + envelope buffer (~O(n) each)
+                // plus the y-sorted banded extraction index
+                let aux = std::mem::size_of_val(points) * 2
+                    + kdv_core::envelope::BandIndex::bytes_for(points.len());
                 Ok(MethodOutput { grid, aux_space_bytes: aux })
             }
         }

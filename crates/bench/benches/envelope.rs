@@ -1,0 +1,58 @@
+//! Micro-bench: envelope extraction, full-scan vs banded index.
+//!
+//! The full scan visits all `n` points per row (`O(Y·n)` across the
+//! raster); the banded index binary-searches the y-sorted order and
+//! touches only the `|E(k)|` in-band points (`O(Y·(log n + |E(k)|))`).
+//! At small bandwidth almost every point is out of band and the banded
+//! path should win by orders of magnitude; at bandwidth ≈ region size
+//! every point is in band and the two must be on par.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kdv_core::driver::{KdvParams, SweepContext};
+use kdv_core::envelope::EnvelopeBuffer;
+use kdv_core::geom::{Point, Rect};
+use kdv_core::grid::GridSpec;
+use kdv_core::KernelType;
+use kdv_data::synth::{generate, SynthConfig};
+
+fn bench_extraction(c: &mut Criterion) {
+    let extent = Rect::new(0.0, 0.0, 10_000.0, 10_000.0);
+    let points: Vec<Point> =
+        generate(&SynthConfig::simple(extent), 50_000, 11).into_iter().map(|r| r.point).collect();
+    let grid = GridSpec::new(extent, 256, 256).unwrap();
+
+    let mut group = c.benchmark_group("envelope_extraction");
+    // small, medium, and region-size bandwidths
+    for bandwidth in [50.0, 400.0, 10_000.0] {
+        let params = KdvParams::new(grid, KernelType::Epanechnikov, bandwidth);
+        let ctx = SweepContext::new(&params, &points).unwrap();
+        let mut envelope = EnvelopeBuffer::for_points(points.len());
+
+        group.bench_with_input(BenchmarkId::new("scan", bandwidth), &ctx, |b, ctx| {
+            b.iter(|| {
+                let mut total = 0usize;
+                for &k in &ctx.ks {
+                    total += envelope.fill(&ctx.points, bandwidth, k).len();
+                }
+                total
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("banded", bandwidth), &ctx, |b, ctx| {
+            b.iter(|| {
+                let mut total = 0usize;
+                for &k in &ctx.ks {
+                    let band = ctx.index.band(bandwidth, k);
+                    if band.is_empty() {
+                        continue;
+                    }
+                    total += envelope.fill_band(&ctx.index, band, bandwidth, k).len();
+                }
+                total
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_extraction);
+criterion_main!(benches);

@@ -6,7 +6,7 @@
 //! This module owns everything row-independent: input validation, numerical
 //! recentring, pixel-centre precomputation and buffer reuse.
 
-use crate::envelope::{EnvelopeBuffer, SweepInterval};
+use crate::envelope::{BandIndex, EnvelopeBuffer, SweepInterval};
 use crate::error::{KdvError, Result};
 use crate::grid::{DensityGrid, GridSpec};
 use crate::kernel::KernelType;
@@ -82,9 +82,18 @@ pub trait RowEngine {
 }
 
 /// Pre-processed, recentred inputs shared by every row of one computation.
+///
+/// The points are stored in the **canonical sweep order** — ascending y,
+/// ties in input order — which is what both the banded index and the
+/// full-scan reference emit, so every extraction path hands intervals to
+/// the engines in the same sequence (bitwise-reproducible accumulation).
 pub struct SweepContext {
-    /// Points shifted so the region centre is the origin.
+    /// Points shifted so the region centre is the origin, sorted by
+    /// ascending y (stable, so runs are deterministic).
     pub points: Vec<crate::geom::Point>,
+    /// Banded envelope index over `points`: y-sorted SoA coordinates plus
+    /// the permutation back to the caller's input order.
+    pub index: BandIndex,
     /// Recentred pixel-centre x-coordinates, strictly increasing.
     pub xs: Vec<f64>,
     /// Recentred pixel-centre y-coordinates, one per row.
@@ -94,7 +103,8 @@ pub struct SweepContext {
 }
 
 impl SweepContext {
-    /// Recentres points and precomputes pixel coordinates.
+    /// Recentres points, sorts them by y into the banded index, and
+    /// precomputes pixel coordinates — O(n log n), once per computation.
     ///
     /// Shifting both the data and the query raster by the region centre is
     /// exact in real arithmetic (kernels depend only on `q − p`) and keeps
@@ -106,20 +116,25 @@ impl SweepContext {
         let grid = &params.grid;
         let center = grid.region.center();
         let shifted: Vec<_> = points.iter().map(|p| p.shifted(center.x, center.y)).collect();
+        let index = BandIndex::build(&shifted);
+        let sorted: Vec<_> = (0..index.len()).map(|i| index.point(i)).collect();
         let xs: Vec<f64> = (0..grid.res_x).map(|i| grid.pixel_x(i) - center.x).collect();
         let ks: Vec<f64> = (0..grid.res_y).map(|j| grid.pixel_y(j) - center.y).collect();
-        Ok(Self { points: shifted, xs, ks, center })
+        Ok(Self { points: sorted, index, xs, ks, center })
     }
 
-    /// Heap bytes held by the context.
+    /// Heap bytes held by the context (points, index, pixel coordinates).
     pub fn space_bytes(&self) -> usize {
         self.points.capacity() * std::mem::size_of::<crate::geom::Point>()
+            + self.index.space_bytes()
             + (self.xs.capacity() + self.ks.capacity()) * std::mem::size_of::<f64>()
     }
 }
 
-/// Runs `engine` over every row of the raster: the outer loop of
-/// Theorems 1–2 (`Y` iterations of an `O(X + n)`/`O(X + n log n)` row).
+/// Runs `engine` over every row of the raster with banded envelope
+/// extraction: O(n log n) once, then `Y` iterations of an
+/// `O(log n + |E(k)| + X)` row (rows with an empty band are skipped
+/// outright — their densities are exactly zero).
 pub fn sweep_grid<E: RowEngine>(
     params: &KdvParams,
     points: &[crate::geom::Point],
@@ -130,7 +145,34 @@ pub fn sweep_grid<E: RowEngine>(
     let mut envelope = EnvelopeBuffer::for_points(ctx.points.len());
     for j in 0..params.grid.res_y {
         let k = ctx.ks[j];
+        let band = ctx.index.band(params.bandwidth, k);
+        if band.is_empty() {
+            continue;
+        }
+        let intervals = envelope.fill_band(&ctx.index, band, params.bandwidth, k);
+        engine.process_row(&ctx.xs, k, intervals, grid.row_mut(j));
+    }
+    Ok(grid)
+}
+
+/// [`sweep_grid`] with the paper's original full-scan extraction (`O(n)`
+/// per row over the same canonical point order). Kept as the reference
+/// implementation: regression tests assert the banded path is bitwise
+/// identical to it, and the extraction benchmarks measure it.
+pub fn sweep_grid_scan<E: RowEngine>(
+    params: &KdvParams,
+    points: &[crate::geom::Point],
+    engine: &mut E,
+) -> Result<DensityGrid> {
+    let ctx = SweepContext::new(params, points)?;
+    let mut grid = DensityGrid::zeroed(params.grid.res_x, params.grid.res_y);
+    let mut envelope = EnvelopeBuffer::for_points(ctx.points.len());
+    for j in 0..params.grid.res_y {
+        let k = ctx.ks[j];
         let intervals = envelope.fill(&ctx.points, params.bandwidth, k);
+        if intervals.is_empty() {
+            continue;
+        }
         engine.process_row(&ctx.xs, k, intervals, grid.row_mut(j));
     }
     Ok(grid)
@@ -180,18 +222,42 @@ mod tests {
     }
 
     #[test]
-    fn driver_visits_every_row_with_envelope_sets() {
+    fn driver_visits_every_nonempty_row_with_envelope_sets() {
         let p = params(8, 5);
         // one point near the bottom, one near the top
         let pts = [Point::new(5.0, 1.0), Point::new(5.0, 9.0)];
         let mut eng = CountingEngine { rows_seen: 0, envelope_sizes: vec![] };
         let grid = sweep_grid(&p, &pts, &mut eng).unwrap();
-        assert_eq!(eng.rows_seen, 5);
         // row centres are y = 1,3,5,7,9; b = 2 ⇒ row 0 sees pt0 only,
-        // row 1 sees pt0, row 2 sees none, row 3 sees pt1, row 4 sees pt1.
-        assert_eq!(eng.envelope_sizes, vec![1, 1, 0, 1, 1]);
-        assert_eq!(grid.get(0, 2), 0.0);
+        // row 1 sees pt0, row 2 sees none (skipped outright), row 3 sees
+        // pt1, row 4 sees pt1.
+        assert_eq!(eng.rows_seen, 4);
+        assert_eq!(eng.envelope_sizes, vec![1, 1, 1, 1]);
+        assert_eq!(grid.get(0, 2), 0.0, "skipped row stays exactly zero");
         assert_eq!(grid.get(0, 0), 1.0);
+    }
+
+    #[test]
+    fn banded_driver_matches_full_scan_driver_bitwise() {
+        let p = params(16, 11);
+        let mut state = 0xC0FFEEu64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let pts: Vec<Point> =
+            (0..250).map(|_| Point::new(next() * 12.0 - 1.0, next() * 12.0 - 1.0)).collect();
+        for bandwidth in [0.3, 2.0, 25.0] {
+            let mut params = p;
+            params.bandwidth = bandwidth;
+            let mut a = crate::sweep_bucket::BucketSweep::new(params.kernel, bandwidth, 1.0);
+            let mut b = crate::sweep_bucket::BucketSweep::new(params.kernel, bandwidth, 1.0);
+            let banded = sweep_grid(&params, &pts, &mut a).unwrap();
+            let scan = sweep_grid_scan(&params, &pts, &mut b).unwrap();
+            assert_eq!(banded, scan, "b={bandwidth}");
+        }
     }
 
     #[test]

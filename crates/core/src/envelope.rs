@@ -5,6 +5,30 @@
 //! induces an x-interval `[LB_k(p), UB_k(p)]` (Eqs. 8–9) outside of which it
 //! contributes nothing; a pixel `q` on the row has `p ∈ R(q)` iff
 //! `LB_k(p) ≤ q.x ≤ UB_k(p)` (Lemma 2).
+//!
+//! # Banded extraction
+//!
+//! The paper extracts `E(k)` with an O(n) scan per row, making envelope
+//! extraction O(Yn) for the whole raster — the dominant cost at small
+//! bandwidths where `|E(k)| ≪ n`. [`BandIndex`] removes it: the points are
+//! sorted by y **once** per computation (O(n log n)), after which `E(k)` is
+//! a *contiguous slice* of the sorted order, located by two binary searches
+//! (O(log n)) and filled in O(|E(k)|). The index stores the coordinates as
+//! structure-of-arrays (`xs`/`ys`) so the `lb/ub = x ∓ sqrt(b² − dy²)`
+//! bound computation runs over dense `f64` slices and auto-vectorizes.
+//! Lookups are random-access per row, so they compose with the
+//! work-stealing scheduler's out-of-order row claims.
+//!
+//! The membership predicate is *bit-identical* to the full scan's
+//! (`fl(b²) − fl(dy²) ≥ 0`): since `fl(dy²)` is monotone in `|dy|` (float
+//! rounding preserves ≤), the in-band set really is one contiguous run of
+//! the y-sorted order, including every boundary row with `|k − p.y| = b`.
+//! [`EnvelopeBuffer::fill_band`] then performs exactly the same arithmetic
+//! per point as [`EnvelopeBuffer::fill`], so banded extraction over the
+//! sorted order returns bitwise-identical intervals to a full scan over the
+//! same order.
+
+use std::ops::Range;
 
 use crate::geom::Point;
 
@@ -18,6 +42,107 @@ pub struct SweepInterval {
     pub lb: f64,
     /// `UB_k(p) = p.x + sqrt(b² − (k − p.y)²)`.
     pub ub: f64,
+}
+
+/// Y-sorted structure-of-arrays point index for banded envelope extraction.
+///
+/// Built once per computation (see `SweepContext`); per row it locates the
+/// envelope band `{p : |k − p.y| ≤ b}` as a contiguous range of the sorted
+/// order with two `partition_point` binary searches. See the module docs
+/// for the exactness argument.
+#[derive(Debug, Clone, Default)]
+pub struct BandIndex {
+    /// Point x-coordinates, in ascending-y order.
+    xs: Vec<f64>,
+    /// Point y-coordinates, ascending.
+    ys: Vec<f64>,
+    /// Sorted position → index of the point in the builder's input slice
+    /// (aligns per-point payloads such as weights with the sorted order).
+    perm: Vec<u32>,
+}
+
+impl BandIndex {
+    /// Sorts `points` by y (stable, so duplicate-y points keep their input
+    /// order and every run is deterministic) and stores the coordinates as
+    /// structure-of-arrays. O(n log n) time, [`BandIndex::bytes_for`]`(n)`
+    /// heap bytes.
+    pub fn build(points: &[Point]) -> Self {
+        assert!(points.len() <= u32::MAX as usize, "BandIndex holds at most 2^32 points");
+        let mut perm: Vec<u32> = (0..points.len() as u32).collect();
+        perm.sort_by(|&a, &b| points[a as usize].y.total_cmp(&points[b as usize].y));
+        let xs = perm.iter().map(|&i| points[i as usize].x).collect();
+        let ys = perm.iter().map(|&i| points[i as usize].y).collect();
+        Self { xs, ys, perm }
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.ys.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ys.is_empty()
+    }
+
+    /// The `i`-th point of the y-sorted order.
+    #[inline]
+    pub fn point(&self, i: usize) -> Point {
+        Point::new(self.xs[i], self.ys[i])
+    }
+
+    /// Index of the `i`-th sorted point in the original input slice.
+    #[inline]
+    pub fn original_index(&self, i: usize) -> usize {
+        self.perm[i] as usize
+    }
+
+    /// The contiguous sorted-order range holding the envelope set `E(k)`
+    /// for bandwidth `bandwidth`: O(log n).
+    #[inline]
+    pub fn band(&self, bandwidth: f64, k: f64) -> Range<usize> {
+        self.band_in(0..self.ys.len(), bandwidth, k)
+    }
+
+    /// [`BandIndex::band`] restricted to a known superset range — a
+    /// smaller bandwidth's band is always inside a larger one's, so
+    /// multi-bandwidth passes let the widest band bound the search.
+    pub fn band_in(&self, within: Range<usize>, bandwidth: f64, k: f64) -> Range<usize> {
+        let b2 = bandwidth * bandwidth;
+        let ys = &self.ys[within.clone()];
+        // Both predicates evaluate membership with exactly the full scan's
+        // arithmetic (`b2 - dy*dy >= 0.0`) and are monotone over ascending
+        // y: out-of-band-below → in-band → out-of-band-above.
+        let lo = ys.partition_point(|&y| {
+            let dy = k - y;
+            y < k && b2 - dy * dy < 0.0
+        });
+        let hi = ys.partition_point(|&y| {
+            let dy = k - y;
+            y < k || b2 - dy * dy >= 0.0
+        });
+        (within.start + lo)..(within.start + hi)
+    }
+
+    /// Copies the per-point payloads (e.g. weights, indexed like the
+    /// builder's input slice) of one band into `out`, aligned with the
+    /// intervals that [`EnvelopeBuffer::fill_band`] produces for it.
+    pub fn gather(&self, band: Range<usize>, payload: &[f64], out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(self.perm[band].iter().map(|&i| payload[i as usize]));
+    }
+
+    /// Heap bytes an index over `n` points occupies: two `f64` coordinate
+    /// arrays plus the `u32` permutation.
+    pub const fn bytes_for(n: usize) -> usize {
+        n * (2 * std::mem::size_of::<f64>() + std::mem::size_of::<u32>())
+    }
+
+    /// Heap bytes currently held (space-consumption accounting).
+    pub fn space_bytes(&self) -> usize {
+        (self.xs.capacity() + self.ys.capacity()) * std::mem::size_of::<f64>()
+            + self.perm.capacity() * std::mem::size_of::<u32>()
+    }
 }
 
 /// Reusable buffer for envelope extraction; one allocation reused across
@@ -67,6 +192,45 @@ impl EnvelopeBuffer {
                 let half = rem.sqrt();
                 self.intervals.push(SweepInterval { point: *p, lb: p.x - half, ub: p.x + half });
             }
+        }
+        &self.intervals
+    }
+
+    /// Banded counterpart of [`EnvelopeBuffer::fill`]: locates the row's
+    /// band in `index` (O(log n)) and fills intervals from just that slice
+    /// (O(|E(k)|)). The intervals are bitwise identical — same values, same
+    /// order — to a full scan over the index's y-sorted point order.
+    pub fn fill_banded(&mut self, index: &BandIndex, bandwidth: f64, k: f64) -> &[SweepInterval] {
+        let band = index.band(bandwidth, k);
+        self.fill_band(index, band, bandwidth, k)
+    }
+
+    /// Fills intervals for an already-located `band` (every point of the
+    /// range must satisfy `|k − p.y| ≤ b`, which [`BandIndex::band`]
+    /// guarantees). The bound computation reads the index's dense `xs`/`ys`
+    /// arrays so it auto-vectorizes.
+    pub fn fill_band(
+        &mut self,
+        index: &BandIndex,
+        band: Range<usize>,
+        bandwidth: f64,
+        k: f64,
+    ) -> &[SweepInterval] {
+        self.intervals.clear();
+        let b2 = bandwidth * bandwidth;
+        let xs = &index.xs[band.clone()];
+        let ys = &index.ys[band];
+        self.intervals.reserve(xs.len());
+        for (&x, &y) in xs.iter().zip(ys) {
+            let dy = k - y;
+            let rem = b2 - dy * dy;
+            debug_assert!(rem >= 0.0, "band must only contain in-range points");
+            let half = rem.sqrt();
+            self.intervals.push(SweepInterval {
+                point: Point::new(x, y),
+                lb: x - half,
+                ub: x + half,
+            });
         }
         &self.intervals
     }
@@ -159,6 +323,69 @@ mod tests {
             huge.space_bytes(),
             EnvelopeBuffer::MAX_PREALLOC * std::mem::size_of::<SweepInterval>()
         );
+    }
+
+    #[test]
+    fn band_index_matches_full_scan_bitwise() {
+        // includes duplicate y values and points exactly b away from rows
+        let pts = vec![
+            Point::new(4.0, 2.0),
+            Point::new(1.0, -3.0),
+            Point::new(9.0, 2.0),
+            Point::new(5.0, 0.5),
+            Point::new(-2.0, 7.0),
+            Point::new(3.0, 2.0),
+        ];
+        let index = BandIndex::build(&pts);
+        let sorted: Vec<Point> = (0..index.len()).map(|i| index.point(i)).collect();
+        let mut scan = EnvelopeBuffer::new();
+        let mut banded = EnvelopeBuffer::new();
+        for b in [0.25, 2.0, 3.5, 100.0] {
+            for k in [-3.0 - b, -1.0, 0.5, 2.0 - b, 2.0 + b, 6.0, 50.0] {
+                let reference = scan.fill(&sorted, b, k).to_vec();
+                let got = banded.fill_banded(&index, b, k);
+                assert_eq!(got, &reference[..], "b={b} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn band_index_keeps_duplicate_y_in_input_order() {
+        let pts = vec![Point::new(2.0, 1.0), Point::new(0.0, 1.0), Point::new(1.0, 1.0)];
+        let index = BandIndex::build(&pts);
+        // stable sort: equal y values stay in input order
+        assert_eq!(index.point(0), pts[0]);
+        assert_eq!(index.point(1), pts[1]);
+        assert_eq!(index.point(2), pts[2]);
+        assert_eq!(index.original_index(1), 1);
+        let band = index.band(3.0, 0.0);
+        assert_eq!(band, 0..3);
+        let mut out = Vec::new();
+        index.gather(band, &[10.0, 20.0, 30.0], &mut out);
+        assert_eq!(out, vec![10.0, 20.0, 30.0]);
+    }
+
+    #[test]
+    fn band_in_bounds_search_by_superset() {
+        let pts: Vec<Point> = (0..100).map(|i| Point::new(0.0, i as f64)).collect();
+        let index = BandIndex::build(&pts);
+        let wide = index.band(30.0, 50.0);
+        for b in [0.5, 3.0, 11.25, 30.0] {
+            assert_eq!(index.band_in(wide.clone(), b, 50.0), index.band(b, 50.0), "b={b}");
+        }
+    }
+
+    #[test]
+    fn empty_band_and_empty_index() {
+        let index = BandIndex::build(&[]);
+        assert!(index.is_empty());
+        assert_eq!(index.band(5.0, 0.0), 0..0);
+        let pts = vec![Point::new(0.0, 10.0)];
+        let index = BandIndex::build(&pts);
+        assert!(index.band(2.0, 0.0).is_empty());
+        assert!(index.band(2.0, 20.0).is_empty());
+        assert_eq!(index.band(2.0, 9.0), 0..1);
+        assert!(index.space_bytes() >= BandIndex::bytes_for(1));
     }
 
     #[test]

@@ -40,7 +40,8 @@
 //!   aggregate decompositions (Table 2 / Table 4).
 //! * [`aggregate`] — range aggregates with compensated maintenance (Eq. 5).
 //! * [`envelope`] — per-row envelope point sets and sweep intervals
-//!   (Definition 1, Lemma 2).
+//!   (Definition 1, Lemma 2), extracted via a y-sorted banded index
+//!   (`O(log n + |E(k)|)` per row instead of a full `O(n)` scan).
 //! * [`sweep_sort`] / [`sweep_bucket`] — the two SLAM engines
 //!   (Algorithms 1 and 2).
 //! * [`rao`] — resolution-aware optimization (Section 3.6).

@@ -3,16 +3,18 @@
 //! Bandwidth selection is one of the exploratory operations the paper
 //! motivates (Figure 2): analysts render the same region at several
 //! bandwidths to pick the right smoothing level. Running SLAM once per
-//! bandwidth repeats the per-row dataset scan (`O(n)` per row) `B` times;
-//! this module shares it. Per row, the envelope of the *largest* bandwidth
-//! is extracted once (`O(n)`), and each smaller bandwidth filters that
-//! envelope (`O(|E_max(k)|)`), which on wide rasters with moderate
-//! bandwidths is far smaller than `n`. Total:
-//! `O(Y·(n + B·(X + |E_max|)))` versus `O(B·Y·(n + X))` for independent
-//! runs.
+//! bandwidth repeats the per-computation point sort `B` times; this module
+//! shares one [`SweepContext`] (one sort, one banded index) across all
+//! bandwidths. Per row, the *widest* bandwidth's band is located once and
+//! bounds the binary search of every smaller bandwidth
+//! ([`crate::envelope::BandIndex::band_in`]), each band filling intervals
+//! in `O(|E_b(k)|)`. A single bucket engine is rebound per bandwidth, so
+//! scratch memory stays `O(X + max|E|)` instead of `B` copies. Total:
+//! `O(n log n + Y·(log n + B·(X + |E_max|)))` versus
+//! `O(B·(n log n + Y·(log n + X + |E_max|)))` for independent runs.
 
 use crate::driver::{KdvParams, RowEngine, SweepContext};
-use crate::envelope::{EnvelopeBuffer, SweepInterval};
+use crate::envelope::EnvelopeBuffer;
 use crate::error::{KdvError, Result};
 use crate::geom::Point;
 use crate::grid::DensityGrid;
@@ -49,34 +51,25 @@ pub fn compute_multi_bandwidth(
     let mut grids: Vec<DensityGrid> =
         bandwidths.iter().map(|_| DensityGrid::zeroed(res_x, res_y)).collect();
 
-    let mut max_envelope = EnvelopeBuffer::for_points(points.len());
-    // per-bandwidth engines (reused across rows) and a scratch interval list
-    let mut engines: Vec<BucketSweep> =
-        bandwidths.iter().map(|&b| BucketSweep::new(params.kernel, b, params.weight)).collect();
-    let mut scratch: Vec<SweepInterval> = Vec::new();
+    let mut envelope = EnvelopeBuffer::for_points(points.len());
+    // one engine rebound per bandwidth — scratch buffers shared by all
+    let mut engine = BucketSweep::new(params.kernel, b_max, params.weight);
 
     for j in 0..res_y {
         let k = ctx.ks[j];
-        // one O(n) scan for the largest bandwidth...
-        max_envelope.fill(&ctx.points, b_max, k);
-        let superset = max_envelope.intervals();
-        // ...then each bandwidth refines the superset
+        // the widest band bounds every smaller bandwidth's binary search
+        let band_max = ctx.index.band(b_max, k);
+        if band_max.is_empty() {
+            continue;
+        }
         for (bi, &b) in bandwidths.iter().enumerate() {
-            let b2 = b * b;
-            scratch.clear();
-            for iv in superset {
-                let dy = k - iv.point.y;
-                let rem = b2 - dy * dy;
-                if rem >= 0.0 {
-                    let half = rem.sqrt();
-                    scratch.push(SweepInterval {
-                        point: iv.point,
-                        lb: iv.point.x - half,
-                        ub: iv.point.x + half,
-                    });
-                }
+            let band = ctx.index.band_in(band_max.clone(), b, k);
+            if band.is_empty() {
+                continue;
             }
-            engines[bi].process_row(&ctx.xs, k, &scratch, grids[bi].row_mut(j));
+            let intervals = envelope.fill_band(&ctx.index, band, b, k);
+            engine.set_bandwidth(b);
+            engine.process_row(&ctx.xs, k, intervals, grids[bi].row_mut(j));
         }
     }
     Ok(grids)

@@ -37,7 +37,7 @@ use crate::grid::DensityGrid;
 use crate::sweep_bucket::BucketSweep;
 use crate::sweep_sort::SortSweep;
 use crate::telemetry::{SweepReport, WorkerStats};
-use crate::weighted::{fill_env_weights, WeightedRowSweep};
+use crate::weighted::WeightedWorkspace;
 
 /// Which sequential engine each worker thread instantiates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -236,7 +236,15 @@ pub fn compute_parallel_with_report(
         &|(envelope, eng), j, stats| {
             let k = ctx.ks[j];
             let t0 = Instant::now();
-            let intervals = envelope.fill(&ctx.points, params.bandwidth, k);
+            let band = ctx.index.band(params.bandwidth, k);
+            if band.is_empty() {
+                // the output row is already zeroed — skip the engine
+                stats.fill_nanos += t0.elapsed().as_nanos() as u64;
+                stats.rows_skipped += 1;
+                stats.envelope_sizes.push((j, 0));
+                return;
+            }
+            let intervals = envelope.fill_band(&ctx.index, band, params.bandwidth, k);
             let t1 = Instant::now();
             // SAFETY: the scheduler claims each row exactly once.
             let out = unsafe { table.row(j) };
@@ -330,30 +338,34 @@ fn compute_weighted_rows_parallel(
         res_y,
         threads,
         &|| {
-            (
-                EnvelopeBuffer::for_points(ctx.points.len()),
-                Vec::<f64>::new(),
-                WeightedRowSweep::new(params.kernel, bandwidth, params.weight),
-            )
+            let mut ws = WeightedWorkspace::new();
+            ws.engine_for(params);
+            ws
         },
-        &|(envelope, env_weights, eng), j, stats| {
+        &|ws, j, stats| {
+            let WeightedWorkspace { envelope, env_weights, engine, .. } = ws;
+            let engine = engine.as_mut().expect("engine_for configured the engine");
             let k = ctx.ks[j];
             let t0 = Instant::now();
-            let intervals = envelope.fill(&ctx.points, bandwidth, k);
-            fill_env_weights(&ctx.points, weights, bandwidth, k, env_weights);
+            let band = ctx.index.band(bandwidth, k);
+            if band.is_empty() {
+                // the output row is already zeroed — skip the engine
+                stats.fill_nanos += t0.elapsed().as_nanos() as u64;
+                stats.rows_skipped += 1;
+                stats.envelope_sizes.push((j, 0));
+                return;
+            }
+            ctx.index.gather(band.clone(), weights, env_weights);
+            let intervals = envelope.fill_band(&ctx.index, band, bandwidth, k);
             let t1 = Instant::now();
             // SAFETY: the scheduler claims each row exactly once.
             let out = unsafe { table.row(j) };
-            eng.process_row(&ctx.xs, k, intervals, env_weights, out);
+            engine.process_row(&ctx.xs, k, intervals, env_weights, out);
             stats.fill_nanos += (t1 - t0).as_nanos() as u64;
             stats.sweep_nanos += t1.elapsed().as_nanos() as u64;
             stats.envelope_sizes.push((j, intervals.len()));
         },
-        &|(envelope, env_weights, eng)| {
-            envelope.space_bytes()
-                + env_weights.capacity() * std::mem::size_of::<f64>()
-                + eng.space_bytes()
-        },
+        &|ws| ws.space_bytes(),
     );
     let mut report = SweepReport::from_workers(workers, res_y, ctx.space_bytes());
     report.wall_nanos = start.elapsed().as_nanos() as u64;
@@ -361,16 +373,16 @@ fn compute_weighted_rows_parallel(
 }
 
 /// Parallel multi-bandwidth exploration, bitwise identical to
-/// [`crate::multi_bandwidth::compute_multi_bandwidth`]: each worker refines
-/// the shared max-bandwidth envelope for every requested bandwidth of its
-/// claimed rows.
+/// [`crate::multi_bandwidth::compute_multi_bandwidth`]: per claimed row the
+/// widest bandwidth's band is located once and bounds the binary search of
+/// every smaller bandwidth; one bucket engine per worker is rebound per
+/// bandwidth.
 pub fn compute_multi_bandwidth_parallel(
     params: &KdvParams,
     points: &[Point],
     bandwidths: &[f64],
     threads: usize,
 ) -> Result<Vec<DensityGrid>> {
-    use crate::envelope::SweepInterval;
     use crate::error::KdvError;
 
     for &b in bandwidths {
@@ -397,47 +409,40 @@ pub fn compute_multi_bandwidth_parallel(
         res_y,
         threads,
         &|| {
-            let engines: Vec<BucketSweep> = bandwidths
-                .iter()
-                .map(|&b| BucketSweep::new(params.kernel, b, params.weight))
-                .collect();
-            (EnvelopeBuffer::for_points(points.len()), engines, Vec::<SweepInterval>::new())
+            (
+                EnvelopeBuffer::for_points(ctx.points.len()),
+                BucketSweep::new(params.kernel, b_max, params.weight),
+            )
         },
-        &|(max_envelope, engines, scratch), j, stats| {
+        &|(envelope, engine), j, stats| {
             let k = ctx.ks[j];
             let t0 = Instant::now();
-            max_envelope.fill(&ctx.points, b_max, k);
+            // the widest band bounds every smaller bandwidth's binary search
+            let band_max = ctx.index.band(b_max, k);
+            if band_max.is_empty() {
+                stats.fill_nanos += t0.elapsed().as_nanos() as u64;
+                stats.rows_skipped += 1;
+                stats.envelope_sizes.push((j, 0));
+                return;
+            }
             let t1 = Instant::now();
-            let superset = max_envelope.intervals();
             for (bi, &b) in bandwidths.iter().enumerate() {
-                let b2 = b * b;
-                scratch.clear();
-                for iv in superset {
-                    let dy = k - iv.point.y;
-                    let rem = b2 - dy * dy;
-                    if rem >= 0.0 {
-                        let half = rem.sqrt();
-                        scratch.push(SweepInterval {
-                            point: iv.point,
-                            lb: iv.point.x - half,
-                            ub: iv.point.x + half,
-                        });
-                    }
+                let band = ctx.index.band_in(band_max.clone(), b, k);
+                if band.is_empty() {
+                    continue;
                 }
+                let intervals = envelope.fill_band(&ctx.index, band, b, k);
+                engine.set_bandwidth(b);
                 // SAFETY: the scheduler claims each row exactly once, and
                 // each bandwidth writes to its own raster.
                 let out = unsafe { tables[bi].row(j) };
-                engines[bi].process_row(&ctx.xs, k, scratch, out);
+                engine.process_row(&ctx.xs, k, intervals, out);
             }
             stats.fill_nanos += (t1 - t0).as_nanos() as u64;
             stats.sweep_nanos += t1.elapsed().as_nanos() as u64;
-            stats.envelope_sizes.push((j, superset.len()));
+            stats.envelope_sizes.push((j, band_max.len()));
         },
-        &|(max_envelope, engines, scratch)| {
-            max_envelope.space_bytes()
-                + engines.iter().map(|e| e.space_bytes()).sum::<usize>()
-                + scratch.capacity() * std::mem::size_of::<SweepInterval>()
-        },
+        &|(envelope, engine)| envelope.space_bytes() + engine.space_bytes(),
     );
     drop(tables);
     Ok(buffers.into_iter().map(|v| DensityGrid::from_values(res_x, res_y, v)).collect())
@@ -452,21 +457,36 @@ pub fn for_each_index<T: Send>(
     threads: usize,
     task: impl Fn(usize) -> T + Sync,
 ) -> Vec<T> {
-    let workers = resolve_threads(threads).min(count).max(1);
+    for_each_index_with(count, threads, || (), |(), i| task(i))
+}
+
+/// [`for_each_index`] with per-worker scratch state: each worker builds one
+/// `S` with `make_state` and threads it through every task it claims. This
+/// is how frame loops keep buffers warm across frames without sharing them
+/// between threads (e.g. one [`WeightedWorkspace`] per worker).
+pub fn for_each_index_with<S, T: Send>(
+    count: usize,
+    threads: usize,
+    make_state: impl Fn() -> S + Sync,
+    task: impl Fn(&mut S, usize) -> T + Sync,
+) -> Vec<T> {
     if count == 0 {
         return Vec::new();
     }
+    let workers = resolve_threads(threads).min(count).max(1);
     let claimer = RowClaimer::new(count, workers);
     let mut collected: Vec<Vec<(usize, T)>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 let claimer = &claimer;
                 let task = &task;
+                let make_state = &make_state;
                 scope.spawn(move || {
+                    let mut state = make_state();
                     let mut local = Vec::new();
                     while let Some(range) = claimer.claim() {
                         for i in range {
-                            local.push((i, task(i)));
+                            local.push((i, task(&mut state, i)));
                         }
                     }
                     local
@@ -598,6 +618,28 @@ mod tests {
             assert_eq!(*v, i * i);
         }
         assert!(for_each_index(0, 4, |i| i).is_empty());
+    }
+
+    #[test]
+    fn for_each_index_with_reuses_worker_state() {
+        // each worker counts how many tasks it ran through its own state;
+        // results stay in index order and every task sees a warm state
+        let out = for_each_index_with(
+            50,
+            3,
+            || 0usize,
+            |seen, i| {
+                *seen += 1;
+                (i, *seen)
+            },
+        );
+        assert_eq!(out.len(), 50);
+        for (slot, (i, seen)) in out.iter().enumerate() {
+            assert_eq!(slot, *i);
+            assert!(*seen >= 1);
+        }
+        // a worker that claims multiple chunks must have kept its state
+        assert!(out.iter().any(|&(_, seen)| seen > 1));
     }
 
     #[test]

@@ -64,6 +64,15 @@ impl BucketSweep {
         }
     }
 
+    /// Rebinds the engine to a new bandwidth, keeping the bucket scratch
+    /// buffers warm — multi-bandwidth passes share one engine instead of
+    /// holding `B` copies of the `O(X + |E|)` scratch. All per-row state is
+    /// reinitialised at the top of [`RowEngine::process_row`], so a rebound
+    /// engine is bitwise identical to a freshly constructed one.
+    pub fn set_bandwidth(&mut self, bandwidth: f64) {
+        self.bandwidth = bandwidth;
+    }
+
     /// First pixel index `i` with `xs[i] ≥ lb`, clamped to `[0, X]`
     /// (Eq. 19 rewritten 0-based). The O(1) division is verified and, if
     /// floating-point rounding put it one slot off, corrected by at most a

@@ -22,6 +22,9 @@ pub struct WorkerStats {
     /// plus engine scratch — the parallel extension of
     /// [`crate::driver::RowEngine::space_bytes`]).
     pub aux_bytes: usize,
+    /// Rows this worker claimed whose band was empty (skipped outright —
+    /// no interval fill, no engine pass; the output row stays zero).
+    pub rows_skipped: usize,
     /// `(row index, |E(k)|)` for every row this worker processed.
     pub envelope_sizes: Vec<(usize, usize)>,
 }
@@ -47,8 +50,11 @@ pub struct SweepReport {
     /// Peak auxiliary heap bytes over all workers (their buffers coexist,
     /// so the parallel footprint is the *sum*; both are reported).
     pub peak_worker_bytes: usize,
-    /// Total auxiliary heap bytes across workers plus shared context.
+    /// Total auxiliary heap bytes across workers plus shared context
+    /// (including the banded index of the [`crate::driver::SweepContext`]).
     pub total_aux_bytes: usize,
+    /// Rows skipped because their band was empty (densities exactly zero).
+    pub rows_skipped: usize,
 }
 
 impl SweepReport {
@@ -63,12 +69,14 @@ impl SweepReport {
         let mut sweep_nanos = Vec::with_capacity(workers.len());
         let mut peak_worker_bytes = 0usize;
         let mut total_aux_bytes = shared_bytes;
+        let mut rows_skipped = 0usize;
         for w in &workers {
             rows_per_worker.push(w.rows);
             fill_nanos.push(w.fill_nanos);
             sweep_nanos.push(w.sweep_nanos);
             peak_worker_bytes = peak_worker_bytes.max(w.aux_bytes);
             total_aux_bytes += w.aux_bytes;
+            rows_skipped += w.rows_skipped;
             for &(row, size) in &w.envelope_sizes {
                 envelope_sizes[row] = size;
             }
@@ -83,6 +91,7 @@ impl SweepReport {
             sweep_nanos,
             peak_worker_bytes,
             total_aux_bytes,
+            rows_skipped,
         }
     }
 
@@ -94,6 +103,19 @@ impl SweepReport {
     /// Sum of all per-row envelope sizes (total interval insertions).
     pub fn total_envelope(&self) -> usize {
         self.envelope_sizes.iter().sum()
+    }
+
+    /// The `q`-th percentile (0.0–1.0, nearest-rank) of the per-row band
+    /// sizes — the distribution that decides whether banded extraction
+    /// beats a full scan on this dataset.
+    pub fn envelope_percentile(&self, q: f64) -> usize {
+        if self.envelope_sizes.is_empty() {
+            return 0;
+        }
+        let mut sorted = self.envelope_sizes.clone();
+        sorted.sort_unstable();
+        let rank = (q.clamp(0.0, 1.0) * (sorted.len() - 1) as f64).round() as usize;
+        sorted[rank]
     }
 
     /// Total envelope-fill time across workers, in nanoseconds.
@@ -134,7 +156,7 @@ impl SweepReport {
         );
         let _ = writeln!(
             s,
-            "  phases: envelope fill {:.3} ms, sweep {:.3} ms (cpu totals)",
+            "  phases: envelope extraction {:.3} ms, sweep {:.3} ms (cpu totals)",
             self.total_fill_nanos() as f64 / 1e6,
             self.total_sweep_nanos() as f64 / 1e6
         );
@@ -144,6 +166,14 @@ impl SweepReport {
             self.total_envelope(),
             self.max_envelope(),
             if self.rows == 0 { 0.0 } else { self.total_envelope() as f64 / self.rows as f64 }
+        );
+        let _ = writeln!(
+            s,
+            "  band sizes: p10 {} / p50 {} / p90 {}, {} empty rows skipped",
+            self.envelope_percentile(0.10),
+            self.envelope_percentile(0.50),
+            self.envelope_percentile(0.90),
+            self.rows_skipped
         );
         let _ = writeln!(
             s,
@@ -170,6 +200,7 @@ mod tests {
             fill_nanos: fill,
             sweep_nanos: sweep,
             aux_bytes: bytes,
+            rows_skipped: rows.iter().filter(|&&(_, size)| size == 0).count(),
             envelope_sizes: rows.to_vec(),
         }
     }
@@ -190,7 +221,22 @@ mod tests {
         assert_eq!(report.total_sweep_nanos(), 450);
         assert_eq!(report.peak_worker_bytes, 128);
         assert_eq!(report.total_aux_bytes, 1000 + 64 + 128);
+        assert_eq!(report.rows_skipped, 1);
         assert!((report.imbalance() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentiles_of_band_sizes() {
+        let report = SweepReport::from_workers(
+            vec![worker(&[(0, 1), (1, 2), (2, 3), (3, 4), (4, 100)], 0, 0, 0)],
+            5,
+            0,
+        );
+        assert_eq!(report.envelope_percentile(0.0), 1);
+        assert_eq!(report.envelope_percentile(0.5), 3);
+        assert_eq!(report.envelope_percentile(1.0), 100);
+        let empty = SweepReport::from_workers(Vec::new(), 0, 0);
+        assert_eq!(empty.envelope_percentile(0.5), 0);
     }
 
     #[test]

@@ -205,6 +205,20 @@ impl WeightedRowSweep {
         }
     }
 
+    /// Rebinds the engine to new kernel parameters, keeping the bucket
+    /// scratch buffers (the accumulators are reset at every row start, so
+    /// only the quartic flag needs refreshing).
+    pub(crate) fn reconfigure(&mut self, kernel: KernelType, bandwidth: f64, global_weight: f64) {
+        let quartic = kernel.needs_quartic_terms();
+        self.kernel = kernel;
+        self.bandwidth = bandwidth;
+        self.global_weight = global_weight;
+        if self.l_acc.maintain_quartic != quartic {
+            self.l_acc = WeightedAccumulator::new(quartic);
+            self.u_acc = WeightedAccumulator::new(quartic);
+        }
+    }
+
     /// Fills one pixel row. `env_weights[i]` is the weight of
     /// `intervals[i].point` (aligned by [`fill_env_weights`]).
     pub(crate) fn process_row(
@@ -302,23 +316,43 @@ pub(crate) fn validate_weights(points: &[Point], weights: &[f64]) -> Result<()> 
     Ok(())
 }
 
-/// Selects the weights of the points that survive the row-`k` envelope
-/// filter, in envelope order. Must mirror `EnvelopeBuffer::fill`'s
-/// predicate exactly so weights stay aligned with intervals.
-pub(crate) fn fill_env_weights(
-    points: &[Point],
-    weights: &[f64],
-    bandwidth: f64,
-    k: f64,
-    out: &mut Vec<f64>,
-) {
-    out.clear();
-    let b2 = bandwidth * bandwidth;
-    for (p, &w) in points.iter().zip(weights) {
-        let dy = k - p.y;
-        if b2 - dy * dy >= 0.0 {
-            out.push(w);
-        }
+/// Reusable buffers for repeated weighted sweeps.
+///
+/// STKDV animations render hundreds of frames with the same raster and
+/// kernel; allocating a fresh envelope buffer, weight scratch and engine
+/// per frame wastes both time and allocator churn. One workspace per
+/// worker, passed to [`compute_weighted_with`], keeps every buffer warm
+/// across frames.
+#[derive(Default)]
+pub struct WeightedWorkspace {
+    pub(crate) envelope: EnvelopeBuffer,
+    pub(crate) env_weights: Vec<f64>,
+    pub(crate) engine: Option<WeightedRowSweep>,
+    /// Scratch for the RAO transpose path.
+    pub(crate) t_points: Vec<Point>,
+}
+
+impl WeightedWorkspace {
+    /// An empty workspace; buffers grow on first use and are then reused.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Auxiliary heap bytes currently held.
+    pub fn space_bytes(&self) -> usize {
+        self.envelope.space_bytes()
+            + self.env_weights.capacity() * std::mem::size_of::<f64>()
+            + self.engine.as_ref().map_or(0, |e| e.space_bytes())
+            + self.t_points.capacity() * std::mem::size_of::<Point>()
+    }
+
+    /// The row engine configured for `params`, reusing prior scratch.
+    pub(crate) fn engine_for(&mut self, params: &KdvParams) -> &mut WeightedRowSweep {
+        let engine = self.engine.get_or_insert_with(|| {
+            WeightedRowSweep::new(params.kernel, params.bandwidth, params.weight)
+        });
+        engine.reconfigure(params.kernel, params.bandwidth, params.weight);
+        engine
     }
 }
 
@@ -336,22 +370,38 @@ pub fn compute_weighted(
     points: &[Point],
     weights: &[f64],
 ) -> Result<DensityGrid> {
+    compute_weighted_with(params, points, weights, &mut WeightedWorkspace::new())
+}
+
+/// [`compute_weighted`] reusing a caller-owned [`WeightedWorkspace`] —
+/// the allocation-free path for frame loops (STKDV) and repeated queries.
+pub fn compute_weighted_with(
+    params: &KdvParams,
+    points: &[Point],
+    weights: &[f64],
+    workspace: &mut WeightedWorkspace,
+) -> Result<DensityGrid> {
     validate_weights(points, weights)?;
     // RAO: transpose when the raster is taller than wide.
     if params.grid.res_y > params.grid.res_x {
         let t_params = params.transposed();
-        let t_points: Vec<Point> = points.iter().map(Point::transposed).collect();
-        let t = compute_weighted_rows(&t_params, &t_points, weights)?;
-        return Ok(t.transposed());
+        let mut t_points = std::mem::take(&mut workspace.t_points);
+        t_points.clear();
+        t_points.extend(points.iter().map(Point::transposed));
+        let result = compute_weighted_rows(&t_params, &t_points, weights, workspace);
+        workspace.t_points = t_points;
+        return Ok(result?.transposed());
     }
-    compute_weighted_rows(params, points, weights)
+    compute_weighted_rows(params, points, weights, workspace)
 }
 
-/// Row-sweep core of [`compute_weighted`] (no RAO dispatch).
+/// Row-sweep core of [`compute_weighted`] (no RAO dispatch): banded
+/// envelope extraction per row, empty rows skipped outright.
 fn compute_weighted_rows(
     params: &KdvParams,
     points: &[Point],
     weights: &[f64],
+    workspace: &mut WeightedWorkspace,
 ) -> Result<DensityGrid> {
     let ctx = SweepContext::new(params, points)?;
     let res_x = params.grid.res_x;
@@ -359,15 +409,19 @@ fn compute_weighted_rows(
     let bandwidth = params.bandwidth;
 
     let mut grid = DensityGrid::zeroed(res_x, res_y);
-    let mut envelope = EnvelopeBuffer::for_points(points.len());
-    let mut env_weights: Vec<f64> = Vec::new();
-    let mut engine = WeightedRowSweep::new(params.kernel, bandwidth, params.weight);
+    workspace.engine_for(params);
+    let WeightedWorkspace { envelope, env_weights, engine, .. } = workspace;
+    let engine = engine.as_mut().expect("engine_for configured the engine");
 
     for j in 0..res_y {
         let k = ctx.ks[j];
-        let intervals = envelope.fill(&ctx.points, bandwidth, k);
-        fill_env_weights(&ctx.points, weights, bandwidth, k, &mut env_weights);
-        engine.process_row(&ctx.xs, k, intervals, &env_weights, grid.row_mut(j));
+        let band = ctx.index.band(bandwidth, k);
+        if band.is_empty() {
+            continue;
+        }
+        ctx.index.gather(band.clone(), weights, env_weights);
+        let intervals = envelope.fill_band(&ctx.index, band, bandwidth, k);
+        engine.process_row(&ctx.xs, k, intervals, env_weights, grid.row_mut(j));
     }
     Ok(grid)
 }
@@ -471,6 +525,65 @@ mod tests {
         // antisymmetric configuration: the two halves mirror-negate
         assert!(out.values().iter().any(|&v| v > 0.0));
         assert!(out.values().iter().any(|&v| v < 0.0));
+    }
+
+    #[test]
+    fn workspace_reuse_matches_fresh_computation() {
+        let (params, points, weights) = setup();
+        let mut ws = WeightedWorkspace::new();
+        let first = compute_weighted_with(&params, &points, &weights, &mut ws).unwrap();
+        assert_eq!(first, compute_weighted(&params, &points, &weights).unwrap());
+        // a different kernel/bandwidth through the same (warm) workspace
+        let mut p2 = params;
+        p2.kernel = KernelType::Quartic;
+        p2.bandwidth = 4.0;
+        let second = compute_weighted_with(&p2, &points, &weights, &mut ws).unwrap();
+        assert_eq!(second, compute_weighted(&p2, &points, &weights).unwrap());
+        // RAO transpose path through the workspace as well
+        let tall = GridSpec::new(Rect::new(0.0, 0.0, 40.0, 60.0), 9, 27).unwrap();
+        let p3 = KdvParams::new(tall, KernelType::Epanechnikov, 8.0);
+        let third = compute_weighted_with(&p3, &points, &weights, &mut ws).unwrap();
+        assert_eq!(third, compute_weighted(&p3, &points, &weights).unwrap());
+        assert!(ws.space_bytes() > 0);
+    }
+
+    #[test]
+    fn banded_weighted_matches_full_scan_extraction_bitwise() {
+        // Reference: the pre-change full-scan extraction (O(n) per row)
+        // over the same canonical point order, weights aligned via the
+        // index permutation. The banded path must be bitwise identical.
+        let (params, points, weights) = setup();
+        for bandwidth in [0.8, 9.0, 70.0] {
+            let mut p = params;
+            p.bandwidth = bandwidth;
+            let ctx = SweepContext::new(&p, &points).unwrap();
+            let sorted_weights: Vec<f64> =
+                (0..ctx.index.len()).map(|i| weights[ctx.index.original_index(i)]).collect();
+            let mut grid = DensityGrid::zeroed(p.grid.res_x, p.grid.res_y);
+            let mut envelope = EnvelopeBuffer::for_points(points.len());
+            let mut env_weights = Vec::new();
+            let mut engine = WeightedRowSweep::new(p.kernel, bandwidth, p.weight);
+            let b2 = bandwidth * bandwidth;
+            for j in 0..p.grid.res_y {
+                let k = ctx.ks[j];
+                let intervals = envelope.fill(&ctx.points, bandwidth, k);
+                env_weights.clear();
+                for (pt, &w) in ctx.points.iter().zip(&sorted_weights) {
+                    let dy = k - pt.y;
+                    if b2 - dy * dy >= 0.0 {
+                        env_weights.push(w);
+                    }
+                }
+                if intervals.is_empty() {
+                    continue;
+                }
+                engine.process_row(&ctx.xs, k, intervals, &env_weights, grid.row_mut(j));
+            }
+            let banded =
+                compute_weighted_rows(&p, &points, &weights, &mut WeightedWorkspace::new())
+                    .unwrap();
+            assert_eq!(banded, grid, "b={bandwidth}");
+        }
     }
 
     #[test]

@@ -124,7 +124,13 @@ fn vertical_shift(
         BucketSweep::new(next_params.kernel, next_params.bandwidth, next_params.weight);
     for &j in &missing_rows {
         let k = ctx.ks[j];
-        let intervals = envelope.fill(&ctx.points, next_params.bandwidth, k);
+        // banded extraction: the missing rows are a thin band, so the
+        // O(log n) lookup beats a full point scan per row
+        let band = ctx.index.band(next_params.bandwidth, k);
+        if band.is_empty() {
+            continue;
+        }
+        let intervals = envelope.fill_band(&ctx.index, band, next_params.bandwidth, k);
         engine.process_row(&ctx.xs, k, intervals, out.row_mut(j));
     }
     Ok((out, missing_rows.len() * res_x))

@@ -3,7 +3,7 @@
 use kdv_core::driver::KdvParams;
 use kdv_core::geom::Point;
 use kdv_core::grid::DensityGrid;
-use kdv_core::weighted::compute_weighted;
+use kdv_core::weighted::{compute_weighted_with, WeightedWorkspace};
 use kdv_core::Result;
 use kdv_data::record::EventRecord;
 
@@ -110,6 +110,17 @@ pub fn compute_stkdv_parallel(
     compute_stkdv_threaded(config, records, threads)
 }
 
+/// Per-worker scratch reused across frames: the event/weight selection
+/// buffers plus the weighted sweep's [`WeightedWorkspace`] (envelope
+/// buffer, per-row weight scratch, row engine, transpose scratch). One
+/// animation allocates these once per worker instead of once per frame.
+#[derive(Default)]
+struct FrameScratch {
+    points: Vec<Point>,
+    weights: Vec<f64>,
+    sweep: WeightedWorkspace,
+}
+
 fn compute_stkdv_threaded(
     config: &StKdvConfig,
     records: &[EventRecord],
@@ -123,43 +134,53 @@ fn compute_stkdv_threaded(
     let frame_times: Vec<i64> = config.frames.times().collect();
 
     if threads <= 1 {
+        let mut scratch = FrameScratch::default();
         let mut frames = Vec::with_capacity(frame_times.len());
         for &t in &frame_times {
-            frames.push(compute_frame(config, &sorted, &times, t)?);
+            frames.push(compute_frame(config, &sorted, &times, t, &mut scratch)?);
         }
         return Ok(frames);
     }
-    kdv_core::parallel::for_each_index(frame_times.len(), threads, |i| {
-        compute_frame(config, &sorted, &times, frame_times[i])
-    })
+    kdv_core::parallel::for_each_index_with(
+        frame_times.len(),
+        threads,
+        FrameScratch::default,
+        |scratch, i| compute_frame(config, &sorted, &times, frame_times[i], scratch),
+    )
     .into_iter()
     .collect()
 }
 
 /// Renders one frame: select the temporal support `[t − b_t, t + b_t]` by
 /// binary search, weight each event by the temporal kernel, run one
-/// weighted SLAM sweep.
+/// weighted SLAM sweep through the worker's reusable scratch.
 fn compute_frame(
     config: &StKdvConfig,
     sorted: &[&EventRecord],
     times: &[i64],
     t: i64,
+    scratch: &mut FrameScratch,
 ) -> Result<Frame> {
     let bt = config.temporal_bandwidth;
     let lo = times.partition_point(|&ts| ts < t - bt);
     let hi = times.partition_point(|&ts| ts <= t + bt);
-    let mut points: Vec<Point> = Vec::with_capacity(hi - lo);
-    let mut weights: Vec<f64> = Vec::with_capacity(hi - lo);
+    scratch.points.clear();
+    scratch.weights.clear();
     for r in &sorted[lo..hi] {
         let u = (r.timestamp - t).abs() as f64 / bt as f64;
         let w = config.temporal_kernel.eval(u);
         if w > 0.0 {
-            points.push(r.point);
-            weights.push(w);
+            scratch.points.push(r.point);
+            scratch.weights.push(w);
         }
     }
-    let grid = compute_weighted(&config.params, &points, &weights)?;
-    Ok(Frame { time: t, events: points.len(), grid })
+    let grid = compute_weighted_with(
+        &config.params,
+        &scratch.points,
+        &scratch.weights,
+        &mut scratch.sweep,
+    )?;
+    Ok(Frame { time: t, events: scratch.points.len(), grid })
 }
 
 #[cfg(test)]
