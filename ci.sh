@@ -1,13 +1,27 @@
 #!/usr/bin/env bash
-# Local CI gate: build, tests, formatting, lints. Run before every push.
+# Local CI gate: build, tests, conformance, formatting, lints. Run before
+# every push.
+#
+#   ./ci.sh            full gate (includes the quick conformance matrix)
+#   ./ci.sh soak [N]   extended differential fuzzing: N fresh seeds
+#                      (default 20000) through every engine×oracle pair
 set -euo pipefail
 cd "$(dirname "$0")"
+
+if [[ "${1:-}" == "soak" ]]; then
+    n="${2:-20000}"
+    echo "==> kdv-conformance --soak $n"
+    exec cargo run --release -p kdv-conformance -- --soak "$n"
+fi
 
 echo "==> cargo build --release"
 cargo build --release
 
 echo "==> cargo test -q"
 cargo test -q
+
+echo "==> kdv-conformance --quick"
+cargo run --release -p kdv-conformance -- --quick
 
 echo "==> cargo bench --no-run"
 cargo bench --no-run

@@ -1,0 +1,132 @@
+//! Pinning tests for degenerate inputs to the baseline methods: every
+//! `AnyMethod` must reject invalid parameters with a typed error (never a
+//! panic) and produce finite rasters for empty inputs and single-pixel
+//! grids — the same contracts `crates/core/tests/edge_cases.rs` pins for
+//! the sweep engines.
+
+use kdv_baselines::AnyMethod;
+use kdv_core::driver::KdvParams;
+use kdv_core::{GridSpec, KdvError, KernelType, Point, Rect};
+
+fn methods() -> Vec<AnyMethod> {
+    vec![
+        AnyMethod::Scan,
+        AnyMethod::RqsKd,
+        AnyMethod::RqsBall,
+        AnyMethod::Quad,
+        AnyMethod::ZOrder { sample_fraction: 1.0 },
+        AnyMethod::Akde { epsilon: 1e-6 },
+    ]
+}
+
+fn spec(res_x: usize, res_y: usize) -> GridSpec {
+    GridSpec::new(Rect::new(0.0, 0.0, 100.0, 80.0), res_x, res_y).unwrap()
+}
+
+fn some_points() -> Vec<Point> {
+    vec![Point::new(10.0, 20.0), Point::new(50.0, 40.0), Point::new(99.0, 79.0)]
+}
+
+#[test]
+fn empty_input_yields_an_all_zero_grid() {
+    for kernel in KernelType::ALL {
+        let params = KdvParams::new(spec(12, 9), kernel, 30.0);
+        for method in methods() {
+            let out = method.compute(&params, &[]).unwrap();
+            assert!(
+                out.grid.values().iter().all(|&v| v == 0.0),
+                "{}/{kernel:?}: empty input must produce exact zeros",
+                method.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn non_positive_or_non_finite_bandwidth_is_a_typed_error() {
+    let pts = some_points();
+    for bad in [0.0, -2.0, f64::NAN, f64::INFINITY] {
+        let params = KdvParams::new(spec(6, 6), KernelType::Quartic, bad);
+        for method in methods() {
+            assert!(
+                matches!(method.compute(&params, &pts), Err(KdvError::InvalidBandwidth(_))),
+                "{} with b={bad}: expected InvalidBandwidth",
+                method.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn non_finite_points_are_a_typed_error() {
+    let pts = vec![Point::new(0.0, 0.0), Point::new(0.0, f64::INFINITY)];
+    let params = KdvParams::new(spec(6, 6), KernelType::Epanechnikov, 25.0);
+    for method in methods() {
+        assert!(
+            matches!(method.compute(&params, &pts), Err(KdvError::NonFinitePoint { index: 1 })),
+            "{} must reject the infinite point",
+            method.name()
+        );
+    }
+}
+
+#[test]
+fn single_pixel_grid_stays_finite_and_matches_scan() {
+    let pts = some_points();
+    for kernel in KernelType::ALL {
+        let params = KdvParams::new(spec(1, 1), kernel, 80.0);
+        let reference = AnyMethod::Scan.compute(&params, &pts).unwrap().grid;
+        let expected = reference.values()[0];
+        for method in methods() {
+            let out = method.compute(&params, &pts).unwrap();
+            assert_eq!(out.grid.values().len(), 1);
+            let got = out.grid.values()[0];
+            assert!(got.is_finite(), "{}/{kernel:?}: non-finite pixel", method.name());
+            if method.is_exact() {
+                let err = (got - expected).abs() / expected.abs().max(1e-300);
+                assert!(err < 1e-6, "{}/{kernel:?}: {got} vs {expected}", method.name());
+            }
+        }
+    }
+}
+
+#[test]
+fn degenerate_one_row_and_one_column_grids_stay_finite() {
+    let pts = some_points();
+    for (rx, ry) in [(1usize, 7usize), (7, 1)] {
+        let params = KdvParams::new(spec(rx, ry), KernelType::Uniform, 55.0);
+        for method in methods() {
+            let out = method.compute(&params, &pts).unwrap();
+            assert_eq!(out.grid.values().len(), rx * ry);
+            assert!(
+                out.grid.values().iter().all(|v| v.is_finite()),
+                "{} {rx}x{ry}: non-finite output",
+                method.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn zorder_full_fraction_on_empty_input_does_not_panic() {
+    // sampling from an empty point set is the classic divide-by-zero spot
+    let params = KdvParams::new(spec(4, 4), KernelType::Epanechnikov, 10.0);
+    for fraction in [0.05, 0.5, 1.0] {
+        let out = AnyMethod::ZOrder { sample_fraction: fraction }.compute(&params, &[]).unwrap();
+        assert!(out.grid.values().iter().all(|&v| v == 0.0));
+    }
+}
+
+#[test]
+fn akde_zero_epsilon_matches_scan_exactly_in_budget() {
+    // epsilon = 0 forces aKDE to full traversal: it must agree with SCAN
+    // to summation roundoff even on degenerate grids
+    let pts = some_points();
+    let params = KdvParams::new(spec(1, 5), KernelType::Quartic, 70.0);
+    let reference = AnyMethod::Scan.compute(&params, &pts).unwrap().grid;
+    let got = AnyMethod::Akde { epsilon: 0.0 }.compute(&params, &pts).unwrap().grid;
+    let peak = reference.values().iter().fold(0.0_f64, |m, v| m.max(v.abs()));
+    for (a, b) in got.values().iter().zip(reference.values()) {
+        assert!((a - b).abs() <= 1e-9 * peak.max(1.0));
+    }
+}

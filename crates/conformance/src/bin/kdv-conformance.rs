@@ -1,0 +1,179 @@
+//! `kdv-conformance` — run the engine×oracle matrix.
+//!
+//! ```text
+//! kdv-conformance [--quick | --soak N] [--seed-start S]
+//!                 [--json PATH] [--corpus PATH] [--no-append]
+//! ```
+//!
+//! * `--quick` (default): replay the committed corpus, then a fixed seed
+//!   range covering every generator shape class and all three kernels —
+//!   the CI gate.
+//! * `--soak N`: replay the corpus, then `N` fresh seeds starting at
+//!   `--seed-start` (default 1000) — the fuzzing mode.
+//!
+//! Every violation is shrunk and appended to the corpus (unless
+//! `--no-append`), the JSON report is written to `--json` (default
+//! `target/conformance-report.json`), and the exit code is non-zero if
+//! anything violated its policy — including any corpus regression.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use kdv_conformance::corpus;
+use kdv_conformance::{run_case, CaseSpec, Report};
+
+/// Seeds of the quick matrix: enough contiguous seeds that every shape
+/// class of the generator appears under every kernel (seed % 3 fixes the
+/// kernel, so 60 seeds ≈ 20 per kernel over 10 grid × 8 cloud classes).
+const QUICK_SEEDS: std::ops::Range<u64> = 0..60;
+
+struct Args {
+    soak: Option<u64>,
+    seed_start: u64,
+    json: PathBuf,
+    corpus: PathBuf,
+    append: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        soak: None,
+        seed_start: 1000,
+        json: PathBuf::from("target/conformance-report.json"),
+        corpus: corpus::default_corpus_path(),
+        append: true,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => args.soak = None,
+            "--soak" => {
+                let n = it.next().ok_or("--soak needs a count")?;
+                args.soak = Some(n.parse().map_err(|e| format!("--soak {n}: {e}"))?);
+            }
+            "--seed-start" => {
+                let s = it.next().ok_or("--seed-start needs a value")?;
+                args.seed_start = s.parse().map_err(|e| format!("--seed-start {s}: {e}"))?;
+            }
+            "--json" => args.json = PathBuf::from(it.next().ok_or("--json needs a path")?),
+            "--corpus" => args.corpus = PathBuf::from(it.next().ok_or("--corpus needs a path")?),
+            "--no-append" => args.append = false,
+            "--help" | "-h" => {
+                println!(
+                    "kdv-conformance [--quick | --soak N] [--seed-start S] \
+                     [--json PATH] [--corpus PATH] [--no-append]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn case_fails(case: &CaseSpec) -> bool {
+    run_case(case).iter().any(|r| !r.pass())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("kdv-conformance: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let mode = match args.soak {
+        None => "quick".to_string(),
+        Some(n) => format!("soak {n}"),
+    };
+    let mut report = Report::new(&mode);
+    let mut corpus_regressions = 0usize;
+    let mut new_failures: Vec<CaseSpec> = Vec::new();
+
+    // 1. replay the committed corpus — a regression here fails CI outright
+    let corpus_cases = match corpus::load(&args.corpus) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("kdv-conformance: corpus: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    for case in &corpus_cases {
+        let results = run_case(case);
+        for r in results.iter().filter(|r| !r.pass()) {
+            eprintln!("CORPUS REGRESSION {} on {}: {:?}", case.label, r.pair, r.error);
+            corpus_regressions += 1;
+        }
+        report.record(case, &results);
+    }
+    println!("corpus: {} case(s), {corpus_regressions} regression(s)", corpus_cases.len());
+
+    // 2. generated cases
+    let seeds: Vec<u64> = match args.soak {
+        None => QUICK_SEEDS.collect(),
+        Some(n) => (args.seed_start..args.seed_start + n).collect(),
+    };
+    for &seed in &seeds {
+        let case = CaseSpec::generate(seed);
+        let results = run_case(&case);
+        if results.iter().any(|r| !r.pass()) {
+            for r in results.iter().filter(|r| !r.pass()) {
+                eprintln!(
+                    "VIOLATION seed {seed} on {}: {}",
+                    r.pair,
+                    r.error.clone().unwrap_or_else(|| format!("{:?}", r.comparison))
+                );
+            }
+            let shrunk = corpus::shrink(&case, case_fails);
+            eprintln!("  shrunk to: {}", shrunk.describe());
+            new_failures.push(shrunk);
+        }
+        report.record(&case, &results);
+    }
+
+    // 3. record new failures in the corpus
+    if args.append {
+        for (i, case) in new_failures.iter().enumerate() {
+            let mut named = case.clone();
+            named.label = format!("{}-f{i}", named.label);
+            if let Err(e) = corpus::append(&args.corpus, &named) {
+                eprintln!("kdv-conformance: appending to corpus: {e}");
+            }
+        }
+        if !new_failures.is_empty() {
+            println!(
+                "appended {} shrunk failure(s) to {}",
+                new_failures.len(),
+                args.corpus.display()
+            );
+        }
+    }
+
+    // 4. report
+    if let Some(dir) = args.json.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    if let Err(e) = std::fs::write(&args.json, report.to_json()) {
+        eprintln!("kdv-conformance: writing {}: {e}", args.json.display());
+    }
+    let mut worst: Vec<(&str, &str, f64)> =
+        report.iter().map(|(p, k, s)| (p, k, s.max_scaled_err)).collect();
+    worst.sort_by(|a, b| b.2.total_cmp(&a.2));
+    println!(
+        "{} case(s), {} pair×kernel combination(s), {} violation(s); report: {}",
+        report.cases,
+        report.covered_combinations(),
+        report.total_violations(),
+        args.json.display()
+    );
+    for (pair, kernel, err) in worst.iter().take(5) {
+        println!("  worst: {pair} [{kernel}] max scaled err {err:.3e}");
+    }
+
+    if report.total_violations() > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

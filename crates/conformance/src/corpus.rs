@@ -1,0 +1,187 @@
+//! The committed regression corpus: every mismatch the harness ever found,
+//! shrunk and stored losslessly, replayed by `cargo test` and by every
+//! `kdv-conformance` run.
+//!
+//! Format: one [`CaseSpec`] line per case (see `case.rs`); `#`-prefixed
+//! lines and blank lines are comments. The file lives at
+//! `crates/conformance/corpus/regressions.corpus` and is committed — a
+//! corpus entry is a *permanent* test, not a cache.
+
+use std::io::Write as _;
+use std::path::Path;
+
+use crate::case::CaseSpec;
+
+/// Path of the committed corpus relative to this crate's manifest.
+pub const CORPUS_REL_PATH: &str = "corpus/regressions.corpus";
+
+/// The committed corpus file path (resolved at compile time, so the bin
+/// and tests agree regardless of working directory).
+pub fn default_corpus_path() -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join(CORPUS_REL_PATH)
+}
+
+/// Loads every case from a corpus file. A missing file is an empty corpus;
+/// a malformed line is an error (a silently skipped regression is exactly
+/// what this harness exists to prevent).
+pub fn load(path: &Path) -> Result<Vec<CaseSpec>, String> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(format!("{}: {e}", path.display())),
+    };
+    let mut cases = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let case = CaseSpec::from_line(trimmed)
+            .map_err(|e| format!("{}:{}: {e}", path.display(), lineno + 1))?;
+        cases.push(case);
+    }
+    Ok(cases)
+}
+
+/// Appends a case to the corpus (creating the file and its directory on
+/// first use).
+pub fn append(path: &Path, case: &CaseSpec) -> Result<(), String> {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+    }
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .map_err(|e| format!("{}: {e}", path.display()))?;
+    writeln!(file, "{}", case.to_line()).map_err(|e| e.to_string())?;
+    Ok(())
+}
+
+/// Greedily shrinks a failing case: repeatedly applies the simplest
+/// transformation that keeps `is_failing` true, until none does (or the
+/// probe budget runs out). Transformations only ever remove points or
+/// shrink the raster, so the result stays a valid case.
+pub fn shrink(case: &CaseSpec, mut is_failing: impl FnMut(&CaseSpec) -> bool) -> CaseSpec {
+    let mut current = case.clone();
+    let mut budget = 400usize;
+    loop {
+        let mut candidates: Vec<CaseSpec> = Vec::new();
+        let n = current.points.len();
+        // big bites first: halves of the point set
+        if n > 1 {
+            let mut first = current.clone();
+            first.points.truncate(n / 2);
+            candidates.push(first);
+            let mut second = current.clone();
+            second.points.drain(..n / 2);
+            candidates.push(second);
+        }
+        // single-point removals (bounded for huge clouds)
+        for i in 0..n.min(40) {
+            let mut c = current.clone();
+            c.points.remove(i);
+            candidates.push(c);
+        }
+        // raster shrink
+        if current.res_x > 1 {
+            let mut c = current.clone();
+            c.res_x = (c.res_x / 2).max(1);
+            candidates.push(c);
+        }
+        if current.res_y > 1 {
+            let mut c = current.clone();
+            c.res_y = (c.res_y / 2).max(1);
+            candidates.push(c);
+        }
+        // translate everything to the origin — drops the conditioning
+        // component; kept only when the failure is not about conditioning
+        if current.region.min_x != 0.0 || current.region.min_y != 0.0 {
+            let (dx, dy) = (current.region.min_x, current.region.min_y);
+            let mut c = current.clone();
+            c.region =
+                kdv_core::Rect::new(0.0, 0.0, current.region.max_x - dx, current.region.max_y - dy);
+            c.points =
+                current.points.iter().map(|p| kdv_core::Point::new(p.x - dx, p.y - dy)).collect();
+            candidates.push(c);
+        }
+
+        let mut advanced = false;
+        for cand in candidates {
+            if budget == 0 {
+                return current;
+            }
+            budget -= 1;
+            if is_failing(&cand) {
+                current = cand;
+                advanced = true;
+                break;
+            }
+        }
+        if !advanced {
+            return current;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_round_trip_through_a_temp_file() {
+        let dir = std::env::temp_dir().join("kdv-conformance-corpus-test");
+        let path = dir.join("round_trip.corpus");
+        let _ = std::fs::remove_file(&path);
+        let a = CaseSpec::generate(42);
+        let b = CaseSpec::generate(43);
+        append(&path, &a).unwrap();
+        append(&path, &b).unwrap();
+        let loaded = load(&path).unwrap();
+        assert_eq!(loaded, vec![a, b]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn missing_corpus_is_empty() {
+        assert!(load(Path::new("/nonexistent/nowhere.corpus")).unwrap().is_empty());
+    }
+
+    #[test]
+    fn malformed_line_is_an_error_not_a_skip() {
+        let dir = std::env::temp_dir().join("kdv-conformance-corpus-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("malformed.corpus");
+        std::fs::write(&path, "# comment\nv1 broken kernel=nope\n").unwrap();
+        assert!(load(&path).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn shrink_converges_to_a_minimal_failure() {
+        // synthetic predicate: fails whenever any point has x > 100
+        let mut case = CaseSpec::generate(2);
+        case.points = (0..64).map(|i| kdv_core::Point::new(i as f64 * 4.0, 10.0)).collect();
+        let shrunk = shrink(&case, |c| c.points.iter().any(|p| p.x > 100.0));
+        assert!(shrunk.points.iter().any(|p| p.x > 100.0), "must still fail");
+        assert!(shrunk.points.len() <= 2, "shrunk to {} points", shrunk.points.len());
+        assert_eq!(shrunk.res_x, 1);
+        assert_eq!(shrunk.res_y, 1);
+    }
+
+    #[test]
+    fn shrink_keeps_an_unshrinkable_case_intact() {
+        let case = CaseSpec::generate(7);
+        // predicate only the exact original satisfies
+        let original = case.clone();
+        let shrunk = shrink(&case, |c| *c == original);
+        assert_eq!(shrunk, original);
+    }
+
+    #[test]
+    fn committed_corpus_parses() {
+        // the committed file must always load — CI replays it
+        let cases = load(&default_corpus_path()).unwrap();
+        assert!(!cases.is_empty(), "committed corpus must not be empty");
+    }
+}

@@ -1,0 +1,501 @@
+//! The oracle registry: every density-producing engine in the workspace
+//! paired with its ground-truth reference.
+//!
+//! [`run_case`] pushes one [`CaseSpec`] through all pairs and returns one
+//! [`PairResult`] per pair. References are computed once per case and
+//! shared (the SCAN oracle is `O(XYn)` — by far the most expensive part).
+//!
+//! Pair inventory (engine → oracle, policy):
+//!
+//! | pair | oracle | policy |
+//! |------|--------|--------|
+//! | 4 SLAM variants | SCAN | sweep ULPs |
+//! | parallel bucket / parallel RAO sort | sequential twin | bitwise |
+//! | weighted sweep | `weighted_scan` | sweep ULPs |
+//! | parallel weighted | sequential weighted | bitwise |
+//! | multi-bandwidth | solo bucket runs | bitwise |
+//! | RQS_kd / RQS_ball / QUAD | SCAN | tree ULPs `(c/b)⁴` |
+//! | Z-order (fraction 1) | SCAN | tree ULPs |
+//! | aKDE | SCAN | absolute bound `w·n·ε/2` |
+//! | STKDV frames | per-frame `weighted_scan` | sweep ULPs |
+//! | parallel STKDV | sequential STKDV | bitwise |
+//! | incremental pan | full recompute | sweep ULPs |
+//! | NKDV forward augmentation | per-lixel Dijkstra | network ULPs |
+//!
+//! Auxiliary inputs a pair needs beyond the case itself (per-point
+//! weights, event timestamps, the road network) are synthesised from
+//! [`CaseSpec::aux_seed`], so a corpus line alone reproduces the full
+//! computation.
+
+use kdv_baselines::AnyMethod;
+use kdv_core::driver::KdvParams;
+use kdv_core::parallel::{
+    compute_parallel, compute_parallel_rao, compute_weighted_parallel, ParallelEngine,
+};
+use kdv_core::weighted::{compute_weighted, weighted_scan};
+use kdv_core::{multi_bandwidth, rao, sweep_bucket, KdvEngine, Method, Rect};
+use kdv_data::record::EventRecord;
+use kdv_explore::incremental::pan_render;
+use kdv_network::{compute_nkdv, compute_nkdv_naive, NetPosition, NkdvParams, RoadNetwork};
+use kdv_temporal::{compute_stkdv, compute_stkdv_parallel, FrameSpec, StKdvConfig, TemporalKernel};
+
+use crate::case::{CaseSpec, SplitMix64};
+use crate::tolerance::{compare, unit_kernel_peak, Comparison, Policy};
+
+/// Names of every pair in the registry, in execution order.
+pub const PAIR_NAMES: [&str; 18] = [
+    "SLAM_SORT vs SCAN",
+    "SLAM_BUCKET vs SCAN",
+    "SLAM_SORT^(RAO) vs SCAN",
+    "SLAM_BUCKET^(RAO) vs SCAN",
+    "parallel bucket vs sequential",
+    "parallel RAO sort vs sequential",
+    "weighted sweep vs weighted_scan",
+    "parallel weighted vs sequential",
+    "multi-bandwidth vs solo sweeps",
+    "RQS_kd vs SCAN",
+    "RQS_ball vs SCAN",
+    "QUAD vs SCAN",
+    "Z-order(f=1) vs SCAN",
+    "aKDE bound vs SCAN",
+    "STKDV vs weighted_scan",
+    "parallel STKDV vs sequential",
+    "incremental pan vs recompute",
+    "NKDV forward vs Dijkstra",
+];
+
+/// Outcome of one engine×oracle pair on one case.
+#[derive(Debug, Clone)]
+pub struct PairResult {
+    /// Entry of [`PAIR_NAMES`].
+    pub pair: &'static str,
+    /// Numeric comparison, when both sides produced output.
+    pub comparison: Option<Comparison>,
+    /// Engine/oracle error text, when a side failed to produce output.
+    pub error: Option<String>,
+}
+
+impl PairResult {
+    /// Whether the pair conformed on this case. An engine error is a
+    /// violation: the generator only emits valid configurations, so
+    /// `Err(_)` means an engine rejected (or crashed on) input its oracle
+    /// accepts.
+    pub fn pass(&self) -> bool {
+        self.error.is_none() && self.comparison.map(|c| c.pass).unwrap_or(false)
+    }
+}
+
+fn ok(pair: &'static str, policy: Policy, got: &[f64], reference: &[f64]) -> PairResult {
+    PairResult { pair, comparison: Some(compare(policy, got, reference)), error: None }
+}
+
+fn fail(pair: &'static str, error: String) -> PairResult {
+    PairResult { pair, comparison: None, error: Some(error) }
+}
+
+/// Runs every registry pair on `case`.
+pub fn run_case(case: &CaseSpec) -> Vec<PairResult> {
+    let mut out = Vec::with_capacity(PAIR_NAMES.len());
+    let params = match case.params() {
+        Ok(p) => p,
+        Err(e) => {
+            return PAIR_NAMES.iter().map(|pair| fail(pair, format!("invalid case: {e}"))).collect()
+        }
+    };
+    let pts = &case.points;
+
+    // The shared SCAN oracle.
+    let scan = match AnyMethod::Scan.compute(&params, pts) {
+        Ok(o) => o.grid,
+        Err(e) => {
+            return PAIR_NAMES.iter().map(|pair| fail(pair, format!("SCAN oracle: {e}"))).collect()
+        }
+    };
+
+    // --- SLAM variants vs SCAN -------------------------------------------
+    // term scale Σ|wᵢ|·K(0) flooring every scaled budget (tolerance
+    // policy, fact 3)
+    let term = case.weight.abs() * pts.len() as f64 * unit_kernel_peak(case.kernel, case.bandwidth);
+    let sweep = Policy::sweep_exact(term);
+    for (name, method) in PAIR_NAMES.iter().zip(Method::ALL) {
+        match KdvEngine::new(method).compute(&params, pts) {
+            Ok(g) => out.push(ok(name, sweep, g.values(), scan.values())),
+            Err(e) => out.push(fail(name, e.to_string())),
+        }
+    }
+
+    // --- parallel drivers vs their sequential twins (bitwise) ------------
+    out.push(
+        match (
+            compute_parallel(&params, pts, ParallelEngine::Bucket, 3),
+            sweep_bucket::compute(&params, pts),
+        ) {
+            (Ok(p), Ok(s)) => ok(PAIR_NAMES[4], Policy::Bitwise, p.values(), s.values()),
+            (p, s) => fail(PAIR_NAMES[4], two_errors(p.err(), s.err())),
+        },
+    );
+    out.push(
+        match (
+            compute_parallel_rao(&params, pts, ParallelEngine::Sort, 2),
+            rao::compute_sort(&params, pts),
+        ) {
+            (Ok(p), Ok(s)) => ok(PAIR_NAMES[5], Policy::Bitwise, p.values(), s.values()),
+            (p, s) => fail(PAIR_NAMES[5], two_errors(p.err(), s.err())),
+        },
+    );
+
+    // --- weighted sweep --------------------------------------------------
+    let weights = derive_weights(case);
+    let weighted_term = weights.iter().map(|w| w.abs()).sum::<f64>()
+        * unit_kernel_peak(case.kernel, case.bandwidth);
+    out.push(match compute_weighted(&params, pts, &weights) {
+        Ok(g) => {
+            let reference = weighted_scan(&params, pts, &weights);
+            ok(PAIR_NAMES[6], Policy::sweep_exact(weighted_term), g.values(), reference.values())
+        }
+        Err(e) => fail(PAIR_NAMES[6], e.to_string()),
+    });
+    out.push(
+        match (
+            compute_weighted_parallel(&params, pts, &weights, 3),
+            compute_weighted(&params, pts, &weights),
+        ) {
+            (Ok(p), Ok(s)) => ok(PAIR_NAMES[7], Policy::Bitwise, p.values(), s.values()),
+            (p, s) => fail(PAIR_NAMES[7], two_errors(p.err(), s.err())),
+        },
+    );
+
+    // --- multi-bandwidth vs solo runs (bitwise) --------------------------
+    let bandwidths = [case.bandwidth * 0.5, case.bandwidth, case.bandwidth * 1.7];
+    out.push(match multi_bandwidth::compute_multi_bandwidth(&params, pts, &bandwidths) {
+        Ok(grids) => {
+            let mut got = Vec::new();
+            let mut reference = Vec::new();
+            let mut solo_err = None;
+            for (g, &b) in grids.iter().zip(&bandwidths) {
+                let mut solo_params = params;
+                solo_params.bandwidth = b;
+                match sweep_bucket::compute(&solo_params, pts) {
+                    Ok(s) => {
+                        got.extend_from_slice(g.values());
+                        reference.extend_from_slice(s.values());
+                    }
+                    Err(e) => solo_err = Some(e),
+                }
+            }
+            match solo_err {
+                None => ok(PAIR_NAMES[8], Policy::Bitwise, &got, &reference),
+                Some(e) => fail(PAIR_NAMES[8], format!("solo oracle: {e}")),
+            }
+        }
+        Err(e) => fail(PAIR_NAMES[8], e.to_string()),
+    });
+
+    // --- tree baselines vs SCAN ------------------------------------------
+    let tree = Policy::tree_exact(case.region_half_diagonal(), case.bandwidth, term);
+    for (i, method) in
+        [AnyMethod::RqsKd, AnyMethod::RqsBall, AnyMethod::Quad].into_iter().enumerate()
+    {
+        let name = PAIR_NAMES[9 + i];
+        out.push(match method.compute(&params, pts) {
+            Ok(o) => ok(name, tree, o.grid.values(), scan.values()),
+            Err(e) => fail(name, e.to_string()),
+        });
+    }
+    out.push(match (AnyMethod::ZOrder { sample_fraction: 1.0 }).compute(&params, pts) {
+        Ok(o) => ok(PAIR_NAMES[12], tree, o.grid.values(), scan.values()),
+        Err(e) => fail(PAIR_NAMES[12], e.to_string()),
+    });
+
+    // --- aKDE against its proven absolute bound --------------------------
+    let mut aux = SplitMix64(case.aux_seed());
+    let epsilon = match aux.below(3) {
+        0 => 0.0,
+        1 => 1e-6,
+        _ => 1e-3,
+    };
+    out.push(match (AnyMethod::Akde { epsilon }).compute(&params, pts) {
+        Ok(o) => {
+            let peak = scan.values().iter().fold(0.0_f64, |m, v| m.max(v.abs()));
+            let policy = Policy::akde_bound(case.weight, pts.len(), epsilon, peak, term);
+            ok(PAIR_NAMES[13], policy, o.grid.values(), scan.values())
+        }
+        Err(e) => fail(PAIR_NAMES[13], e.to_string()),
+    });
+
+    // --- STKDV ------------------------------------------------------------
+    out.extend(run_stkdv(case, &params, &mut aux));
+
+    // --- incremental pan vs full recompute --------------------------------
+    out.push(run_pan(case, &params, &mut aux));
+
+    // --- NKDV forward augmentation vs Dijkstra reference -------------------
+    out.push(run_nkdv(case, &mut aux));
+
+    debug_assert_eq!(out.len(), PAIR_NAMES.len());
+    out
+}
+
+fn two_errors(a: Option<kdv_core::KdvError>, b: Option<kdv_core::KdvError>) -> String {
+    match (a, b) {
+        (Some(a), Some(b)) => format!("engine: {a}; oracle: {b}"),
+        (Some(a), None) => format!("engine: {a}"),
+        (None, Some(b)) => format!("oracle: {b}"),
+        (None, None) => unreachable!("two_errors called with two successes"),
+    }
+}
+
+/// Per-point weights in `[-1, 4)` — negative weights are legal (period
+/// differencing) and must round-trip through the sweep.
+fn derive_weights(case: &CaseSpec) -> Vec<f64> {
+    let mut rng = SplitMix64(case.aux_seed() ^ 0x77ED);
+    case.points.iter().map(|_| rng.f64() * 5.0 - 1.0).collect()
+}
+
+fn run_stkdv(case: &CaseSpec, params: &KdvParams, aux: &mut SplitMix64) -> Vec<PairResult> {
+    let temporal_kernel = match aux.below(3) {
+        0 => TemporalKernel::Uniform,
+        1 => TemporalKernel::Triangular,
+        _ => TemporalKernel::Epanechnikov,
+    };
+    let records: Vec<EventRecord> = case
+        .points
+        .iter()
+        .map(|&point| EventRecord { point, timestamp: aux.below(1_000) as i64, category: 0 })
+        .collect();
+    let config = StKdvConfig {
+        params: *params,
+        frames: FrameSpec::new(0, 400, 3),
+        temporal_bandwidth: 350,
+        temporal_kernel,
+    };
+
+    let sequential = compute_stkdv(&config, &records);
+    let scan_pair = match &sequential {
+        Ok(frames) => {
+            // oracle: per frame, weight every record by the temporal
+            // kernel and evaluate by direct summation
+            let mut got = Vec::new();
+            let mut reference = Vec::new();
+            let mut term = 0.0_f64;
+            for frame in frames {
+                let mut pts = Vec::new();
+                let mut ws = Vec::new();
+                for r in &records {
+                    let u =
+                        (r.timestamp - frame.time).abs() as f64 / config.temporal_bandwidth as f64;
+                    let w = config.temporal_kernel.eval(u);
+                    if w > 0.0 {
+                        pts.push(r.point);
+                        ws.push(w);
+                    }
+                }
+                // worst per-frame term scale Σ|w_eff|·K(0)
+                term = term
+                    .max(ws.iter().sum::<f64>() * unit_kernel_peak(case.kernel, case.bandwidth));
+                let direct = weighted_scan(params, &pts, &ws);
+                got.extend_from_slice(frame.grid.values());
+                reference.extend_from_slice(direct.values());
+            }
+            ok(PAIR_NAMES[14], Policy::sweep_exact(term), &got, &reference)
+        }
+        Err(e) => fail(PAIR_NAMES[14], e.to_string()),
+    };
+
+    let parallel_pair = match (&sequential, compute_stkdv_parallel(&config, &records, 3)) {
+        (Ok(seq), Ok(par)) => {
+            let got: Vec<f64> = par.iter().flat_map(|f| f.grid.values().iter().copied()).collect();
+            let reference: Vec<f64> =
+                seq.iter().flat_map(|f| f.grid.values().iter().copied()).collect();
+            ok(PAIR_NAMES[15], Policy::Bitwise, &got, &reference)
+        }
+        (Err(e), _) => fail(PAIR_NAMES[15], format!("sequential: {e}")),
+        (_, Err(e)) => fail(PAIR_NAMES[15], format!("parallel: {e}")),
+    };
+    vec![scan_pair, parallel_pair]
+}
+
+fn run_pan(case: &CaseSpec, params: &KdvParams, aux: &mut SplitMix64) -> PairResult {
+    // previous viewport: the case region shifted down by a whole number of
+    // pixel rows, so pan_render takes the copy-overlap fast path
+    let dj = 1 + aux.below(3) as i64;
+    let gap_y = (case.region.max_y - case.region.min_y) / case.res_y as f64;
+    let delta = dj as f64 * gap_y;
+    let prev_region = Rect::new(
+        case.region.min_x,
+        case.region.min_y - delta,
+        case.region.max_x,
+        case.region.max_y - delta,
+    );
+    let prev_spec = match kdv_core::GridSpec::new(prev_region, case.res_x, case.res_y) {
+        Ok(s) => s,
+        Err(e) => return fail(PAIR_NAMES[16], format!("prev spec: {e}")),
+    };
+    let mut prev_params = *params;
+    prev_params.grid = prev_spec;
+    match (
+        rao::compute_bucket(&prev_params, &case.points),
+        rao::compute_bucket(params, &case.points),
+    ) {
+        (Ok(prev), Ok(full)) => {
+            match pan_render(&prev, &prev_spec, params, &case.points) {
+                Ok((inc, _recomputed)) => {
+                    // the copied rows' pixel centres were derived in the
+                    // previous viewport's float frame, so this comparison
+                    // carries c·ε/b of grid-derivation conditioning on top
+                    // of two independent sweep budgets (pan_exact)
+                    let term = case.weight.abs()
+                        * case.points.len() as f64
+                        * unit_kernel_peak(case.kernel, case.bandwidth);
+                    let policy = Policy::pan_exact(case.coord_magnitude(), case.bandwidth, term);
+                    if case.kernel == kdv_core::KernelType::Uniform {
+                        compare_pan_uniform(case, params, &prev_spec, dj, policy, &inc, &full)
+                    } else {
+                        ok(PAIR_NAMES[16], policy, inc.values(), full.values())
+                    }
+                }
+                Err(e) => fail(PAIR_NAMES[16], e.to_string()),
+            }
+        }
+        (p, f) => fail(PAIR_NAMES[16], two_errors(p.err(), f.err())),
+    }
+}
+
+/// Pan comparison for the uniform kernel, whose support-boundary
+/// *discontinuity* breaks a purely scaled policy: the copied rows' pixel
+/// centres were derived in the previous viewport's float frame and differ
+/// from the recompute's by `O(c·ε)`, so a point grazing `dist = b` can
+/// flip membership between the two frames and legitimately shift the
+/// density by a whole term `w·K(0)` (found by the soak fuzzer at seed
+/// 66246, corpus case `seed-66246-uniform-membership-flip`).
+///
+/// Pixels with a possible flip are excluded from the scaled comparison
+/// and checked against the whole-term bound `flips · w·K(0)` instead; an
+/// excess there falls through to the honest (failing) full comparison.
+fn compare_pan_uniform(
+    case: &CaseSpec,
+    params: &KdvParams,
+    prev_spec: &kdv_core::GridSpec,
+    dj: i64,
+    policy: Policy,
+    inc: &kdv_core::DensityGrid,
+    full: &kdv_core::DensityGrid,
+) -> PairResult {
+    let b2 = case.bandwidth * case.bandwidth;
+    // membership slack: dist² at coordinate magnitude c carries O(c²·ε)
+    // of rounding, as does b²
+    let c = case.coord_magnitude();
+    let slack = 32.0 * f64::EPSILON * (c * c).max(b2);
+    let flip_cost = case.weight.abs() * unit_kernel_peak(case.kernel, case.bandwidth);
+    let full_peak = full.values().iter().fold(0.0_f64, |m, v| m.max(v.abs()));
+    let base = policy.admitted_error(full_peak);
+
+    let mut got = Vec::new();
+    let mut reference = Vec::new();
+    for j in 0..case.res_y {
+        for i in 0..case.res_x {
+            let q_full = params.grid.pixel_center(i, j);
+            // the prev-frame centre of the same geometric pixel (rows not
+            // present in the previous viewport were recomputed in the
+            // full frame, so their centres agree)
+            let jp = j as i64 + dj;
+            let q_prev = if (0..case.res_y as i64).contains(&jp) {
+                prev_spec.pixel_center(i, jp as usize)
+            } else {
+                q_full
+            };
+            let flips = case
+                .points
+                .iter()
+                .filter(|p| {
+                    let s_full = q_full.dist_sq(p) - b2;
+                    let s_prev = q_prev.dist_sq(p) - b2;
+                    (s_full <= 0.0) != (s_prev <= 0.0) || s_full.abs().min(s_prev.abs()) <= slack
+                })
+                .count();
+            if flips == 0 {
+                got.push(inc.get(i, j));
+                reference.push(full.get(i, j));
+            } else if (inc.get(i, j) - full.get(i, j)).abs() > flips as f64 * flip_cost + base {
+                // a flip can't explain this much — report the honest
+                // failing comparison over the whole grid
+                return ok(PAIR_NAMES[16], policy, inc.values(), full.values());
+            }
+        }
+    }
+    ok(PAIR_NAMES[16], policy, &got, &reference)
+}
+
+fn run_nkdv(case: &CaseSpec, aux: &mut SplitMix64) -> PairResult {
+    let network = RoadNetwork::grid_city(
+        3 + aux.below(3) as usize,
+        3 + aux.below(2) as usize,
+        80.0 + aux.f64() * 80.0,
+        0.9,
+        aux.next_u64() | 1,
+    );
+    if network.num_edges() == 0 {
+        return fail(PAIR_NAMES[17], "generated network has no edges".into());
+    }
+    let events: Vec<NetPosition> = (0..aux.below(25))
+        .map(|_| {
+            let edge = aux.below(network.num_edges() as u64) as u32;
+            let (_, _, len) = network.edge_info(edge);
+            NetPosition { edge, offset: aux.f64() * len }
+        })
+        .collect();
+    let params = NkdvParams {
+        kernel: case.kernel,
+        bandwidth: 60.0 + aux.f64() * 250.0,
+        lixel_length: 12.0 + aux.f64() * 30.0,
+        weight: 1.0 / events.len().max(1) as f64,
+    };
+    match (compute_nkdv(&network, &params, &events), compute_nkdv_naive(&network, &params, &events))
+    {
+        (Ok(fast), Ok(slow)) => {
+            let term = params.weight.abs()
+                * events.len() as f64
+                * unit_kernel_peak(params.kernel, params.bandwidth);
+            ok(PAIR_NAMES[17], Policy::network_exact(term), fast.values(), slow.values())
+        }
+        (f, s) => fail(PAIR_NAMES[17], two_errors(f.err(), s.err())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_pair_reports_on_a_plain_case() {
+        let case = CaseSpec::generate(4); // ordinary uniform cloud
+        let results = run_case(&case);
+        assert_eq!(results.len(), PAIR_NAMES.len());
+        for r in &results {
+            assert!(r.pass(), "{}: {:?} {:?}", r.pair, r.comparison, r.error);
+        }
+    }
+
+    #[test]
+    fn empty_input_conforms_everywhere() {
+        let mut case = CaseSpec::generate(5);
+        case.points.clear();
+        for r in run_case(&case) {
+            assert!(r.pass(), "{}: {:?} {:?}", r.pair, r.comparison, r.error);
+        }
+    }
+
+    #[test]
+    fn run_case_is_deterministic() {
+        let case = CaseSpec::generate(11);
+        let a = run_case(&case);
+        let b = run_case(&case);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.pair, y.pair);
+            assert_eq!(x.pass(), y.pass());
+            if let (Some(cx), Some(cy)) = (x.comparison, y.comparison) {
+                assert_eq!(cx.max_abs_err.to_bits(), cy.max_abs_err.to_bits(), "{}", x.pair);
+            }
+        }
+    }
+}

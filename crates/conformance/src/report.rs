@@ -1,0 +1,167 @@
+//! Aggregated conformance results and the JSON report emitted by the
+//! `kdv-conformance` bin (hand-rolled writer — the workspace is
+//! dependency-free).
+
+use std::collections::BTreeMap;
+
+use kdv_core::KernelType;
+
+use crate::case::CaseSpec;
+use crate::oracle::PairResult;
+
+/// Accumulated statistics for one engine×oracle pair under one kernel.
+#[derive(Debug, Clone, Default)]
+pub struct PairStats {
+    /// Cases run.
+    pub cases: usize,
+    /// Largest observed error relative to the reference peak.
+    pub max_scaled_err: f64,
+    /// Largest observed absolute error.
+    pub max_abs_err: f64,
+    /// Labels of violating cases (also counts engine errors).
+    pub violations: Vec<String>,
+}
+
+/// The whole run, keyed by `(pair, kernel)`.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Mode string for provenance (`"quick"`, `"soak 5000"`, …).
+    pub mode: String,
+    /// Total cases pushed through the registry.
+    pub cases: usize,
+    stats: BTreeMap<(String, String), PairStats>,
+}
+
+fn kernel_name(k: KernelType) -> &'static str {
+    match k {
+        KernelType::Uniform => "uniform",
+        KernelType::Epanechnikov => "epanechnikov",
+        KernelType::Quartic => "quartic",
+    }
+}
+
+impl Report {
+    /// An empty report for the given mode.
+    pub fn new(mode: impl Into<String>) -> Self {
+        Self { mode: mode.into(), cases: 0, stats: BTreeMap::new() }
+    }
+
+    /// Folds one case's pair results into the aggregates.
+    pub fn record(&mut self, case: &CaseSpec, results: &[PairResult]) {
+        self.cases += 1;
+        for r in results {
+            let key = (r.pair.to_string(), kernel_name(case.kernel).to_string());
+            let entry = self.stats.entry(key).or_default();
+            entry.cases += 1;
+            if let Some(c) = r.comparison {
+                if c.max_scaled_err.is_finite() {
+                    entry.max_scaled_err = entry.max_scaled_err.max(c.max_scaled_err);
+                    entry.max_abs_err = entry.max_abs_err.max(c.max_abs_err);
+                }
+            }
+            if !r.pass() {
+                entry.violations.push(match &r.error {
+                    Some(e) => format!("{} [{e}]", case.label),
+                    None => case.label.clone(),
+                });
+            }
+        }
+    }
+
+    /// Total violations across all pairs and kernels.
+    pub fn total_violations(&self) -> usize {
+        self.stats.values().map(|s| s.violations.len()).sum()
+    }
+
+    /// Number of distinct `(pair, kernel)` combinations that ran ≥ 1 case.
+    pub fn covered_combinations(&self) -> usize {
+        self.stats.values().filter(|s| s.cases > 0).count()
+    }
+
+    /// Iterates `(pair, kernel, stats)` in deterministic order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str, &PairStats)> {
+        self.stats.iter().map(|((p, k), s)| (p.as_str(), k.as_str(), s))
+    }
+
+    /// Serializes the report as JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"mode\": {},\n", json_string(&self.mode)));
+        out.push_str(&format!("  \"cases\": {},\n", self.cases));
+        out.push_str(&format!("  \"total_violations\": {},\n", self.total_violations()));
+        out.push_str("  \"pairs\": [\n");
+        let entries: Vec<String> = self
+            .iter()
+            .map(|(pair, kernel, s)| {
+                let violations: Vec<String> =
+                    s.violations.iter().map(|v| json_string(v)).collect();
+                format!(
+                    "    {{\"pair\": {}, \"kernel\": {}, \"cases\": {}, \"max_scaled_err\": {}, \"max_abs_err\": {}, \"violations\": [{}]}}",
+                    json_string(pair),
+                    json_string(kernel),
+                    s.cases,
+                    json_number(s.max_scaled_err),
+                    json_number(s.max_abs_err),
+                    violations.join(", "),
+                )
+            })
+            .collect();
+        out.push_str(&entries.join(",\n"));
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_number(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:e}")
+    } else {
+        "\"non-finite\"".into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::run_case;
+
+    #[test]
+    fn report_aggregates_and_serializes() {
+        let mut report = Report::new("test");
+        for seed in [4, 5, 6] {
+            let case = CaseSpec::generate(seed);
+            report.record(&case, &run_case(&case));
+        }
+        assert_eq!(report.cases, 3);
+        assert_eq!(report.total_violations(), 0);
+        // 3 seeds = 3 kernels, 18 pairs each
+        assert_eq!(report.covered_combinations(), 18 * 3);
+        let json = report.to_json();
+        assert!(json.contains("\"mode\": \"test\""));
+        assert!(json.contains("SLAM_BUCKET vs SCAN"));
+        assert!(json.contains("\"total_violations\": 0"));
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_string("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+        assert_eq!(json_number(f64::INFINITY), "\"non-finite\"");
+    }
+}

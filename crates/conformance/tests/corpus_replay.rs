@@ -1,0 +1,41 @@
+//! Replays the committed regression corpus through the full oracle
+//! registry on every `cargo test` run. Each corpus entry is a shrunk,
+//! previously failing configuration — a failure here is a reintroduced
+//! bug, not a flake. See TESTING.md for the triage guide.
+
+use kdv_conformance::{corpus, run_case};
+
+#[test]
+fn committed_corpus_replays_clean() {
+    let path = corpus::default_corpus_path();
+    let cases = corpus::load(&path).unwrap_or_else(|e| panic!("loading corpus: {e}"));
+    assert!(!cases.is_empty(), "committed corpus must not be empty: {}", path.display());
+    let mut failures = Vec::new();
+    for case in &cases {
+        for r in run_case(case).iter().filter(|r| !r.pass()) {
+            failures.push(format!(
+                "{} on {}: {}",
+                case.label,
+                r.pair,
+                r.error.clone().unwrap_or_else(|| format!("{:?}", r.comparison)),
+            ));
+        }
+    }
+    assert!(failures.is_empty(), "corpus regressions:\n{}", failures.join("\n"));
+}
+
+#[test]
+fn corpus_contains_the_pr1_quartic_case() {
+    // The quartic rolling-frame cancellation bug (fixed in PR 1) is the
+    // harness's founding regression; it must stay pinned forever.
+    let cases = corpus::load(&corpus::default_corpus_path()).unwrap();
+    let pr1 = cases
+        .iter()
+        .find(|c| c.label == "pr1-quartic-cancellation")
+        .expect("PR 1 case missing from corpus");
+    assert_eq!(pr1.kernel, kdv_core::KernelType::Quartic);
+    assert_eq!((pr1.res_x, pr1.res_y), (15, 16));
+    assert_eq!(pr1.points.len(), 4);
+    // lossless round-trip of the exact failing bandwidth
+    assert_eq!(pr1.bandwidth.to_bits(), 132.97204695578574_f64.to_bits());
+}

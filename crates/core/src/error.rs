@@ -15,6 +15,9 @@ pub enum KdvError {
     NonFinitePoint { index: usize },
     /// The requested weight is non-finite.
     InvalidWeight(f64),
+    /// The lixel length of an NKDV computation must be finite and
+    /// strictly positive.
+    InvalidLixelLength(f64),
     /// A cooperative deadline expired before the computation finished
     /// (used by the experiment harness to emulate the paper's 4-hour cap).
     DeadlineExceeded,
@@ -36,6 +39,9 @@ impl fmt::Display for KdvError {
                 write!(f, "data point #{index} has a non-finite coordinate")
             }
             KdvError::InvalidWeight(w) => write!(f, "weight {w} must be finite"),
+            KdvError::InvalidLixelLength(l) => {
+                write!(f, "lixel length {l} must be finite and > 0")
+            }
             KdvError::DeadlineExceeded => write!(f, "computation exceeded its deadline"),
         }
     }

@@ -22,6 +22,7 @@
 use kdv_core::geom::Point;
 use kdv_core::kernel::KernelType;
 use kdv_core::stats::Kahan;
+use kdv_core::{KdvError, Result};
 
 use crate::dijkstra::{network_distance, BoundedDijkstra};
 use crate::graph::{EdgeId, NetPosition, RoadNetwork};
@@ -39,6 +40,24 @@ pub struct NkdvParams {
     pub lixel_length: f64,
     /// Normalisation constant `w`.
     pub weight: f64,
+}
+
+impl NkdvParams {
+    /// Rejects non-positive / non-finite bandwidths and lixel lengths and
+    /// a non-finite weight — shared by both NKDV evaluators so neither can
+    /// panic or emit NaN lixels on bad input.
+    pub fn validate(&self) -> Result<()> {
+        if !self.bandwidth.is_finite() || self.bandwidth <= 0.0 {
+            return Err(KdvError::InvalidBandwidth(self.bandwidth));
+        }
+        if !self.lixel_length.is_finite() || self.lixel_length <= 0.0 {
+            return Err(KdvError::InvalidLixelLength(self.lixel_length));
+        }
+        if !self.weight.is_finite() {
+            return Err(KdvError::InvalidWeight(self.weight));
+        }
+        Ok(())
+    }
 }
 
 /// Densities over all lixels of a network.
@@ -163,16 +182,21 @@ fn kernel_1d(kernel: KernelType, d: f64, b: f64) -> f64 {
 ///     weight: 1.0,
 /// };
 /// let accidents = vec![NetPosition { edge: 0, offset: 40.0 }];
-/// let density = compute_nkdv(&city, &params, &accidents);
+/// let density = compute_nkdv(&city, &params, &accidents)?;
 /// assert!(density.max_value() > 0.0);
 /// assert_eq!(density.edge_values(0).len(), 4); // 100 m edge, 25 m lixels
+/// # Ok::<(), kdv_core::KdvError>(())
 /// ```
+///
+/// # Errors
+/// [`KdvError::InvalidBandwidth`] / [`KdvError::InvalidLixelLength`] /
+/// [`KdvError::InvalidWeight`] for non-finite or non-positive parameters.
 pub fn compute_nkdv(
     network: &RoadNetwork,
     params: &NkdvParams,
     events: &[NetPosition],
-) -> NetworkDensity {
-    assert!(params.bandwidth > 0.0 && params.bandwidth.is_finite());
+) -> Result<NetworkDensity> {
+    params.validate()?;
     let lixels = Lixels::build(network, params.lixel_length);
     let mut acc: Vec<Kahan> = vec![Kahan::new(); lixels.len()];
     let b = params.bandwidth;
@@ -202,19 +226,23 @@ pub fn compute_nkdv(
             }
         }
     }
-    NetworkDensity {
+    Ok(NetworkDensity {
         lixel_start: lixels.lixel_start,
         values: acc.into_iter().map(|k| params.weight * k.value()).collect(),
-    }
+    })
 }
 
 /// Naive reference: per lixel, per event, a full shortest-path
 /// computation. `O(L · n · Dijkstra)` — tests and tiny graphs only.
+///
+/// # Errors
+/// Same parameter validation as [`compute_nkdv`].
 pub fn compute_nkdv_naive(
     network: &RoadNetwork,
     params: &NkdvParams,
     events: &[NetPosition],
-) -> NetworkDensity {
+) -> Result<NetworkDensity> {
+    params.validate()?;
     let lixels = Lixels::build(network, params.lixel_length);
     let mut values = vec![0.0_f64; lixels.len()];
     for e in 0..network.num_edges() as EdgeId {
@@ -229,7 +257,7 @@ pub fn compute_nkdv_naive(
             values[start + i] = params.weight * acc.value();
         }
     }
-    NetworkDensity { lixel_start: lixels.lixel_start, values }
+    Ok(NetworkDensity { lixel_start: lixels.lixel_start, values })
 }
 
 /// Convenience: planar points of every lixel centre paired with its
@@ -284,8 +312,8 @@ mod tests {
         let events = spread_events(&g, 40, 11);
         for kernel in KernelType::ALL {
             let p = params(kernel);
-            let fast = compute_nkdv(&g, &p, &events);
-            let slow = compute_nkdv_naive(&g, &p, &events);
+            let fast = compute_nkdv(&g, &p, &events).unwrap();
+            let slow = compute_nkdv_naive(&g, &p, &events).unwrap();
             assert_eq!(fast.num_lixels(), slow.num_lixels());
             let scale = slow.max_value().max(1e-300);
             for (a, b) in fast.values().iter().zip(slow.values()) {
@@ -307,7 +335,7 @@ mod tests {
             lixel_length: 10.0,
             weight: 1.0,
         };
-        let density = compute_nkdv(&g, &p, &[NetPosition { edge: 0, offset: 50.0 }]);
+        let density = compute_nkdv(&g, &p, &[NetPosition { edge: 0, offset: 50.0 }]).unwrap();
         let edge0 = density.edge_values(0);
         assert_eq!(edge0.len(), 10);
         // peak at the lixel containing the event (centre 45 or 55)
@@ -336,7 +364,7 @@ mod tests {
             &[(0, 1, 100.0), (2, 3, 100.0)],
         );
         let p = params(KernelType::Epanechnikov);
-        let density = compute_nkdv(&g, &p, &[NetPosition { edge: 0, offset: 50.0 }]);
+        let density = compute_nkdv(&g, &p, &[NetPosition { edge: 0, offset: 50.0 }]).unwrap();
         assert!(density.edge_values(0).iter().any(|&v| v > 0.0));
         assert!(
             density.edge_values(1).iter().all(|&v| v == 0.0),
@@ -358,9 +386,9 @@ mod tests {
         let g = grid();
         let events = spread_events(&g, 10, 3);
         let mut p = params(KernelType::Quartic);
-        let base = compute_nkdv(&g, &p, &events);
+        let base = compute_nkdv(&g, &p, &events).unwrap();
         p.weight = 2.0;
-        let doubled = compute_nkdv(&g, &p, &events);
+        let doubled = compute_nkdv(&g, &p, &events).unwrap();
         for (a, b) in base.values().iter().zip(doubled.values()) {
             assert!((2.0 * a - b).abs() < 1e-12);
         }
@@ -369,9 +397,35 @@ mod tests {
     #[test]
     fn empty_events_zero_density() {
         let g = grid();
-        let density = compute_nkdv(&g, &params(KernelType::Uniform), &[]);
+        let density = compute_nkdv(&g, &params(KernelType::Uniform), &[]).unwrap();
         assert_eq!(density.max_value(), 0.0);
         assert!(density.num_lixels() > 0);
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        let g = grid();
+        let events = spread_events(&g, 3, 9);
+        for bad_b in [0.0, -5.0, f64::NAN, f64::INFINITY] {
+            let mut p = params(KernelType::Epanechnikov);
+            p.bandwidth = bad_b;
+            assert!(
+                matches!(compute_nkdv(&g, &p, &events), Err(KdvError::InvalidBandwidth(_))),
+                "bandwidth {bad_b} must be rejected"
+            );
+            assert!(compute_nkdv_naive(&g, &p, &events).is_err());
+        }
+        for bad_l in [0.0, -1.0, f64::NAN] {
+            let mut p = params(KernelType::Uniform);
+            p.lixel_length = bad_l;
+            assert!(
+                matches!(compute_nkdv(&g, &p, &events), Err(KdvError::InvalidLixelLength(_))),
+                "lixel length {bad_l} must be rejected"
+            );
+        }
+        let mut p = params(KernelType::Quartic);
+        p.weight = f64::NAN;
+        assert!(matches!(compute_nkdv(&g, &p, &events), Err(KdvError::InvalidWeight(_))));
     }
 
     #[test]
@@ -384,7 +438,7 @@ mod tests {
             lixel_length: 20.0,
             weight: 1.0,
         };
-        let density = compute_nkdv(&g, &p, &[NetPosition { edge: 0, offset: 0.0 }]);
+        let density = compute_nkdv(&g, &p, &[NetPosition { edge: 0, offset: 0.0 }]).unwrap();
         let pts = lixel_points(&g, &density, 20.0);
         assert_eq!(pts.len(), 2);
         assert_eq!(pts[0].0, Point::new(10.0, 0.0));

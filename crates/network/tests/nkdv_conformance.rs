@@ -1,0 +1,252 @@
+//! NKDV conformance on small hand-built graphs whose network distances
+//! are known in closed form. The forward-augmentation evaluator
+//! (`compute_nkdv`, one bounded Dijkstra per event) is checked against the
+//! brute-force reference (`compute_nkdv_naive`, one full shortest-path
+//! computation per lixel×event pair) and against hand-derived densities —
+//! on topologies the random `grid_city` used by the unit tests cannot pin:
+//! a cycle (two competing routes), a star (hub fan-out), and a
+//! disconnected graph (unreachable component).
+
+use kdv_core::{KdvError, KernelType, Point};
+use kdv_network::{compute_nkdv, compute_nkdv_naive, NetPosition, NkdvParams, RoadNetwork};
+
+fn params(kernel: KernelType, bandwidth: f64, lixel_length: f64) -> NkdvParams {
+    NkdvParams { kernel, bandwidth, lixel_length, weight: 1.0 }
+}
+
+/// 1-D kernel profile, mirroring the Table-2 shapes over network distance.
+fn kernel_1d(kernel: KernelType, d: f64, b: f64) -> f64 {
+    if d > b {
+        return 0.0;
+    }
+    match kernel {
+        KernelType::Uniform => 1.0 / b,
+        KernelType::Epanechnikov => 1.0 - (d * d) / (b * b),
+        KernelType::Quartic => {
+            let t = 1.0 - (d * d) / (b * b);
+            t * t
+        }
+    }
+}
+
+fn assert_agree(network: &RoadNetwork, p: &NkdvParams, events: &[NetPosition], label: &str) {
+    let fast = compute_nkdv(network, p, events).unwrap();
+    let naive = compute_nkdv_naive(network, p, events).unwrap();
+    assert_eq!(fast.num_lixels(), naive.num_lixels(), "{label}: lixel count mismatch");
+    let peak = naive.max_value().max(1e-300);
+    for (i, (a, b)) in fast.values().iter().zip(naive.values()).enumerate() {
+        assert!(
+            (a - b).abs() <= 1e-9 * peak,
+            "{label}/{:?} lixel {i}: forward {a} vs naive {b}",
+            p.kernel
+        );
+    }
+}
+
+/// Path A—B—C with two 100 m edges.
+fn path_graph() -> RoadNetwork {
+    let nodes = vec![Point::new(0.0, 0.0), Point::new(100.0, 0.0), Point::new(200.0, 0.0)];
+    RoadNetwork::new(nodes, &[(0, 1, 100.0), (1, 2, 100.0)])
+}
+
+/// Square cycle of four 100 m edges (0→1→2→3→0).
+fn cycle_graph() -> RoadNetwork {
+    let nodes = vec![
+        Point::new(0.0, 0.0),
+        Point::new(100.0, 0.0),
+        Point::new(100.0, 100.0),
+        Point::new(0.0, 100.0),
+    ];
+    RoadNetwork::new(nodes, &[(0, 1, 100.0), (1, 2, 100.0), (2, 3, 100.0), (3, 0, 100.0)])
+}
+
+/// Star: hub node 0 with four 80 m spokes.
+fn star_graph() -> RoadNetwork {
+    let nodes = vec![
+        Point::new(0.0, 0.0),
+        Point::new(80.0, 0.0),
+        Point::new(0.0, 80.0),
+        Point::new(-80.0, 0.0),
+        Point::new(0.0, -80.0),
+    ];
+    RoadNetwork::new(nodes, &[(0, 1, 80.0), (0, 2, 80.0), (0, 3, 80.0), (0, 4, 80.0)])
+}
+
+/// Two disjoint 100 m segments: nodes {0,1} and {2,3} never connect.
+fn disconnected_graph() -> RoadNetwork {
+    let nodes = vec![
+        Point::new(0.0, 0.0),
+        Point::new(100.0, 0.0),
+        Point::new(0.0, 500.0),
+        Point::new(100.0, 500.0),
+    ];
+    RoadNetwork::new(nodes, &[(0, 1, 100.0), (2, 3, 100.0)])
+}
+
+#[test]
+fn forward_matches_naive_on_every_hand_built_topology() {
+    let cases: [(&str, RoadNetwork, Vec<NetPosition>); 4] = [
+        ("path", path_graph(), vec![NetPosition { edge: 0, offset: 70.0 }]),
+        (
+            "cycle",
+            cycle_graph(),
+            vec![NetPosition { edge: 0, offset: 20.0 }, NetPosition { edge: 2, offset: 55.0 }],
+        ),
+        (
+            "star",
+            star_graph(),
+            vec![NetPosition { edge: 1, offset: 30.0 }, NetPosition { edge: 3, offset: 79.0 }],
+        ),
+        ("disconnected", disconnected_graph(), vec![NetPosition { edge: 0, offset: 50.0 }]),
+    ];
+    for (label, network, events) in &cases {
+        for kernel in KernelType::ALL {
+            // bandwidth larger than any single edge so contributions cross
+            // nodes, smaller than the total length so support is partial
+            assert_agree(network, &params(kernel, 150.0, 10.0), events, label);
+        }
+    }
+}
+
+#[test]
+fn path_density_matches_the_closed_form_profile() {
+    // single event at offset 70 on edge 0: network distance to any lixel
+    // is plain arc length along the path, so every lixel density is
+    // w·K(|arc(lixel) − 70|)
+    let network = path_graph();
+    let event = NetPosition { edge: 0, offset: 70.0 };
+    for kernel in KernelType::ALL {
+        let p = params(kernel, 120.0, 20.0);
+        let density = compute_nkdv_naive(&network, &p, &[event]).unwrap();
+        for (e, i, v) in density.iter() {
+            let arc = e as f64 * 100.0 + (i as f64 + 0.5) * 20.0;
+            let expected = kernel_1d(kernel, (arc - 70.0).abs(), 120.0);
+            assert!(
+                (v - expected).abs() <= 1e-12 * expected.max(1.0),
+                "{kernel:?} lixel at arc {arc}: {v} vs {expected}"
+            );
+        }
+        // forward augmentation reproduces the same closed form
+        let fast = compute_nkdv(&network, &p, &[event]).unwrap();
+        assert_eq!(fast.values().len(), density.values().len());
+    }
+}
+
+#[test]
+fn cycle_distances_take_the_shorter_way_around() {
+    // event at the midpoint of edge 0 (arc position 50 of 400). The
+    // antipodal lixel (arc 250, midpoint of edge 2) is 200 m away in both
+    // directions; closer lixels must use the min of the two routes.
+    let network = cycle_graph();
+    let event = NetPosition { edge: 0, offset: 50.0 };
+    let p = params(KernelType::Epanechnikov, 220.0, 25.0);
+    let density = compute_nkdv_naive(&network, &p, &[event]).unwrap();
+    for (e, i, v) in density.iter() {
+        let arc = e as f64 * 100.0 + (i as f64 + 0.5) * 25.0;
+        let along = (arc - 50.0).abs();
+        let d = along.min(400.0 - along);
+        let expected = kernel_1d(KernelType::Epanechnikov, d, 220.0);
+        assert!(
+            (v - expected).abs() <= 1e-12,
+            "cycle lixel at arc {arc}: {v} vs {expected} (d={d})"
+        );
+    }
+    // symmetry: lixels equidistant clockwise/counter-clockwise agree
+    let vals = density.values();
+    let n = vals.len();
+    // event sits exactly at the centre of lixel 2 of edge 0 (arc 50 with
+    // 25 m lixels ⇒ mirror lixel k ↔ (3 − k) mod n under the arc reflection 100 − arc)
+    for k in 0..n {
+        let mirror = (n + 3 - k) % n;
+        assert!(
+            (vals[k] - vals[mirror]).abs() <= 1e-12,
+            "cycle symmetry broken at lixel {k} vs {mirror}"
+        );
+    }
+    assert_agree(&network, &p, &[event], "cycle-midpoint");
+}
+
+#[test]
+fn star_spreads_density_through_the_hub() {
+    // event 30 m out on spoke 1: distance to a lixel at offset t on any
+    // OTHER spoke is 30 + t (through the hub); on its own spoke |t − 30|
+    let network = star_graph();
+    let event = NetPosition { edge: 0, offset: 30.0 };
+    let p = params(KernelType::Quartic, 100.0, 16.0);
+    let density = compute_nkdv_naive(&network, &p, &[event]).unwrap();
+    for (e, i, v) in density.iter() {
+        let t = (i as f64 + 0.5) * 16.0;
+        let d = if e == 0 { (t - 30.0).abs() } else { 30.0 + t };
+        let expected = kernel_1d(KernelType::Quartic, d, 100.0);
+        assert!(
+            (v - expected).abs() <= 1e-12,
+            "star edge {e} lixel {i}: {v} vs {expected} (d={d})"
+        );
+    }
+    // the three non-event spokes are interchangeable by symmetry
+    let s1 = density.edge_values(1).to_vec();
+    assert_eq!(density.edge_values(2), &s1[..]);
+    assert_eq!(density.edge_values(3), &s1[..]);
+    assert_agree(&network, &p, &[event], "star-hub");
+}
+
+#[test]
+fn density_never_leaks_across_disconnected_components() {
+    let network = disconnected_graph();
+    let event = NetPosition { edge: 0, offset: 50.0 };
+    // bandwidth far larger than either component: only connectivity, not
+    // range, may confine the density
+    for kernel in KernelType::ALL {
+        let p = params(kernel, 10_000.0, 10.0);
+        for density in [
+            compute_nkdv(&network, &p, &[event]).unwrap(),
+            compute_nkdv_naive(&network, &p, &[event]).unwrap(),
+        ] {
+            assert!(
+                density.edge_values(0).iter().all(|&v| v > 0.0),
+                "{kernel:?}: event component must be covered"
+            );
+            assert!(
+                density.edge_values(1).iter().all(|&v| v == 0.0),
+                "{kernel:?}: density leaked into a disconnected component"
+            );
+        }
+    }
+}
+
+#[test]
+fn both_evaluators_reject_bad_parameters_identically() {
+    let network = path_graph();
+    let events = [NetPosition { edge: 0, offset: 10.0 }];
+    let base = params(KernelType::Epanechnikov, 100.0, 10.0);
+    for (bad, check) in [
+        (NkdvParams { bandwidth: 0.0, ..base }, "bandwidth"),
+        (NkdvParams { bandwidth: f64::NAN, ..base }, "bandwidth"),
+        (NkdvParams { lixel_length: -5.0, ..base }, "lixel"),
+        (NkdvParams { weight: f64::INFINITY, ..base }, "weight"),
+    ] {
+        for result in
+            [compute_nkdv(&network, &bad, &events), compute_nkdv_naive(&network, &bad, &events)]
+        {
+            let err = result.expect_err(check);
+            let matches = matches!(
+                (&err, check),
+                (KdvError::InvalidBandwidth(_), "bandwidth")
+                    | (KdvError::InvalidLixelLength(_), "lixel")
+                    | (KdvError::InvalidWeight(_), "weight")
+            );
+            assert!(matches, "expected {check} error, got {err:?}");
+        }
+    }
+}
+
+#[test]
+fn out_of_range_event_offsets_are_clamped_not_panicking() {
+    // events dropped slightly off the end of an edge (GPS snap jitter)
+    // must clamp to the edge and still agree across evaluators
+    let network = cycle_graph();
+    let events = [NetPosition { edge: 1, offset: -7.5 }, NetPosition { edge: 2, offset: 140.0 }];
+    for kernel in KernelType::ALL {
+        assert_agree(&network, &params(kernel, 180.0, 12.5), &events, "clamped-offsets");
+    }
+}

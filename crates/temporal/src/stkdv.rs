@@ -126,7 +126,9 @@ fn compute_stkdv_threaded(
     records: &[EventRecord],
     threads: usize,
 ) -> Result<Vec<Frame>> {
-    assert!(config.temporal_bandwidth > 0, "temporal bandwidth must be positive");
+    if config.temporal_bandwidth <= 0 {
+        return Err(kdv_core::KdvError::InvalidBandwidth(config.temporal_bandwidth as f64));
+    }
     // sort by time once
     let mut sorted: Vec<&EventRecord> = records.iter().collect();
     sorted.sort_by_key(|r| r.timestamp);
@@ -305,6 +307,21 @@ mod tests {
                 assert_eq!(a.events, b.events, "threads={threads}");
                 assert_eq!(a.grid, b.grid, "threads={threads} t={}", a.time);
             }
+        }
+    }
+
+    #[test]
+    fn non_positive_temporal_bandwidth_is_an_error() {
+        for bt in [0, -7] {
+            let mut cfg = config(FrameSpec::new(1_000, 100, 2), TemporalKernel::Uniform);
+            cfg.temporal_bandwidth = bt;
+            assert!(
+                matches!(
+                    compute_stkdv(&cfg, &records()),
+                    Err(kdv_core::KdvError::InvalidBandwidth(_))
+                ),
+                "temporal bandwidth {bt} must be rejected, not panic"
+            );
         }
     }
 

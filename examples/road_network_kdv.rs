@@ -56,7 +56,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         weight: 1.0 / events.len() as f64,
     };
     let t0 = std::time::Instant::now();
-    let net_density = compute_nkdv(&network, &nkdv_params, &events);
+    let net_density = compute_nkdv(&network, &nkdv_params, &events)?;
     println!(
         "NKDV: {} lixels in {:.1} ms, peak {:.5}",
         net_density.num_lixels(),

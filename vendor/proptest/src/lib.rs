@@ -10,13 +10,27 @@
 //! Differences from real proptest, deliberate for a test-only stand-in:
 //! - **No shrinking.** A failing case reports the generated input verbatim.
 //! - **Deterministic seeding** from the test name, so failures reproduce on
-//!   every run (there is no persistence; `.proptest-regressions` files are
-//!   ignored — promote recorded seeds to explicit unit tests instead).
+//!   every run.
 //! - Value distributions are not bit-compatible with upstream.
+//!
+//! ## Regression persistence
+//!
+//! Sibling `.proptest-regressions` files ARE loaded and replayed, like
+//! upstream: every `cc <hex> # comment` line is re-run before novel cases
+//! are generated, and new failures append a `cc {seed:016x}` line. A
+//! 16-hex-digit token is this stub's own exact `u64` seed; longer tokens
+//! (upstream's 64-hex digests, whose original byte-for-byte inputs this
+//! stub cannot reconstruct) are FNV-hashed to a deterministic seed so the
+//! recorded entry still drives a reproducible case. Malformed entries are
+//! a hard error — a regressions file that silently stopped parsing would
+//! silently stop guarding (`tests/regression_replay_guard.rs` enforces
+//! this end to end). Set `PROPTEST_REGRESSIONS_FILE` to override the file
+//! location (used by the guard test to inject a corrupted file).
 
 use std::fmt::Debug;
 use std::ops::{Range, RangeFrom, RangeInclusive};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
 
 /// Deterministic generator used by strategies (xoshiro256++).
 #[derive(Debug, Clone)]
@@ -300,20 +314,138 @@ fn fnv1a(name: &str) -> u64 {
     h
 }
 
-/// Drives one property: generates inputs, runs the body, reports failures
-/// with the offending input. Called by the [`proptest!`] macro.
-pub fn run_proptest<S, F>(config: &ProptestConfig, name: &str, strategy: &S, test: F)
-where
+/// Locates the `.proptest-regressions` file for a property declared in
+/// `source_file` (as given by `file!()`, which cargo emits relative to
+/// the workspace root) within the crate at `manifest_dir`.
+///
+/// `PROPTEST_REGRESSIONS_FILE` overrides the location unconditionally.
+/// Otherwise the source path is resolved against the manifest dir and its
+/// ancestors (covering both root-package and workspace-member layouts)
+/// and the `.rs` extension is swapped; `None` means the source file could
+/// not be located, so there is nowhere to read or record regressions.
+fn regressions_path(source_file: &str, manifest_dir: &str) -> Option<PathBuf> {
+    if let Ok(over) = std::env::var("PROPTEST_REGRESSIONS_FILE") {
+        return Some(PathBuf::from(over));
+    }
+    let rel = Path::new(source_file);
+    let source = if rel.exists() {
+        rel.to_path_buf()
+    } else {
+        Path::new(manifest_dir).ancestors().map(|a| a.join(rel)).find(|p| p.exists())?
+    };
+    Some(source.with_extension("proptest-regressions"))
+}
+
+/// Parses the recorded seeds out of a regressions file's contents.
+///
+/// Panics on any `cc` line whose token is not valid hex: a regressions
+/// file that stopped parsing would silently stop guarding.
+fn parse_regression_seeds(contents: &str, path: &Path) -> Vec<u64> {
+    let mut seeds = Vec::new();
+    for (lineno, line) in contents.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let Some(rest) = line.strip_prefix("cc ") else {
+            panic!(
+                "{}:{}: malformed .proptest-regressions line (expected `cc <hex>`): {line}",
+                path.display(),
+                lineno + 1
+            );
+        };
+        let token = rest.split_whitespace().next().unwrap_or("");
+        let valid_hex = !token.is_empty() && token.bytes().all(|b| b.is_ascii_hexdigit());
+        assert!(
+            valid_hex,
+            "{}:{}: malformed .proptest-regressions seed token {token:?}",
+            path.display(),
+            lineno + 1
+        );
+        if token.len() == 16 {
+            // this stub's own exact u64 seed
+            seeds.push(u64::from_str_radix(token, 16).expect("validated hex"));
+        } else {
+            // an upstream digest: hash to a deterministic replay seed
+            seeds.push(fnv1a(token));
+        }
+    }
+    seeds
+}
+
+/// Appends a newly failing seed to the regressions file, creating it with
+/// the customary header if absent. Best-effort: persistence must not mask
+/// the test failure itself.
+fn persist_seed(path: &Path, seed: u64, input: &str) {
+    let mut contents = std::fs::read_to_string(path).unwrap_or_else(|_| {
+        "# Seeds for failure cases proptest has generated in the past. It is\n\
+         # automatically read and these particular cases re-run before any\n\
+         # novel cases are generated.\n\
+         #\n\
+         # It is recommended to check this file in to source control so that\n\
+         # everyone who runs the test benefits from these saved cases.\n"
+            .to_string()
+    });
+    let entry = format!("cc {seed:016x} # shrinks to {input}\n");
+    if contents.contains(&format!("cc {seed:016x}")) {
+        return;
+    }
+    contents.push_str(&entry);
+    let _ = std::fs::write(path, contents);
+}
+
+/// Drives one property: replays recorded regression seeds, then generates
+/// inputs, runs the body, and reports failures with the offending input
+/// (persisting the failing seed). Called by the [`proptest!`] macro.
+pub fn run_proptest<S, F>(
+    config: &ProptestConfig,
+    name: &str,
+    source_file: &str,
+    manifest_dir: &str,
+    strategy: &S,
+    test: F,
+) where
     S: Strategy,
     S::Value: Debug + Clone,
     F: Fn(S::Value) -> TestCaseResult,
 {
+    let regressions = regressions_path(source_file, manifest_dir);
+
+    // 1. replay recorded regressions before any novel case
+    if let Some(path) = &regressions {
+        if let Ok(contents) = std::fs::read_to_string(path) {
+            for seed in parse_regression_seeds(&contents, path) {
+                let mut rng = TestRng::from_seed(seed);
+                let value = strategy.generate(&mut rng);
+                let kept = value.clone();
+                match catch_unwind(AssertUnwindSafe(|| test(value))) {
+                    Ok(Ok(())) | Ok(Err(TestCaseError::Reject(_))) => {}
+                    Ok(Err(TestCaseError::Fail(msg))) => panic!(
+                        "{name}: replayed regression cc {seed:016x} from {} failed: {msg}\n  \
+                         input: {kept:?}",
+                        path.display()
+                    ),
+                    Err(payload) => {
+                        eprintln!(
+                            "{name}: panic replaying regression cc {seed:016x} from {}\n  \
+                             input: {kept:?}",
+                            path.display()
+                        );
+                        resume_unwind(payload);
+                    }
+                }
+            }
+        }
+    }
+
+    // 2. novel cases
     let base = fnv1a(name);
     let mut passed = 0u32;
     let mut rejected = 0u32;
     let mut case = 0u64;
     while passed < config.cases {
-        let mut rng = TestRng::from_seed(base ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let seed = base ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut rng = TestRng::from_seed(seed);
         case += 1;
         let value = strategy.generate(&mut rng);
         let kept = value.clone();
@@ -327,9 +459,15 @@ where
                 );
             }
             Ok(Err(TestCaseError::Fail(msg))) => {
+                if let Some(path) = &regressions {
+                    persist_seed(path, seed, &format!("{kept:?}"));
+                }
                 panic!("{name}: property failed at case {case}: {msg}\n  input: {kept:?}")
             }
             Err(payload) => {
+                if let Some(path) = &regressions {
+                    persist_seed(path, seed, &format!("{kept:?}"));
+                }
                 eprintln!("{name}: panic at case {case}\n  input: {kept:?}");
                 resume_unwind(payload);
             }
@@ -392,10 +530,17 @@ macro_rules! proptest {
         fn $name() {
             let config: $crate::ProptestConfig = $config;
             let strategy = ($($strategy,)+);
-            $crate::run_proptest(&config, stringify!($name), &strategy, |($($pat,)+)| {
-                $body
-                ::core::result::Result::Ok(())
-            });
+            $crate::run_proptest(
+                &config,
+                stringify!($name),
+                file!(),
+                env!("CARGO_MANIFEST_DIR"),
+                &strategy,
+                |($($pat,)+)| {
+                    $body
+                    ::core::result::Result::Ok(())
+                },
+            );
         }
         $crate::proptest!(@munch ($config) $($rest)*);
     };
@@ -477,9 +622,54 @@ mod tests {
     #[should_panic(expected = "property failed")]
     fn failures_report_inputs() {
         let config = ProptestConfig::with_cases(8);
-        crate::run_proptest(&config, "always_fails", &(0u32..10,), |(v,)| {
-            prop_assert!(v > 100, "v was {}", v);
-            Ok(())
-        });
+        // a source path that resolves nowhere: no regressions to replay,
+        // and nothing is persisted by the expected failure
+        crate::run_proptest(
+            &config,
+            "always_fails",
+            "no_such_source_file.rs",
+            env!("CARGO_MANIFEST_DIR"),
+            &(0u32..10,),
+            |(v,)| {
+                prop_assert!(v > 100, "v was {}", v);
+                Ok(())
+            },
+        );
+    }
+
+    #[test]
+    fn regression_seed_parsing() {
+        let path = std::path::Path::new("example.proptest-regressions");
+        // comments and blanks are skipped; 16-hex is an exact seed; longer
+        // upstream digests hash to a deterministic seed
+        let contents = "# header\n\ncc 00000000000000ff # shrinks to x\ncc ".to_string()
+            + &"ab".repeat(32)
+            + " # upstream digest\n";
+        let seeds = crate::parse_regression_seeds(&contents, path);
+        assert_eq!(seeds.len(), 2);
+        assert_eq!(seeds[0], 0xff);
+        assert_eq!(seeds[1], crate::fnv1a(&"ab".repeat(32)));
+    }
+
+    #[test]
+    #[should_panic(expected = "malformed")]
+    fn corrupted_regression_seed_is_a_hard_error() {
+        let path = std::path::Path::new("example.proptest-regressions");
+        crate::parse_regression_seeds("cc not-hex-at-all # ?\n", path);
+    }
+
+    #[test]
+    fn persisted_seeds_round_trip() {
+        let dir = std::env::temp_dir().join("proptest-stub-persist-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.proptest-regressions");
+        let _ = std::fs::remove_file(&path);
+        crate::persist_seed(&path, 0xdead_beef_0123_4567, "(1, 2.0)");
+        // idempotent: the same seed is not duplicated
+        crate::persist_seed(&path, 0xdead_beef_0123_4567, "(1, 2.0)");
+        let contents = std::fs::read_to_string(&path).unwrap();
+        let seeds = crate::parse_regression_seeds(&contents, &path);
+        assert_eq!(seeds, vec![0xdead_beef_0123_4567]);
+        let _ = std::fs::remove_file(&path);
     }
 }
