@@ -5,6 +5,10 @@
 #   ./ci.sh            full gate (includes the quick conformance matrix)
 #   ./ci.sh soak [N]   extended differential fuzzing: N fresh seeds
 #                      (default 20000) through every engine×oracle pair
+#   ./ci.sh bench      timing benches: bench_envelope + bench_tiles,
+#                      appending dated entries under results/BENCH_*.json,
+#                      then a smoke check that the JSON parses with the
+#                      expected keys
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -12,6 +16,17 @@ if [[ "${1:-}" == "soak" ]]; then
     n="${2:-20000}"
     echo "==> kdv-conformance --soak $n"
     exec cargo run --release -p kdv-conformance -- --soak "$n"
+fi
+
+if [[ "${1:-}" == "bench" ]]; then
+    echo "==> bench_envelope"
+    cargo run --release -p kdv-bench --bin bench_envelope
+    echo "==> bench_tiles"
+    cargo run --release -p kdv-bench --bin bench_tiles
+    echo "==> bench results smoke test"
+    cargo test -q --test bench_results
+    echo "==> BENCH OK"
+    exit 0
 fi
 
 echo "==> cargo build --release"

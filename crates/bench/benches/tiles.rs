@@ -1,0 +1,68 @@
+//! Micro-bench: tile-path cost structure.
+//!
+//! Three quantities frame the serving layer's economics:
+//!
+//! * `monolithic` — the plain SLAM_BUCKET raster (the baseline a tiled
+//!   computation must not regress when every tile is needed anyway).
+//! * `stitched` — compute all tiles through the band path and reassemble;
+//!   the delta over `monolithic` is the pure tiling overhead (band
+//!   slicing + stitch copies — memory movement, no arithmetic).
+//! * `serve_cold` / `serve_warm` — one 512×512 viewport through the
+//!   [`TileServer`], against an empty and a populated cache; the warm
+//!   case is the assembly floor every cache hit pays.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kdv_core::driver::KdvParams;
+use kdv_core::geom::{Point, Rect};
+use kdv_core::grid::GridSpec;
+use kdv_core::{sweep_bucket, tile, KernelType};
+use kdv_data::synth::{generate, SynthConfig};
+use kdv_serve::{PyramidSpec, ServeConfig, TileServer, Viewport};
+
+fn bench_tiles(c: &mut Criterion) {
+    let extent = Rect::new(0.0, 0.0, 10_000.0, 10_000.0);
+    let points: Vec<Point> =
+        generate(&SynthConfig::simple(extent), 50_000, 11).into_iter().map(|r| r.point).collect();
+    let grid = GridSpec::new(extent, 1024, 1024).unwrap();
+    let params = KdvParams::new(grid, KernelType::Epanechnikov, 400.0)
+        .with_weight(1.0 / points.len() as f64);
+
+    let mut group = c.benchmark_group("tiles");
+    group.sample_size(10);
+    group.bench_function("monolithic_1024", |b| {
+        b.iter(|| sweep_bucket::compute(&params, &points).unwrap());
+    });
+    for tile_size in [64usize, 256] {
+        group.bench_with_input(
+            BenchmarkId::new("stitched_1024", tile_size),
+            &tile_size,
+            |b, &ts| {
+                b.iter(|| tile::compute_stitched(&params, &points, ts).unwrap());
+            },
+        );
+    }
+
+    let pyramid = PyramidSpec::new(extent, 256, 512, 512, 1).unwrap();
+    let config = ServeConfig {
+        dataset: 1,
+        kernel: KernelType::Epanechnikov,
+        bandwidth: 400.0,
+        weight: 1.0 / points.len() as f64,
+    };
+    let vp = Viewport { zoom: 1, px: 256, py: 256, width: 512, height: 512 };
+    group.bench_function("serve_cold_512", |b| {
+        b.iter(|| {
+            let server = TileServer::new(pyramid, config, points.clone(), 256 << 20, 16);
+            server.serve_viewport(&vp, 0).unwrap()
+        });
+    });
+    let warm = TileServer::new(pyramid, config, points.clone(), 256 << 20, 16);
+    warm.serve_viewport(&vp, 0).unwrap();
+    group.bench_function("serve_warm_512", |b| {
+        b.iter(|| warm.serve_viewport(&vp, 0).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tiles);
+criterion_main!(benches);

@@ -8,6 +8,7 @@
 //! * `bench`    — time one method on a dataset.
 //! * `hotspots` — extract and rank hotspot regions from a dataset's KDV.
 //! * `stkdv`    — render a spatial-temporal KDV animation (one PPM per frame).
+//! * `serve`    — replay a viewport trace through the caching tile server.
 //! * `info`     — dataset statistics (n, MBR, Scott bandwidth).
 //!
 //! Run `kdv help` for usage. Argument parsing is hand-rolled: the surface
@@ -45,6 +46,9 @@ USAGE:
                [--peak-fraction F] [--top N]
   kdv stkdv    --input FILE.csv --frames N [--res WxH] [--kernel K] [--bandwidth B]
                [--time-bandwidth SECS] [--out-prefix PREFIX] [--threads N]
+  kdv serve    --input FILE.csv --batch TRACE.txt [--tile-size N] [--base-res WxH]
+               [--max-zoom Z] [--kernel K] [--bandwidth B] [--cache-mb M]
+               [--threads N] [--out-prefix PREFIX] [--stats]
   kdv info     --input FILE.csv
 
 OPTIONS:
@@ -57,8 +61,19 @@ OPTIONS:
   --colormap     heat | gray | viridis                   (default heat)
   --scale-mode   linear | sqrt | log                     (default sqrt)
   --threads      sweep worker threads; 0 or omitted = all cores
-                 (SLAM methods and stkdv only)
+                 (SLAM methods, stkdv and serve)
   --stats        print the sweep telemetry report (SLAM methods only)
+
+SERVE OPTIONS:
+  --batch        viewport trace file: one `zoom px py width height` line
+                 per request, `#` comments allowed
+  --tile-size    tile side length in pixels                (default 256)
+  --base-res     level-0 raster, e.g. 512x512; level z doubles per zoom
+                 (default one tile: tile-size x tile-size)
+  --max-zoom     deepest zoom level served                 (default 4)
+  --cache-mb     tile cache budget in MiB                  (default 256)
+  --out-prefix   write each served viewport as PREFIX_NNN.ppm
+  --stats        print per-request cache deltas and a final summary
 ";
 
 /// Minimal `--key value` argument map with flag support.
@@ -368,6 +383,103 @@ fn cmd_stkdv(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// `kdv serve --batch`: replays a recorded viewport trace against the
+/// caching tile server and reports cache effectiveness. Every served
+/// raster is exact — bitwise-equal to cropping the monolithic sweep of
+/// the level — whether the tiles were cached or computed on the spot.
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    let input = args.get("input").ok_or("--input FILE.csv is required")?;
+    let batch = args.get("batch").ok_or("--batch TRACE.txt is required")?;
+    let dataset = csvio::read_csv_file(Path::new(input)).map_err(|e| e.to_string())?;
+    if dataset.is_empty() {
+        return Err("dataset is empty".into());
+    }
+    let points = dataset.points();
+    let mbr = dataset.mbr();
+
+    let tile_size: usize =
+        args.get("tile-size").unwrap_or("256").parse().map_err(|_| "bad --tile-size")?;
+    let (base_x, base_y) = match args.get("base-res") {
+        Some(r) => parse_res(r)?,
+        None => (tile_size, tile_size),
+    };
+    let max_zoom: u8 = args.get("max-zoom").unwrap_or("4").parse().map_err(|_| "bad --max-zoom")?;
+    let kernel: KernelType =
+        args.get("kernel").unwrap_or("epanechnikov").parse().map_err(|e: String| e)?;
+    let bandwidth = match args.get("bandwidth") {
+        Some(b) => b.parse().map_err(|_| "bad --bandwidth")?,
+        None => kdv_data::scott_bandwidth(&points),
+    };
+    let cache_mb: usize =
+        args.get("cache-mb").unwrap_or("256").parse().map_err(|_| "bad --cache-mb")?;
+    let threads = parse_threads(args)?;
+    let stats = args.has_flag("stats");
+
+    let trace_text = std::fs::read_to_string(batch).map_err(|e| format!("{batch}: {e}"))?;
+    let requests = kdv_serve::trace::parse(&trace_text).map_err(|e| e.to_string())?;
+    if requests.is_empty() {
+        return Err(format!("{batch}: trace contains no requests"));
+    }
+
+    let pyramid = kdv_serve::PyramidSpec::new(mbr, tile_size, base_x, base_y, max_zoom)
+        .map_err(|e| e.to_string())?;
+    let config =
+        kdv_serve::ServeConfig { dataset: 1, kernel, bandwidth, weight: 1.0 / points.len() as f64 };
+    let n = points.len();
+    let server = kdv_serve::TileServer::new(pyramid, config, points, cache_mb << 20, 16);
+
+    println!(
+        "serving {} request(s) over {} points (tile {tile_size}px, base {base_x}x{base_y}, \
+         max zoom {max_zoom}, bandwidth {bandwidth:.2}, cache {cache_mb} MiB, {threads} thread(s))",
+        requests.len(),
+        n
+    );
+    let colormap: ColorMap = args.get("colormap").unwrap_or("heat").parse()?;
+    let start = Instant::now();
+    for (i, vp) in requests.iter().enumerate() {
+        let (grid, report) = server.serve_viewport(vp, threads).map_err(|e| {
+            format!("request #{} (zoom {} at {},{}): {e}", i + 1, vp.zoom, vp.px, vp.py)
+        })?;
+        if stats {
+            println!(
+                "request {:>3}: zoom {} @({},{}) {}x{}  {:>8.3} ms  hits {} misses {} evictions {}",
+                i + 1,
+                vp.zoom,
+                vp.px,
+                vp.py,
+                vp.width,
+                vp.height,
+                report.wall_nanos as f64 / 1e6,
+                report.cache_hits,
+                report.cache_misses,
+                report.cache_evictions
+            );
+        }
+        if let Some(prefix) = args.get("out-prefix") {
+            let file = format!("{prefix}_{:03}.ppm", i + 1);
+            render(&grid, colormap, Scale::Sqrt)
+                .save_ppm(Path::new(&file))
+                .map_err(|e| e.to_string())?;
+        }
+    }
+    let cs = server.cache_stats();
+    let total = cs.hits() + cs.misses();
+    println!(
+        "replayed {} request(s) in {:.3}s: {} hit(s) / {} miss(es) ({:.1}% hit rate), \
+         {} eviction(s), cache {} tile(s) / {} B of {} B",
+        requests.len(),
+        start.elapsed().as_secs_f64(),
+        cs.hits(),
+        cs.misses(),
+        if total == 0 { 0.0 } else { 100.0 * cs.hits() as f64 / total as f64 },
+        cs.evictions(),
+        server.cache().len(),
+        server.cache().bytes(),
+        server.cache().budget()
+    );
+    Ok(())
+}
+
 fn cmd_info(args: &Args) -> Result<(), String> {
     let input = args.get("input").ok_or("--input FILE.csv is required")?;
     let dataset = csvio::read_csv_file(Path::new(input)).map_err(|e| e.to_string())?;
@@ -405,6 +517,7 @@ fn main() -> ExitCode {
         "bench" => cmd_bench(&args),
         "hotspots" => cmd_hotspots(&args),
         "stkdv" => cmd_stkdv(&args),
+        "serve" => cmd_serve(&args),
         "info" => cmd_info(&args),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");

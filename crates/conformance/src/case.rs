@@ -120,6 +120,17 @@ impl CaseSpec {
         h
     }
 
+    /// The tile side length the tiled-sweep pair decomposes this case
+    /// with, derived from [`CaseSpec::aux_seed`] (not a corpus key — the
+    /// v1 line format is closed, and deriving from the case content keeps
+    /// every corpus line self-contained). The ladder deliberately spans
+    /// degenerate single-pixel tiles, tiles misaligned with everything
+    /// (7), a mid-size that clips most rasters (64) and the serving
+    /// default (256, usually one tile covering the whole case raster).
+    pub fn tile_size(&self) -> usize {
+        [1, 7, 64, 256][(self.aux_seed() >> 17) as usize % 4]
+    }
+
     /// Maps `seed` to an adversarial case; `seed % 3` fixes the kernel so
     /// a contiguous seed range covers all three kernels evenly.
     pub fn generate(seed: u64) -> CaseSpec {
@@ -430,6 +441,21 @@ mod tests {
         }
         assert!(empties > 0 && degenerate > 0 && far > 0, "{empties}/{degenerate}/{far}");
         assert!(kernels.iter().all(|&k| k >= 40), "{kernels:?}");
+    }
+
+    #[test]
+    fn tile_size_dimension_is_covered_and_content_derived() {
+        let mut seen = std::collections::HashSet::new();
+        for seed in 0..200 {
+            let case = CaseSpec::generate(seed);
+            let ts = case.tile_size();
+            assert!([1, 7, 64, 256].contains(&ts), "seed {seed}: tile size {ts}");
+            seen.insert(ts);
+            // content-derived: a corpus round trip picks the same size
+            let back = CaseSpec::from_line(&case.to_line()).unwrap();
+            assert_eq!(back.tile_size(), ts, "seed {seed}");
+        }
+        assert_eq!(seen.len(), 4, "all ladder rungs exercised: {seen:?}");
     }
 
     #[test]

@@ -21,6 +21,7 @@
 //! | parallel STKDV | sequential STKDV | bitwise |
 //! | incremental pan | full recompute | sweep ULPs |
 //! | NKDV forward augmentation | per-lixel Dijkstra | network ULPs |
+//! | stitched tiles | monolithic SLAM_BUCKET | bitwise |
 //!
 //! Auxiliary inputs a pair needs beyond the case itself (per-point
 //! weights, event timestamps, the road network) are synthesised from
@@ -43,7 +44,7 @@ use crate::case::{CaseSpec, SplitMix64};
 use crate::tolerance::{compare, unit_kernel_peak, Comparison, Policy};
 
 /// Names of every pair in the registry, in execution order.
-pub const PAIR_NAMES: [&str; 18] = [
+pub const PAIR_NAMES: [&str; 19] = [
     "SLAM_SORT vs SCAN",
     "SLAM_BUCKET vs SCAN",
     "SLAM_SORT^(RAO) vs SCAN",
@@ -62,6 +63,7 @@ pub const PAIR_NAMES: [&str; 18] = [
     "parallel STKDV vs sequential",
     "incremental pan vs recompute",
     "NKDV forward vs Dijkstra",
+    "stitched tiles vs monolithic",
 ];
 
 /// Outcome of one engine×oracle pair on one case.
@@ -231,6 +233,24 @@ pub fn run_case(case: &CaseSpec) -> Vec<PairResult> {
 
     // --- NKDV forward augmentation vs Dijkstra reference -------------------
     out.push(run_nkdv(case, &mut aux));
+
+    // --- stitched tiles vs the monolithic sweep (bitwise) ------------------
+    // Tile decomposition must be pure memory movement: for every tile
+    // size — including single-pixel tiles and tiles smaller than the
+    // bandwidth — the stitched raster is the identical float program.
+    let tile_size = case.tile_size();
+    out.push(
+        match (
+            kdv_core::tile::compute_stitched(&params, pts, tile_size),
+            sweep_bucket::compute(&params, pts),
+        ) {
+            (Ok(t), Ok(m)) => ok(PAIR_NAMES[18], Policy::Bitwise, t.values(), m.values()),
+            (t, m) => fail(
+                PAIR_NAMES[18],
+                format!("tile_size={tile_size}: {}", two_errors(t.err(), m.err())),
+            ),
+        },
+    );
 
     debug_assert_eq!(out.len(), PAIR_NAMES.len());
     out

@@ -151,8 +151,8 @@ mod tests {
         }
         assert_eq!(report.cases, 3);
         assert_eq!(report.total_violations(), 0);
-        // 3 seeds = 3 kernels, 18 pairs each
-        assert_eq!(report.covered_combinations(), 18 * 3);
+        // 3 seeds = 3 kernels, 19 pairs each
+        assert_eq!(report.covered_combinations(), 19 * 3);
         let json = report.to_json();
         assert!(json.contains("\"mode\": \"test\""));
         assert!(json.contains("SLAM_BUCKET vs SCAN"));

@@ -18,6 +18,8 @@ pub enum KdvError {
     /// The lixel length of an NKDV computation must be finite and
     /// strictly positive.
     InvalidLixelLength(f64),
+    /// A tile decomposition needs a tile side of at least one pixel.
+    InvalidTileSize { tile_size: usize },
     /// A cooperative deadline expired before the computation finished
     /// (used by the experiment harness to emulate the paper's 4-hour cap).
     DeadlineExceeded,
@@ -41,6 +43,9 @@ impl fmt::Display for KdvError {
             KdvError::InvalidWeight(w) => write!(f, "weight {w} must be finite"),
             KdvError::InvalidLixelLength(l) => {
                 write!(f, "lixel length {l} must be finite and > 0")
+            }
+            KdvError::InvalidTileSize { tile_size } => {
+                write!(f, "tile size {tile_size} must be at least 1 pixel")
             }
             KdvError::DeadlineExceeded => write!(f, "computation exceeded its deadline"),
         }

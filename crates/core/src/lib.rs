@@ -53,6 +53,9 @@
 //! * [`weighted`] — per-point weights (temporal kernels, event counts).
 //! * [`multi_bandwidth`] — bandwidth-exploration sweeps sharing row scans.
 //! * [`grid_io`] — lossless raster persistence (binary and TSV).
+//! * [`tile`] — tile-decomposed computation whose stitched output is
+//!   bitwise identical to the monolithic sweep (the compute layer under
+//!   the `kdv-serve` tile cache).
 
 pub mod aggregate;
 pub mod driver;
@@ -69,6 +72,7 @@ pub mod stats;
 pub mod sweep_bucket;
 pub mod sweep_sort;
 pub mod telemetry;
+pub mod tile;
 pub mod weighted;
 
 pub use driver::KdvParams;

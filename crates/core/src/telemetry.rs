@@ -55,6 +55,16 @@ pub struct SweepReport {
     pub total_aux_bytes: usize,
     /// Rows skipped because their band was empty (densities exactly zero).
     pub rows_skipped: usize,
+    /// Tile-cache hits observed while serving this computation (zero for
+    /// plain sweeps; populated by the `kdv-serve` tile cache). All cache
+    /// counters are **saturating**: a counter that reaches `u64::MAX`
+    /// stays there instead of wrapping, so reported counters are monotone
+    /// over the lifetime of a cache however long it runs.
+    pub cache_hits: u64,
+    /// Tile-cache misses (each miss triggered a band computation).
+    pub cache_misses: u64,
+    /// Tiles evicted to keep the cache inside its byte budget.
+    pub cache_evictions: u64,
 }
 
 impl SweepReport {
@@ -92,7 +102,18 @@ impl SweepReport {
             peak_worker_bytes,
             total_aux_bytes,
             rows_skipped,
+            cache_hits: 0,
+            cache_misses: 0,
+            cache_evictions: 0,
         }
+    }
+
+    /// Attaches tile-cache counters (saturating, see the field docs).
+    pub fn with_cache_counters(mut self, hits: u64, misses: u64, evictions: u64) -> Self {
+        self.cache_hits = hits;
+        self.cache_misses = misses;
+        self.cache_evictions = evictions;
+        self
     }
 
     /// Largest per-row envelope set.
@@ -181,6 +202,13 @@ impl SweepReport {
             self.rows_per_worker,
             self.imbalance()
         );
+        if self.cache_hits > 0 || self.cache_misses > 0 || self.cache_evictions > 0 {
+            let _ = writeln!(
+                s,
+                "  tile cache: {} hit(s), {} miss(es), {} eviction(s)",
+                self.cache_hits, self.cache_misses, self.cache_evictions
+            );
+        }
         let _ = write!(
             s,
             "  aux space: peak worker {} B, total {} B",
@@ -258,6 +286,16 @@ mod tests {
         assert!(s.contains("1 workers"));
         assert!(s.contains("max/row 9"));
         assert!(s.contains("imbalance"));
+    }
+
+    #[test]
+    fn cache_counters_appear_only_when_used() {
+        let plain = SweepReport::from_workers(vec![worker(&[(0, 1)], 0, 0, 0)], 1, 0);
+        assert!(!plain.summary().contains("tile cache"));
+        let served = plain.clone().with_cache_counters(7, 2, 1);
+        assert_eq!(served.cache_hits, 7);
+        let s = served.summary();
+        assert!(s.contains("7 hit(s)") && s.contains("2 miss(es)") && s.contains("1 eviction(s)"));
     }
 
     #[test]

@@ -1,0 +1,434 @@
+//! Tile-decomposed sweep computation — the compute layer under the
+//! `kdv-serve` tile cache (an extension beyond the paper).
+//!
+//! Interactive pan/zoom workloads (the paper's Section 1 motivation and
+//! Figure 16) re-request overlapping viewports of the same point set. A
+//! tile cache amortises that repetition, but only if a tile's bits do not
+//! depend on which viewport asked for it and if stitched tiles reproduce
+//! the monolithic raster *exactly* — approximation is what the SLAM family
+//! exists to avoid.
+//!
+//! Both properties fall out of the sweep's structure. The monolithic
+//! drivers ([`crate::driver::sweep_grid`]) process the raster one pixel
+//! row at a time and rows never interact: each row sweep reads only its
+//! own envelope set and writes only its own output row. A *tile row band*
+//! (all tiles covering the same `tile_size` pixel rows) can therefore be
+//! computed by running the ordinary full-width row sweeps for exactly
+//! those rows and slicing the results into tiles:
+//!
+//! * **Bitwise-identical stitching.** Every pixel is produced by the same
+//!   floating-point program as in the monolithic sweep — same
+//!   [`crate::driver::SweepContext`] recentring, same banded envelope
+//!   extraction, same rolling recentred accumulator frame walking the
+//!   whole row (the PR 1 precision fix carries over unchanged). Cutting
+//!   the row into tiles *after* the sweep moves memory, not arithmetic.
+//! * **Viewport independence.** A tile's bits are a function of the grid
+//!   specification, kernel, bandwidth, weight and point set alone, so a
+//!   cache keyed on those is sound. (Starting the accumulator frame at a
+//!   tile's left edge instead would make the bits depend on where the
+//!   enclosing sweep began — exactly the history-dependence that breaks
+//!   cacheability.)
+//!
+//! The row band is also the unit of sharing: one sweep fills *every* tile
+//! in the band, so a cache miss on one tile prefetches its horizontal
+//! neighbours from the same aggregates — the access pattern of a pan.
+//!
+//! Cost: a band costs `O(tile_size · (X + |E|))` like the equivalent rows
+//! of the monolithic sweep; computing a single tile in isolation costs the
+//! same band (the price of exactness), which the cache turns into
+//! amortised reuse.
+
+use std::ops::Range;
+
+use crate::driver::{KdvParams, RowEngine, SweepContext};
+use crate::envelope::EnvelopeBuffer;
+use crate::error::{KdvError, Result};
+use crate::geom::Point;
+use crate::grid::DensityGrid;
+use crate::parallel::for_each_index_with;
+use crate::sweep_bucket::BucketSweep;
+
+/// Partition of an `X × Y` raster into square tiles of side `tile_size`
+/// (edge tiles are clipped). Pure index arithmetic — the geometry stays in
+/// [`crate::grid::GridSpec`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tiling {
+    /// Raster width in pixels.
+    pub res_x: usize,
+    /// Raster height in pixels.
+    pub res_y: usize,
+    /// Tile side length in pixels (≥ 1).
+    pub tile_size: usize,
+}
+
+impl Tiling {
+    /// Creates a tiling; `tile_size` must be at least 1.
+    pub fn new(res_x: usize, res_y: usize, tile_size: usize) -> Result<Self> {
+        if res_x == 0 || res_y == 0 {
+            return Err(KdvError::EmptyResolution { x: res_x, y: res_y });
+        }
+        if tile_size == 0 {
+            return Err(KdvError::InvalidTileSize { tile_size });
+        }
+        Ok(Self { res_x, res_y, tile_size })
+    }
+
+    /// Number of tile columns.
+    #[inline]
+    pub fn tiles_x(&self) -> usize {
+        self.res_x.div_ceil(self.tile_size)
+    }
+
+    /// Number of tile rows (bands).
+    #[inline]
+    pub fn tiles_y(&self) -> usize {
+        self.res_y.div_ceil(self.tile_size)
+    }
+
+    /// Total tile count.
+    #[inline]
+    pub fn tile_count(&self) -> usize {
+        self.tiles_x() * self.tiles_y()
+    }
+
+    /// Pixel columns covered by tile column `tx` (clipped at the raster
+    /// edge).
+    #[inline]
+    pub fn tile_cols(&self, tx: usize) -> Range<usize> {
+        let start = tx * self.tile_size;
+        start..(start + self.tile_size).min(self.res_x)
+    }
+
+    /// Pixel rows covered by tile row `ty` (clipped at the raster edge).
+    #[inline]
+    pub fn tile_rows(&self, ty: usize) -> Range<usize> {
+        let start = ty * self.tile_size;
+        start..(start + self.tile_size).min(self.res_y)
+    }
+
+    /// Position of tile `(tx, ty)` in the row-major tile order emitted by
+    /// [`compute_tiles`].
+    #[inline]
+    pub fn index_of(&self, tx: usize, ty: usize) -> usize {
+        ty * self.tiles_x() + tx
+    }
+}
+
+/// One computed tile: a row-major density buffer covering pixel columns
+/// `tx·tile_size..` and rows `ty·tile_size..` of the parent raster.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tile {
+    /// Tile column in the parent tiling.
+    pub tx: usize,
+    /// Tile row in the parent tiling.
+    pub ty: usize,
+    /// Width in pixels (may be clipped at the raster edge).
+    pub width: usize,
+    /// Height in pixels (may be clipped at the raster edge).
+    pub height: usize,
+    values: Vec<f64>,
+}
+
+impl Tile {
+    /// Builds a tile from a row-major buffer.
+    ///
+    /// # Panics
+    /// Panics if `values.len() != width * height`.
+    pub fn new(tx: usize, ty: usize, width: usize, height: usize, values: Vec<f64>) -> Self {
+        assert_eq!(values.len(), width * height, "tile buffer/extent mismatch");
+        Self { tx, ty, width, height, values }
+    }
+
+    /// Density at tile-local pixel `(i, j)`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.values[j * self.width + i]
+    }
+
+    /// The row-major density buffer.
+    #[inline]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Tile-local row `j` as a slice.
+    #[inline]
+    pub fn row(&self, j: usize) -> &[f64] {
+        &self.values[j * self.width..(j + 1) * self.width]
+    }
+
+    /// Heap bytes held by the density buffer (the unit of the cache's
+    /// byte budget, matching the `space_bytes()` accounting convention).
+    #[inline]
+    pub fn bytes(&self) -> usize {
+        self.values.capacity() * std::mem::size_of::<f64>() + std::mem::size_of::<Self>()
+    }
+}
+
+/// Runs the ordinary full-width row sweeps for `rows`, writing the
+/// results row-major into `out` (`rows.len() × ctx.xs.len()`). Rows whose
+/// envelope band is empty are skipped and stay exactly zero, as in
+/// [`crate::driver::sweep_grid`]. This is the canonical band computation shared by the
+/// stitched drivers below and the `kdv-serve` tile cache: running it for
+/// any row range produces the same bits the monolithic sweep produces for
+/// those rows.
+pub fn sweep_rows<E: RowEngine>(
+    ctx: &SweepContext,
+    bandwidth: f64,
+    rows: Range<usize>,
+    engine: &mut E,
+    envelope: &mut EnvelopeBuffer,
+    out: &mut [f64],
+) {
+    let x_count = ctx.xs.len();
+    assert_eq!(out.len(), rows.len() * x_count, "band buffer/row-range mismatch");
+    out.fill(0.0);
+    for (slot, j) in rows.enumerate() {
+        let k = ctx.ks[j];
+        let band = ctx.index.band(bandwidth, k);
+        if band.is_empty() {
+            continue;
+        }
+        let intervals = envelope.fill_band(&ctx.index, band, bandwidth, k);
+        engine.process_row(&ctx.xs, k, intervals, &mut out[slot * x_count..(slot + 1) * x_count]);
+    }
+}
+
+/// Computes one tile row band — the ordinary full-width row sweeps for
+/// band `ty`, sliced into that band's tiles (in `tx` order). `band` is
+/// reusable scratch (resized as needed). This is the unit the `kdv-serve`
+/// cache computes on a miss: one call fills *every* tile of the band.
+pub fn compute_band<E: RowEngine>(
+    ctx: &SweepContext,
+    tiling: &Tiling,
+    bandwidth: f64,
+    ty: usize,
+    engine: &mut E,
+    envelope: &mut EnvelopeBuffer,
+    band: &mut Vec<f64>,
+) -> Vec<Tile> {
+    let rows = tiling.tile_rows(ty);
+    band.resize(rows.len() * tiling.res_x, 0.0);
+    sweep_rows(ctx, bandwidth, rows.clone(), engine, envelope, band);
+    slice_band(tiling, ty, rows, band)
+}
+
+/// Slices one computed row band (full raster width) into its tiles.
+fn slice_band(tiling: &Tiling, ty: usize, band_rows: Range<usize>, band: &[f64]) -> Vec<Tile> {
+    let height = band_rows.len();
+    let mut tiles = Vec::with_capacity(tiling.tiles_x());
+    for tx in 0..tiling.tiles_x() {
+        let cols = tiling.tile_cols(tx);
+        let width = cols.len();
+        let mut values = Vec::with_capacity(width * height);
+        for j in 0..height {
+            values.extend_from_slice(
+                &band[j * tiling.res_x + cols.start..j * tiling.res_x + cols.end],
+            );
+        }
+        tiles.push(Tile::new(tx, ty, width, height, values));
+    }
+    tiles
+}
+
+/// Computes every tile of the raster with SLAM_BUCKET row sweeps, one
+/// shared full-width sweep per row band. Tiles are returned in row-major
+/// `(ty, tx)` order (see [`Tiling::index_of`]).
+pub fn compute_tiles(params: &KdvParams, points: &[Point], tile_size: usize) -> Result<Vec<Tile>> {
+    let tiling = Tiling::new(params.grid.res_x, params.grid.res_y, tile_size)?;
+    let ctx = SweepContext::new(params, points)?;
+    let mut engine = BucketSweep::new(params.kernel, params.bandwidth, params.weight);
+    let mut envelope = EnvelopeBuffer::for_points(ctx.points.len());
+    let mut band = Vec::new();
+    let mut tiles = Vec::with_capacity(tiling.tile_count());
+    for ty in 0..tiling.tiles_y() {
+        tiles.extend(compute_band(
+            &ctx,
+            &tiling,
+            params.bandwidth,
+            ty,
+            &mut engine,
+            &mut envelope,
+            &mut band,
+        ));
+    }
+    Ok(tiles)
+}
+
+/// [`compute_tiles`] with row bands distributed over the work-stealing
+/// runtime (`threads == 0` means "auto", as everywhere). Each band is
+/// swept start-to-finish by one worker's engine, so the output is bitwise
+/// identical to the sequential path for every thread count.
+pub fn compute_tiles_parallel(
+    params: &KdvParams,
+    points: &[Point],
+    tile_size: usize,
+    threads: usize,
+) -> Result<Vec<Tile>> {
+    let tiling = Tiling::new(params.grid.res_x, params.grid.res_y, tile_size)?;
+    let ctx = SweepContext::new(params, points)?;
+    let per_band: Vec<Vec<Tile>> = for_each_index_with(
+        tiling.tiles_y(),
+        threads,
+        || {
+            (
+                BucketSweep::new(params.kernel, params.bandwidth, params.weight),
+                EnvelopeBuffer::for_points(ctx.points.len()),
+                Vec::new(),
+            )
+        },
+        |(engine, envelope, band), ty| {
+            compute_band(&ctx, &tiling, params.bandwidth, ty, engine, envelope, band)
+        },
+    );
+    Ok(per_band.into_iter().flatten().collect())
+}
+
+/// Reassembles tiles (in any order) into the full raster.
+///
+/// # Panics
+/// Panics if a tile's extent disagrees with the tiling or a pixel is left
+/// uncovered — a stitching bug must never degrade silently into a
+/// half-zero raster.
+pub fn stitch(tiling: &Tiling, tiles: &[Tile]) -> DensityGrid {
+    assert_eq!(tiles.len(), tiling.tile_count(), "tile count mismatch");
+    let mut grid = DensityGrid::zeroed(tiling.res_x, tiling.res_y);
+    let mut covered = 0usize;
+    for tile in tiles {
+        let cols = tiling.tile_cols(tile.tx);
+        let rows = tiling.tile_rows(tile.ty);
+        assert_eq!((tile.width, tile.height), (cols.len(), rows.len()), "tile extent mismatch");
+        for (j, row) in rows.clone().enumerate() {
+            grid.row_mut(row)[cols.start..cols.end].copy_from_slice(tile.row(j));
+        }
+        covered += tile.width * tile.height;
+    }
+    assert_eq!(covered, tiling.res_x * tiling.res_y, "stitched tiles must cover every pixel");
+    grid
+}
+
+/// Computes the raster through the tile path — partition, per-band sweep,
+/// stitch — and returns the reassembled grid. Bitwise identical to
+/// [`crate::sweep_bucket::compute`] for every `tile_size` (the conformance
+/// harness holds this to the exact policy).
+pub fn compute_stitched(
+    params: &KdvParams,
+    points: &[Point],
+    tile_size: usize,
+) -> Result<DensityGrid> {
+    let tiling = Tiling::new(params.grid.res_x, params.grid.res_y, tile_size)?;
+    let tiles = compute_tiles(params, points, tile_size)?;
+    Ok(stitch(&tiling, &tiles))
+}
+
+/// Parallel [`compute_stitched`]; bitwise identical for every thread
+/// count.
+pub fn compute_stitched_parallel(
+    params: &KdvParams,
+    points: &[Point],
+    tile_size: usize,
+    threads: usize,
+) -> Result<DensityGrid> {
+    let tiling = Tiling::new(params.grid.res_x, params.grid.res_y, tile_size)?;
+    let tiles = compute_tiles_parallel(params, points, tile_size, threads)?;
+    Ok(stitch(&tiling, &tiles))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::sweep_grid;
+    use crate::geom::Rect;
+    use crate::grid::GridSpec;
+    use crate::kernel::KernelType;
+    use crate::sweep_bucket;
+
+    fn setup(res_x: usize, res_y: usize, bandwidth: f64) -> (KdvParams, Vec<Point>) {
+        let grid = GridSpec::new(Rect::new(-10.0, 5.0, 90.0, 70.0), res_x, res_y).unwrap();
+        let params = KdvParams::new(grid, KernelType::Quartic, bandwidth).with_weight(0.004);
+        let mut state = 0x5EEDu64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let pts = (0..400).map(|_| Point::new(-20.0 + next() * 120.0, next() * 80.0)).collect();
+        (params, pts)
+    }
+
+    #[test]
+    fn tiling_partitions_exactly() {
+        let t = Tiling::new(100, 37, 16).unwrap();
+        assert_eq!((t.tiles_x(), t.tiles_y()), (7, 3));
+        assert_eq!(t.tile_cols(6), 96..100);
+        assert_eq!(t.tile_rows(2), 32..37);
+        let covered: usize = (0..t.tiles_y()).map(|ty| t.tile_rows(ty).len() * t.res_x).sum();
+        assert_eq!(covered, 100 * 37);
+        assert!(Tiling::new(10, 10, 0).is_err());
+        assert!(Tiling::new(0, 10, 4).is_err());
+    }
+
+    #[test]
+    fn stitched_matches_monolithic_bitwise() {
+        let (params, pts) = setup(50, 33, 12.0);
+        let mono = sweep_bucket::compute(&params, &pts).unwrap();
+        for tile_size in [1, 7, 16, 33, 50, 256] {
+            let stitched = compute_stitched(&params, &pts, tile_size).unwrap();
+            assert_eq!(stitched, mono, "tile_size={tile_size}");
+        }
+    }
+
+    #[test]
+    fn parallel_tiles_match_sequential_bitwise() {
+        let (params, pts) = setup(41, 29, 8.0);
+        let seq = compute_tiles(&params, &pts, 16).unwrap();
+        for threads in [1, 2, 5] {
+            let par = compute_tiles_parallel(&params, &pts, 16, threads).unwrap();
+            assert_eq!(par, seq, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn tiles_smaller_than_bandwidth_still_exact() {
+        // bandwidth spans many tiles: interval endpoints cross every seam
+        let (params, pts) = setup(64, 48, 55.0);
+        let mono = sweep_bucket::compute(&params, &pts).unwrap();
+        let stitched = compute_stitched(&params, &pts, 4).unwrap();
+        assert_eq!(stitched, mono);
+    }
+
+    #[test]
+    fn sweep_rows_agrees_with_sweep_grid_rows() {
+        let (params, pts) = setup(30, 24, 9.0);
+        let full = {
+            let mut engine = BucketSweep::new(params.kernel, params.bandwidth, params.weight);
+            sweep_grid(&params, &pts, &mut engine).unwrap()
+        };
+        let ctx = SweepContext::new(&params, &pts).unwrap();
+        let mut engine = BucketSweep::new(params.kernel, params.bandwidth, params.weight);
+        let mut envelope = EnvelopeBuffer::for_points(ctx.points.len());
+        let rows = 5..17;
+        let mut out = vec![f64::NAN; rows.len() * 30];
+        sweep_rows(&ctx, params.bandwidth, rows.clone(), &mut engine, &mut envelope, &mut out);
+        for (slot, j) in rows.enumerate() {
+            assert_eq!(&out[slot * 30..(slot + 1) * 30], full.row(j), "row {j}");
+        }
+    }
+
+    #[test]
+    fn stitch_panics_on_missing_tile() {
+        let tiling = Tiling::new(8, 8, 4).unwrap();
+        let tiles: Vec<Tile> =
+            (0..3).map(|i| Tile::new(i % 2, i / 2, 4, 4, vec![0.0; 16])).collect();
+        let result = std::panic::catch_unwind(|| stitch(&tiling, &tiles));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn empty_input_stitches_to_zero() {
+        let (params, _) = setup(20, 20, 5.0);
+        let stitched = compute_stitched(&params, &[], 7).unwrap();
+        assert_eq!(stitched.max_value(), 0.0);
+    }
+}

@@ -1,0 +1,405 @@
+//! Sharded, byte-budgeted LRU cache of computed tiles.
+//!
+//! The cache key is the full provenance of a tile's bits — dataset,
+//! kernel, bandwidth, weight and pyramid coordinate — so a hit is
+//! guaranteed bitwise-equal to a fresh computation (the tile compute
+//! layer is deterministic and viewport-independent; see
+//! `kdv_core::tile`). Float parameters are keyed by their **bit
+//! patterns**: two bandwidths that differ by one ULP are different
+//! computations and must not alias.
+//!
+//! Concurrency: the key space is split across `shards` independent
+//! `Mutex`-protected LRU maps (shard = key hash high bits), so writers on
+//! different shards never contend and a band insert holds one lock at a
+//! time. Each shard enforces `budget / shards` bytes by evicting from the
+//! cold end of its intrusive LRU list; a tile larger than a whole shard
+//! budget is rejected outright (it would evict everything and then be
+//! evicted itself the moment anything else arrived).
+//!
+//! Hit/miss/eviction counters are **saturating** (they stick at
+//! `u64::MAX` rather than wrapping), keeping reported statistics monotone
+//! over the cache's lifetime however long it serves; the regression test
+//! `serve_regressions::rollover` pins this via [`CacheStats::force`].
+
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use kdv_core::tile::Tile;
+use kdv_core::KernelType;
+
+use crate::pyramid::TileCoord;
+
+/// Full provenance of a tile's bits — the cache key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TileKey {
+    /// Identifier of the (immutable) point set the tile was computed from.
+    pub dataset: u64,
+    /// Spatial kernel.
+    pub kernel: KernelType,
+    /// Bandwidth as a bit pattern (ULP-exact keying).
+    pub bandwidth_bits: u64,
+    /// Normalisation weight as a bit pattern.
+    pub weight_bits: u64,
+    /// Pyramid address of the tile.
+    pub coord: TileCoord,
+}
+
+impl TileKey {
+    /// Builds a key from float parameters (stored as bit patterns).
+    pub fn new(
+        dataset: u64,
+        kernel: KernelType,
+        bandwidth: f64,
+        weight: f64,
+        coord: TileCoord,
+    ) -> Self {
+        Self {
+            dataset,
+            kernel,
+            bandwidth_bits: bandwidth.to_bits(),
+            weight_bits: weight.to_bits(),
+            coord,
+        }
+    }
+}
+
+/// Saturating cache counters, shared by all shards.
+#[derive(Debug, Default)]
+pub struct CacheStats {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+/// Saturating increment: once a counter reaches `u64::MAX` it stays
+/// there. Wrapping would make long-lived statistics non-monotone.
+fn saturating_bump(counter: &AtomicU64, by: u64) {
+    let mut cur = counter.load(Ordering::Relaxed);
+    loop {
+        let next = cur.saturating_add(by);
+        if cur == next {
+            return; // already saturated
+        }
+        match counter.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(seen) => cur = seen,
+        }
+    }
+}
+
+impl CacheStats {
+    /// Cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Evictions so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Test hook: forces the raw counter values (e.g. to the `u64`
+    /// boundary) so rollover behaviour can be exercised without serving
+    /// 2⁶⁴ requests. Not for production use.
+    pub fn force(&self, hits: u64, misses: u64, evictions: u64) {
+        self.hits.store(hits, Ordering::Relaxed);
+        self.misses.store(misses, Ordering::Relaxed);
+        self.evictions.store(evictions, Ordering::Relaxed);
+    }
+}
+
+const NIL: usize = usize::MAX;
+
+/// One LRU node: the entry plus its position in the shard's recency list.
+struct Node {
+    key: TileKey,
+    tile: Arc<Tile>,
+    bytes: usize,
+    prev: usize,
+    next: usize,
+}
+
+/// One shard: a hash map into a slab of nodes threaded on an intrusive
+/// doubly-linked recency list (`head` = hottest, `tail` = next victim).
+/// All operations are O(1).
+struct Shard {
+    map: HashMap<TileKey, usize>,
+    nodes: Vec<Node>,
+    free: Vec<usize>,
+    head: usize,
+    tail: usize,
+    bytes: usize,
+}
+
+impl Shard {
+    fn new() -> Self {
+        Self {
+            map: HashMap::new(),
+            nodes: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            bytes: 0,
+        }
+    }
+
+    fn unlink(&mut self, idx: usize) {
+        let (prev, next) = (self.nodes[idx].prev, self.nodes[idx].next);
+        match prev {
+            NIL => self.head = next,
+            p => self.nodes[p].next = next,
+        }
+        match next {
+            NIL => self.tail = prev,
+            n => self.nodes[n].prev = prev,
+        }
+    }
+
+    fn push_front(&mut self, idx: usize) {
+        self.nodes[idx].prev = NIL;
+        self.nodes[idx].next = self.head;
+        match self.head {
+            NIL => self.tail = idx,
+            h => self.nodes[h].prev = idx,
+        }
+        self.head = idx;
+    }
+
+    fn get(&mut self, key: &TileKey) -> Option<Arc<Tile>> {
+        let idx = *self.map.get(key)?;
+        self.unlink(idx);
+        self.push_front(idx);
+        Some(Arc::clone(&self.nodes[idx].tile))
+    }
+
+    /// Inserts (or refreshes) an entry and evicts from the cold end until
+    /// the shard fits `budget`. Returns the number of evictions.
+    fn insert(&mut self, key: TileKey, tile: Arc<Tile>, budget: usize) -> u64 {
+        let bytes = tile.bytes();
+        if let Some(&idx) = self.map.get(&key) {
+            // refresh: same key recomputed (identical bits by construction)
+            self.bytes = self.bytes - self.nodes[idx].bytes + bytes;
+            self.nodes[idx].tile = tile;
+            self.nodes[idx].bytes = bytes;
+            self.unlink(idx);
+            self.push_front(idx);
+        } else {
+            let node = Node { key, tile, bytes, prev: NIL, next: NIL };
+            let idx = match self.free.pop() {
+                Some(i) => {
+                    self.nodes[i] = node;
+                    i
+                }
+                None => {
+                    self.nodes.push(node);
+                    self.nodes.len() - 1
+                }
+            };
+            self.map.insert(key, idx);
+            self.push_front(idx);
+            self.bytes += bytes;
+        }
+        let mut evicted = 0u64;
+        while self.bytes > budget && self.tail != NIL {
+            let victim = self.tail;
+            self.unlink(victim);
+            self.map.remove(&self.nodes[victim].key);
+            self.bytes -= self.nodes[victim].bytes;
+            self.nodes[victim].tile = Arc::new(Tile::new(0, 0, 0, 0, Vec::new()));
+            self.free.push(victim);
+            evicted += 1;
+        }
+        evicted
+    }
+}
+
+/// The sharded, byte-budgeted LRU tile cache.
+pub struct TileCache {
+    shards: Vec<Mutex<Shard>>,
+    shard_budget: usize,
+    shard_mask: u64,
+    stats: CacheStats,
+}
+
+impl TileCache {
+    /// A cache holding at most `byte_budget` bytes of tile buffers across
+    /// `shards` shards (rounded up to a power of two; the budget is split
+    /// evenly, so the whole cache never exceeds `byte_budget`).
+    pub fn new(byte_budget: usize, shards: usize) -> Self {
+        let shards = shards.clamp(1, 1 << 12).next_power_of_two();
+        Self {
+            shards: (0..shards).map(|_| Mutex::new(Shard::new())).collect(),
+            shard_budget: byte_budget / shards,
+            shard_mask: shards as u64 - 1,
+            stats: CacheStats::default(),
+        }
+    }
+
+    fn shard_of(&self, key: &TileKey) -> &Mutex<Shard> {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut h);
+        // high bits pick the shard so shard choice stays independent of
+        // the map's own bucket choice (which uses the low bits)
+        &self.shards[((h.finish() >> 32) & self.shard_mask) as usize]
+    }
+
+    /// Looks a tile up, refreshing its recency. Counts a hit or a miss.
+    pub fn get(&self, key: &TileKey) -> Option<Arc<Tile>> {
+        let found = self.shard_of(key).lock().expect("cache shard poisoned").get(key);
+        match found {
+            Some(t) => {
+                saturating_bump(&self.stats.hits, 1);
+                Some(t)
+            }
+            None => {
+                saturating_bump(&self.stats.misses, 1);
+                None
+            }
+        }
+    }
+
+    /// Peeks without touching recency or counters (used by assertions).
+    pub fn peek(&self, key: &TileKey) -> Option<Arc<Tile>> {
+        let shard = self.shard_of(key).lock().expect("cache shard poisoned");
+        shard.map.get(key).copied().map(|idx| Arc::clone(&shard.nodes[idx].tile))
+    }
+
+    /// Inserts a computed tile, evicting cold entries to stay inside the
+    /// byte budget. Oversized tiles (larger than one shard's budget) are
+    /// not cached at all — counted as one eviction, since the tile was
+    /// produced and immediately dropped.
+    pub fn insert(&self, key: TileKey, tile: Arc<Tile>) {
+        if tile.bytes() > self.shard_budget {
+            saturating_bump(&self.stats.evictions, 1);
+            return;
+        }
+        let evicted = self.shard_of(&key).lock().expect("cache shard poisoned").insert(
+            key,
+            tile,
+            self.shard_budget,
+        );
+        if evicted > 0 {
+            saturating_bump(&self.stats.evictions, evicted);
+        }
+    }
+
+    /// Total bytes of tile buffers currently held.
+    pub fn bytes(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().expect("cache shard poisoned").bytes).sum()
+    }
+
+    /// Number of cached tiles.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().expect("cache shard poisoned").map.len()).sum()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The byte budget the cache enforces (sum of shard budgets).
+    pub fn budget(&self) -> usize {
+        self.shard_budget * self.shards.len()
+    }
+
+    /// The shared saturating counters.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(tx: u32, ty: u32) -> TileKey {
+        TileKey::new(1, KernelType::Epanechnikov, 10.0, 1.0, TileCoord { zoom: 0, tx, ty })
+    }
+
+    fn tile(tx: usize, px: usize) -> Arc<Tile> {
+        Arc::new(Tile::new(tx, 0, px, px, vec![tx as f64; px * px]))
+    }
+
+    #[test]
+    fn get_insert_and_lru_order() {
+        let cache = TileCache::new(1 << 20, 1);
+        assert!(cache.get(&key(0, 0)).is_none());
+        cache.insert(key(0, 0), tile(0, 4));
+        cache.insert(key(1, 0), tile(1, 4));
+        let got = cache.get(&key(0, 0)).unwrap();
+        assert_eq!(got.values()[0], 0.0);
+        assert_eq!(cache.stats().hits(), 1);
+        assert_eq!(cache.stats().misses(), 1);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn eviction_respects_budget_and_recency() {
+        let unit = tile(0, 8).bytes();
+        let cache = TileCache::new(unit * 3, 1);
+        for tx in 0..3 {
+            cache.insert(key(tx, 0), tile(tx as usize, 8));
+        }
+        assert_eq!(cache.len(), 3);
+        cache.get(&key(0, 0)); // heat the oldest entry
+        cache.insert(key(3, 0), tile(3, 8)); // must evict key(1,0), not key(0,0)
+        assert!(cache.bytes() <= cache.budget());
+        assert!(cache.peek(&key(0, 0)).is_some(), "recently used entry survived");
+        assert!(cache.peek(&key(1, 0)).is_none(), "cold entry evicted");
+        assert_eq!(cache.stats().evictions(), 1);
+    }
+
+    #[test]
+    fn oversized_tile_is_rejected() {
+        let cache = TileCache::new(64, 1);
+        cache.insert(key(0, 0), tile(0, 64));
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().evictions(), 1);
+    }
+
+    #[test]
+    fn refresh_same_key_does_not_leak_bytes() {
+        let cache = TileCache::new(1 << 20, 2);
+        for _ in 0..10 {
+            cache.insert(key(0, 0), tile(0, 8));
+        }
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.bytes(), tile(0, 8).bytes());
+    }
+
+    #[test]
+    fn counters_saturate_instead_of_wrapping() {
+        let cache = TileCache::new(1 << 20, 1);
+        cache.stats().force(u64::MAX - 1, u64::MAX, 0);
+        cache.insert(key(0, 0), tile(0, 4));
+        cache.get(&key(0, 0)); // hit: MAX-1 -> MAX
+        cache.get(&key(0, 0)); // hit at MAX stays MAX (no wrap to 0)
+        cache.get(&key(9, 9)); // miss at MAX stays MAX
+        assert_eq!(cache.stats().hits(), u64::MAX);
+        assert_eq!(cache.stats().misses(), u64::MAX);
+    }
+
+    #[test]
+    fn distinct_bandwidth_bits_do_not_alias() {
+        let cache = TileCache::new(1 << 20, 4);
+        let a =
+            TileKey::new(1, KernelType::Quartic, 10.0, 1.0, TileCoord { zoom: 1, tx: 0, ty: 0 });
+        let b = TileKey::new(
+            1,
+            KernelType::Quartic,
+            f64::from_bits(10.0_f64.to_bits() + 1),
+            1.0,
+            TileCoord { zoom: 1, tx: 0, ty: 0 },
+        );
+        cache.insert(a, tile(7, 2));
+        assert!(cache.peek(&b).is_none());
+    }
+}

@@ -1,0 +1,28 @@
+//! # kdv-serve — exact cached tile serving over the SLAM sweep engines
+//!
+//! The serving layer the paper's interactive motivation (pan/zoom KDV
+//! exploration) calls for, built so that caching never costs exactness:
+//!
+//! * [`pyramid`] — zoom levels over a fixed region, each an exact raster
+//!   of the same point set (coarse levels are never downsampled).
+//! * [`cache`] — sharded, byte-budgeted LRU of computed tiles, keyed by
+//!   the full provenance of a tile's bits.
+//! * [`server`] — viewport assembly; misses compute whole tile row bands
+//!   with `kdv_core::tile::compute_band`, so one miss prefetches the
+//!   band's horizontal neighbours.
+//! * [`trace`] — recorded viewport sequences for `kdv serve --batch`
+//!   replay and the tile benchmarks.
+//!
+//! The invariant tying it together: a served viewport is bitwise-equal to
+//! cropping the monolithic `sweep_bucket` raster of its level, for any
+//! cache state, tile size and thread count. `crates/conformance` holds
+//! the tile path to that contract under the exact (ULP-zero) policy.
+
+pub mod cache;
+pub mod pyramid;
+pub mod server;
+pub mod trace;
+
+pub use cache::{CacheStats, TileCache, TileKey};
+pub use pyramid::{PyramidSpec, TileCoord, Viewport};
+pub use server::{ServeConfig, TileServer};

@@ -1,0 +1,340 @@
+//! The tile server: viewport requests in, exact density rasters out.
+//!
+//! A [`TileServer`] owns one immutable point set and a [`PyramidSpec`],
+//! and answers [`Viewport`] requests by assembling cached tiles. A miss
+//! computes the whole **tile row band** the missing tile lives in — one
+//! full-level-width sweep per band via [`kdv_core::tile::compute_band`] —
+//! and inserts every tile of the band, so a pan that walks horizontally
+//! across a level keeps hitting tiles its first request already paid for
+//! (the shared-aggregate amortisation described in `kdv_core::tile`).
+//!
+//! Exactness contract: a served viewport is bitwise-equal to cropping the
+//! monolithic `sweep_bucket` raster of the whole level, whether the tiles
+//! came from the cache or were computed on the spot, for any thread
+//! count. The cache key carries the full provenance of the bits
+//! ([`crate::cache::TileKey`]), and tile computation is
+//! viewport-independent, so cached and fresh tiles cannot diverge.
+
+use std::collections::{BTreeSet, HashMap};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+use kdv_core::driver::SweepContext;
+use kdv_core::envelope::EnvelopeBuffer;
+use kdv_core::parallel::for_each_index_with;
+use kdv_core::sweep_bucket::BucketSweep;
+use kdv_core::telemetry::SweepReport;
+use kdv_core::tile::{compute_band, Tile};
+use kdv_core::{DensityGrid, KdvError, KernelType, Point, Result};
+
+use crate::cache::{CacheStats, TileCache, TileKey};
+use crate::pyramid::{PyramidSpec, TileCoord, Viewport};
+
+/// Kernel configuration a server answers requests under (one server = one
+/// dataset × one kernel configuration; vary either and the tile bits
+/// change, which is exactly what the cache key encodes).
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Identifier of the point set, embedded in every cache key.
+    pub dataset: u64,
+    /// Spatial kernel.
+    pub kernel: KernelType,
+    /// Kernel bandwidth.
+    pub bandwidth: f64,
+    /// Normalisation weight.
+    pub weight: f64,
+}
+
+/// Caching tile server over one point set and pyramid.
+pub struct TileServer {
+    pyramid: PyramidSpec,
+    config: ServeConfig,
+    points: Vec<Point>,
+    cache: TileCache,
+    /// Lazily-built per-level sweep contexts (recentred points + banded
+    /// index + pixel coordinates), indexed by zoom. Shared by every
+    /// request at that level.
+    contexts: Vec<OnceLock<Arc<SweepContext>>>,
+}
+
+impl TileServer {
+    /// A server for `points` over `pyramid`, caching at most
+    /// `cache_bytes` bytes of tiles across `cache_shards` shards.
+    pub fn new(
+        pyramid: PyramidSpec,
+        config: ServeConfig,
+        points: Vec<Point>,
+        cache_bytes: usize,
+        cache_shards: usize,
+    ) -> Self {
+        let contexts = (0..=pyramid.max_zoom as usize).map(|_| OnceLock::new()).collect();
+        Self { pyramid, config, points, cache: TileCache::new(cache_bytes, cache_shards), contexts }
+    }
+
+    /// The pyramid this server answers for.
+    pub fn pyramid(&self) -> &PyramidSpec {
+        &self.pyramid
+    }
+
+    /// The kernel configuration this server answers under.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// The cache's cumulative saturating counters.
+    pub fn cache_stats(&self) -> &CacheStats {
+        self.cache.stats()
+    }
+
+    /// The tile cache (exposed for stress tests and byte accounting).
+    pub fn cache(&self) -> &TileCache {
+        &self.cache
+    }
+
+    fn key(&self, zoom: u8, tx: usize, ty: usize) -> TileKey {
+        TileKey::new(
+            self.config.dataset,
+            self.config.kernel,
+            self.config.bandwidth,
+            self.config.weight,
+            TileCoord { zoom, tx: tx as u32, ty: ty as u32 },
+        )
+    }
+
+    /// The level's shared sweep context, built on first use. Concurrent
+    /// first requests may build it twice; construction is deterministic,
+    /// so either copy yields the same bits and one is dropped.
+    fn level_context(&self, zoom: u8) -> Result<Arc<SweepContext>> {
+        let slot = &self.contexts[zoom as usize];
+        if let Some(ctx) = slot.get() {
+            return Ok(Arc::clone(ctx));
+        }
+        let params = self.pyramid.level_params(
+            zoom,
+            self.config.kernel,
+            self.config.bandwidth,
+            self.config.weight,
+        );
+        let built = Arc::new(SweepContext::new(&params, &self.points)?);
+        Ok(Arc::clone(slot.get_or_init(|| built)))
+    }
+
+    /// Serves one viewport: assembles the requested pixel window from
+    /// cached tiles, computing (and caching) any missing row bands on the
+    /// work-stealing runtime (`threads == 0` means "auto").
+    ///
+    /// Returns the `width × height` density raster plus a [`SweepReport`]
+    /// whose cache counters are the **deltas** this request caused.
+    /// The raster is bitwise-equal to cropping the monolithic level
+    /// raster, for any cache state and thread count.
+    pub fn serve_viewport(
+        &self,
+        viewport: &Viewport,
+        threads: usize,
+    ) -> Result<(DensityGrid, SweepReport)> {
+        let started = Instant::now();
+        let (hits0, misses0, evictions0) = (
+            self.cache.stats().hits(),
+            self.cache.stats().misses(),
+            self.cache.stats().evictions(),
+        );
+        let vp = viewport
+            .clamped(&self.pyramid)
+            .ok_or(KdvError::EmptyResolution { x: viewport.width, y: viewport.height })?;
+        let tiling = self.pyramid.level_tiling(vp.zoom);
+        let tile_size = self.pyramid.tile_size;
+        let want_cols = vp.tile_cols(tile_size);
+        let want_rows = vp.tile_rows(tile_size);
+
+        // Look every needed tile up first; group the misses by row band.
+        let mut tiles: HashMap<(usize, usize), Arc<Tile>> = HashMap::new();
+        let mut missing_bands: BTreeSet<usize> = BTreeSet::new();
+        for ty in want_rows.clone() {
+            for tx in want_cols.clone() {
+                match self.cache.get(&self.key(vp.zoom, tx, ty)) {
+                    Some(tile) => {
+                        tiles.insert((tx, ty), tile);
+                    }
+                    None => {
+                        missing_bands.insert(ty);
+                    }
+                }
+            }
+        }
+
+        if !missing_bands.is_empty() {
+            let ctx = self.level_context(vp.zoom)?;
+            let bands: Vec<usize> = missing_bands.into_iter().collect();
+            let computed: Vec<Vec<Tile>> = for_each_index_with(
+                bands.len(),
+                threads,
+                || {
+                    (
+                        BucketSweep::new(
+                            self.config.kernel,
+                            self.config.bandwidth,
+                            self.config.weight,
+                        ),
+                        EnvelopeBuffer::for_points(ctx.points.len()),
+                        Vec::new(),
+                    )
+                },
+                |(engine, envelope, band), i| {
+                    compute_band(
+                        &ctx,
+                        &tiling,
+                        self.config.bandwidth,
+                        bands[i],
+                        engine,
+                        envelope,
+                        band,
+                    )
+                },
+            );
+            for band_tiles in computed {
+                for tile in band_tiles {
+                    let (tx, ty) = (tile.tx, tile.ty);
+                    let tile = Arc::new(tile);
+                    // Every tile of the band goes into the cache — the
+                    // sweep already paid for them (pan prefetch).
+                    self.cache.insert(self.key(vp.zoom, tx, ty), Arc::clone(&tile));
+                    if want_cols.contains(&tx) && want_rows.contains(&ty) {
+                        tiles.insert((tx, ty), tile);
+                    }
+                }
+            }
+        }
+
+        // Assemble the viewport window from tile overlaps.
+        let mut out = DensityGrid::zeroed(vp.width, vp.height);
+        for ty in want_rows.clone() {
+            let rows = tiling.tile_rows(ty);
+            for tx in want_cols.clone() {
+                let cols = tiling.tile_cols(tx);
+                let tile = &tiles[&(tx, ty)];
+                let x0 = vp.px.max(cols.start);
+                let x1 = (vp.px + vp.width).min(cols.end);
+                let y0 = vp.py.max(rows.start);
+                let y1 = (vp.py + vp.height).min(rows.end);
+                for y in y0..y1 {
+                    let src = tile.row(y - rows.start);
+                    out.row_mut(y - vp.py)[x0 - vp.px..x1 - vp.px]
+                        .copy_from_slice(&src[x0 - cols.start..x1 - cols.start]);
+                }
+            }
+        }
+
+        let mut report = SweepReport::from_workers(Vec::new(), vp.height, 0).with_cache_counters(
+            self.cache.stats().hits().saturating_sub(hits0),
+            self.cache.stats().misses().saturating_sub(misses0),
+            self.cache.stats().evictions().saturating_sub(evictions0),
+        );
+        report.threads = threads;
+        report.wall_nanos = started.elapsed().as_nanos() as u64;
+        Ok((out, report))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kdv_core::sweep_bucket;
+    use kdv_core::Rect;
+
+    fn points(n: usize) -> Vec<Point> {
+        let mut state = 0xBADC0FFEu64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        (0..n).map(|_| Point::new(next() * 100.0, next() * 100.0)).collect()
+    }
+
+    fn server(cache_bytes: usize) -> TileServer {
+        let pyramid = PyramidSpec::new(Rect::new(0.0, 0.0, 100.0, 100.0), 16, 48, 48, 2).unwrap();
+        let config = ServeConfig {
+            dataset: 7,
+            kernel: KernelType::Epanechnikov,
+            bandwidth: 14.0,
+            weight: 0.005,
+        };
+        TileServer::new(pyramid, config, points(300), cache_bytes, 4)
+    }
+
+    /// Crops the monolithic level raster to the viewport — the reference
+    /// every served viewport must match bitwise.
+    fn crop_reference(server: &TileServer, vp: &Viewport) -> DensityGrid {
+        let params = server.pyramid().level_params(
+            vp.zoom,
+            server.config().kernel,
+            server.config().bandwidth,
+            server.config().weight,
+        );
+        let full = sweep_bucket::compute(&params, &server.points).unwrap();
+        let mut out = DensityGrid::zeroed(vp.width, vp.height);
+        for j in 0..vp.height {
+            out.row_mut(j).copy_from_slice(&full.row(vp.py + j)[vp.px..vp.px + vp.width]);
+        }
+        out
+    }
+
+    #[test]
+    fn viewport_matches_cropped_monolithic_bitwise() {
+        let srv = server(1 << 22);
+        for vp in [
+            Viewport { zoom: 0, px: 0, py: 0, width: 48, height: 48 },
+            Viewport { zoom: 1, px: 13, py: 29, width: 41, height: 30 },
+            Viewport { zoom: 2, px: 100, py: 77, width: 50, height: 33 },
+        ] {
+            let (grid, _) = srv.serve_viewport(&vp, 0).unwrap();
+            assert_eq!(grid, crop_reference(&srv, &vp), "{vp:?}");
+        }
+    }
+
+    #[test]
+    fn second_request_hits_cache_and_matches() {
+        let srv = server(1 << 22);
+        let vp = Viewport { zoom: 1, px: 5, py: 9, width: 60, height: 40 };
+        let (cold, r1) = srv.serve_viewport(&vp, 2).unwrap();
+        assert_eq!(r1.cache_hits, 0);
+        assert!(r1.cache_misses > 0);
+        let (warm, r2) = srv.serve_viewport(&vp, 2).unwrap();
+        assert_eq!(r2.cache_misses, 0);
+        assert!(r2.cache_hits > 0);
+        assert_eq!(warm, cold, "cached bits differ from fresh bits");
+    }
+
+    #[test]
+    fn pan_reuses_band_tiles() {
+        let srv = server(1 << 22);
+        let a = Viewport { zoom: 1, px: 0, py: 20, width: 32, height: 16 };
+        let (_, r1) = srv.serve_viewport(&a, 0).unwrap();
+        assert!(r1.cache_misses > 0);
+        // pan right within the same row bands: every tile was prefetched
+        let b = Viewport { zoom: 1, px: 48, py: 20, width: 32, height: 16 };
+        let (grid, r2) = srv.serve_viewport(&b, 0).unwrap();
+        assert_eq!(r2.cache_misses, 0, "horizontal pan should be all hits");
+        assert_eq!(grid, crop_reference(&srv, &b));
+    }
+
+    #[test]
+    fn degenerate_viewports_are_rejected() {
+        let srv = server(1 << 20);
+        let out_of_level = Viewport { zoom: 9, px: 0, py: 0, width: 4, height: 4 };
+        assert!(srv.serve_viewport(&out_of_level, 0).is_err());
+        let empty = Viewport { zoom: 0, px: 0, py: 0, width: 0, height: 4 };
+        assert!(srv.serve_viewport(&empty, 0).is_err());
+    }
+
+    #[test]
+    fn tiny_cache_still_serves_exact_results() {
+        let srv = server(1024); // far too small to hold a band
+        let vp = Viewport { zoom: 1, px: 10, py: 10, width: 50, height: 50 };
+        let (grid, report) = srv.serve_viewport(&vp, 0).unwrap();
+        assert_eq!(grid, crop_reference(&srv, &vp));
+        assert!(report.cache_evictions > 0, "small budget must evict");
+        assert!(srv.cache().bytes() <= srv.cache().budget());
+    }
+}

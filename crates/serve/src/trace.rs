@@ -1,0 +1,115 @@
+//! Viewport trace files — recorded pan/zoom sessions for batch replay.
+//!
+//! One request per line, five whitespace-separated integers:
+//!
+//! ```text
+//! # zoom px py width height
+//! 1 0 0 256 256
+//! 1 64 0 256 256
+//! ```
+//!
+//! `#` starts a comment (whole-line or trailing); blank lines are
+//! skipped. The format is deliberately trivial so traces can be captured
+//! with a shell one-liner and diffed in review; `kdv serve --batch`
+//! replays one of these against a [`crate::server::TileServer`].
+
+use crate::pyramid::Viewport;
+
+/// A parse failure, carrying the 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceError {
+    /// 1-based line the error occurred on.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trace line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// Parses a trace file's contents into viewport requests, in file order.
+pub fn parse(text: &str) -> Result<Vec<Viewport>, TraceError> {
+    let mut out = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = idx + 1;
+        let body = raw.split('#').next().unwrap_or("").trim();
+        if body.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = body.split_whitespace().collect();
+        if fields.len() != 5 {
+            return Err(TraceError {
+                line,
+                message: format!(
+                    "expected 5 fields `zoom px py width height`, got {}",
+                    fields.len()
+                ),
+            });
+        }
+        let num = |i: usize, name: &str| -> Result<usize, TraceError> {
+            fields[i].parse::<usize>().map_err(|_| TraceError {
+                line,
+                message: format!("{name} `{}` is not a non-negative integer", fields[i]),
+            })
+        };
+        let zoom = num(0, "zoom")?;
+        if zoom > u8::MAX as usize {
+            return Err(TraceError { line, message: format!("zoom {zoom} out of range") });
+        }
+        out.push(Viewport {
+            zoom: zoom as u8,
+            px: num(1, "px")?,
+            py: num(2, "py")?,
+            width: num(3, "width")?,
+            height: num(4, "height")?,
+        });
+    }
+    Ok(out)
+}
+
+/// Formats requests back into the trace line format ([`parse`] inverse).
+pub fn format(viewports: &[Viewport]) -> String {
+    let mut s = String::from("# zoom px py width height\n");
+    for vp in viewports {
+        s.push_str(&format!("{} {} {} {} {}\n", vp.zoom, vp.px, vp.py, vp.width, vp.height));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_comments_and_blank_lines() {
+        let text = "# a recorded pan\n\n1 0 0 256 256\n1 64 0 256 256 # trailing note\n";
+        let vps = parse(text).unwrap();
+        assert_eq!(vps.len(), 2);
+        assert_eq!(vps[1], Viewport { zoom: 1, px: 64, py: 0, width: 256, height: 256 });
+    }
+
+    #[test]
+    fn rejects_malformed_lines_with_position() {
+        let err = parse("1 0 0 256\n").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.to_string().contains("5 fields"));
+        let err = parse("1 0 0 256 256\n2 x 0 1 1\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("px"));
+        assert!(parse("999 0 0 1 1\n").is_err());
+    }
+
+    #[test]
+    fn format_round_trips() {
+        let vps = vec![
+            Viewport { zoom: 0, px: 0, py: 0, width: 48, height: 48 },
+            Viewport { zoom: 2, px: 7, py: 31, width: 100, height: 60 },
+        ];
+        assert_eq!(parse(&format(&vps)).unwrap(), vps);
+    }
+}

@@ -1,0 +1,124 @@
+//! Concurrency stress for the tile cache and server: many threads hammer
+//! a deliberately tiny cache so entries are constantly evicted and
+//! recomputed, and every returned viewport must still be bitwise-equal to
+//! a fresh computation. A wall-clock guard turns a deadlock or livelock
+//! into a test failure instead of a hung CI job.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use kdv_core::{DensityGrid, KernelType, Point, Rect};
+use kdv_serve::{PyramidSpec, ServeConfig, TileServer, Viewport};
+
+const STRESS_BUDGET: Duration = Duration::from_secs(120);
+
+fn points(n: usize, seed: u64) -> Vec<Point> {
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    (0..n).map(|_| Point::new(next() * 90.0, next() * 90.0)).collect()
+}
+
+fn make_server(cache_bytes: usize) -> TileServer {
+    let pyramid = PyramidSpec::new(Rect::new(0.0, 0.0, 90.0, 90.0), 8, 40, 40, 2).unwrap();
+    let config =
+        ServeConfig { dataset: 42, kernel: KernelType::Quartic, bandwidth: 11.0, weight: 0.01 };
+    TileServer::new(pyramid, config, points(250, 0x57E55), cache_bytes, 4)
+}
+
+/// Every viewport a stress worker may request, paired with its fresh
+/// (uncached) reference raster.
+fn workload(server: &TileServer) -> Vec<(Viewport, DensityGrid)> {
+    let reference = make_server(usize::MAX / 4); // effectively uncapped twin
+    let mut out = Vec::new();
+    for zoom in 0..=2u8 {
+        let (rx, ry) = server.pyramid().level_res(zoom);
+        for (px, py, w, h) in [(0, 0, 24, 24), (rx / 3, ry / 4, 19, 23), (rx / 2, 0, 17, 31)] {
+            let vp = Viewport { zoom, px, py, width: w.min(rx - px), height: h.min(ry - py) };
+            let (grid, _) = reference.serve_viewport(&vp, 1).unwrap();
+            out.push((vp, grid));
+        }
+    }
+    out
+}
+
+#[test]
+fn hammered_small_cache_serves_exact_tiles_without_deadlock() {
+    let server = Arc::new(make_server(24 * 1024)); // holds only a handful of tiles
+    let cases = Arc::new(workload(&server));
+    let deadline = Instant::now() + STRESS_BUDGET;
+    let failed = Arc::new(AtomicBool::new(false));
+
+    let threads = 8;
+    let iterations = 60;
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for t in 0..threads {
+            let server = Arc::clone(&server);
+            let cases = Arc::clone(&cases);
+            let failed = Arc::clone(&failed);
+            handles.push(scope.spawn(move || {
+                for i in 0..iterations {
+                    if Instant::now() > deadline || failed.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    // walk the workload in a thread-specific order so
+                    // threads collide on different tiles at any instant
+                    let (vp, want) = &cases[(i * (t + 3) + t) % cases.len()];
+                    let (got, _) = server.serve_viewport(vp, 1).unwrap();
+                    if got != *want {
+                        failed.store(true, Ordering::Relaxed);
+                        panic!("thread {t} iteration {i}: served bits != fresh bits for {vp:?}");
+                    }
+                    // the budget must hold at every instant, mid-churn
+                    let (bytes, budget) = (server.cache().bytes(), server.cache().budget());
+                    if bytes > budget {
+                        failed.store(true, Ordering::Relaxed);
+                        panic!("thread {t}: cache {bytes} B over budget {budget} B");
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("stress worker panicked");
+        }
+    });
+
+    assert!(
+        Instant::now() <= deadline,
+        "stress run exceeded its {STRESS_BUDGET:?} wall-clock guard (livelock?)"
+    );
+    assert!(!failed.load(Ordering::Relaxed));
+    let stats = server.cache_stats();
+    assert!(stats.evictions() > 0, "budget was never exercised — misconfigured stress");
+    assert!(stats.hits() > 0, "cache never hit — misconfigured stress");
+    assert!(server.cache().bytes() <= server.cache().budget());
+}
+
+#[test]
+fn concurrent_first_requests_agree_bitwise() {
+    // All threads race the very first computation of the same viewport
+    // (shared level context is built lazily, under contention).
+    let server = Arc::new(make_server(1 << 20));
+    let vp = Viewport { zoom: 2, px: 31, py: 17, width: 40, height: 35 };
+    let grids: Vec<DensityGrid> = std::thread::scope(|scope| {
+        (0..8)
+            .map(|_| {
+                let server = Arc::clone(&server);
+                scope.spawn(move || server.serve_viewport(&vp, 1).unwrap().0)
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().expect("racer panicked"))
+            .collect()
+    });
+    let fresh = make_server(1 << 20).serve_viewport(&vp, 1).unwrap().0;
+    for (i, g) in grids.iter().enumerate() {
+        assert_eq!(*g, fresh, "racer {i} diverged");
+    }
+}

@@ -16,6 +16,6 @@ pub mod legend;
 pub mod normalize;
 
 pub use colormap::{ColorMap, Rgb};
-pub use image::{ascii_art, render, write_pgm, Image};
+pub use image::{ascii_art, render, render_with_max, shared_max, write_pgm, Image};
 pub use legend::{color_bar, with_legend};
 pub use normalize::Scale;
