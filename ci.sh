@@ -9,6 +9,10 @@
 #                      appending dated entries under results/BENCH_*.json,
 #                      then a smoke check that the JSON parses with the
 #                      expected keys
+#   ./ci.sh obs        observability gate: instrumented sweep + serve
+#                      trace replay through the CLI export flags, JSON
+#                      well-formedness smoke, and the bench_obs
+#                      instrumented-vs-disabled overhead assertion
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -26,6 +30,31 @@ if [[ "${1:-}" == "bench" ]]; then
     echo "==> bench results smoke test"
     cargo test -q --test bench_results
     echo "==> BENCH OK"
+    exit 0
+fi
+
+if [[ "${1:-}" == "obs" ]]; then
+    echo "==> bench_obs (bitwise + overhead-ratio assertions)"
+    cargo run --release -p kdv-bench --bin bench_obs
+    echo "==> instrumented sweep + serve replay through the CLI flags"
+    tmp="$(mktemp -d)"
+    trap 'rm -rf "$tmp"' EXIT
+    cargo run --release -p kdv-cli -- generate --city seattle --scale 0.02 --out "$tmp/city.csv"
+    cargo run --release -p kdv-cli -- render --input "$tmp/city.csv" --res 256x192 \
+        --threads 4 --stats --out "$tmp/kdv.ppm" \
+        --trace-out "$tmp/render_trace.json" --metrics-out "$tmp/render_metrics.json"
+    printf '0 0 0 128 128\n1 10 10 128 128\n1 20 10 128 128\n0 0 0 128 128\n' > "$tmp/pan.txt"
+    cargo run --release -p kdv-cli -- serve --input "$tmp/city.csv" --batch "$tmp/pan.txt" \
+        --tile-size 64 --base-res 128x128 --max-zoom 2 --threads 2 --stats \
+        --trace-out "$tmp/serve_trace.json" --metrics-out "$tmp/serve_metrics.json"
+    for f in render_trace render_metrics serve_trace serve_metrics; do
+        [[ -s "$tmp/$f.json" ]] || { echo "missing export $f.json" >&2; exit 1; }
+    done
+    echo "==> exported JSON well-formedness + schema smoke"
+    cargo test -q --test obs_trace --test bench_results
+    cargo test -q -p kdv-obs
+    cargo test -q -p kdv-core --test obs_properties
+    echo "==> OBS OK"
     exit 0
 fi
 

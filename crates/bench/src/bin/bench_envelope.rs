@@ -30,8 +30,7 @@ fn median_secs(mut run: impl FnMut()) -> f64 {
         run();
         *s = t0.elapsed().as_secs_f64();
     }
-    samples.sort_by(f64::total_cmp);
-    samples[2]
+    kdv_obs::stats::median_f64(&samples).expect("five samples")
 }
 
 struct Row {

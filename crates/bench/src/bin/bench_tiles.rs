@@ -167,9 +167,8 @@ fn main() {
         let server = make_server(&points, extent, bandwidth, 512 << 20);
         let cold_s = replay(&server, trace);
         // warm: median of 3 replays over the now-populated cache
-        let mut warm = [replay(&server, trace), replay(&server, trace), replay(&server, trace)];
-        warm.sort_by(f64::total_cmp);
-        let warm_s = warm[1];
+        let warm = [replay(&server, trace), replay(&server, trace), replay(&server, trace)];
+        let warm_s = kdv_obs::stats::median_f64(&warm).expect("three samples");
         let stats = server.cache_stats();
         let row = Row {
             trace: name,

@@ -27,8 +27,7 @@ fn time<F: FnMut()>(mut f: F) -> f64 {
         f();
         *s = t0.elapsed().as_secs_f64();
     }
-    samples.sort_by(f64::total_cmp);
-    samples[1]
+    kdv_obs::stats::median_f64(&samples).expect("three samples")
 }
 
 fn main() {

@@ -31,8 +31,7 @@ fn measure(method: &AnyMethod, params: &KdvParams, points: &[Point]) -> f64 {
             .expect("scaling run must complete");
         *s = t0.elapsed().as_secs_f64();
     }
-    samples.sort_by(f64::total_cmp);
-    samples[1]
+    kdv_obs::stats::median_f64(&samples).expect("three samples")
 }
 
 /// Least-squares slope of log(t) against log(v).

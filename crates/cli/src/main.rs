@@ -39,9 +39,9 @@ USAGE:
   kdv generate --city <seattle|la|ny|sf> [--scale F] [--out FILE.csv]
   kdv render   --input FILE.csv [--res WxH] [--kernel K] [--bandwidth B]
                [--method M] [--colormap C] [--scale-mode S] [--out FILE.ppm] [--ascii]
-               [--threads N] [--stats]
+               [--threads N] [--stats] [--trace-out FILE] [--metrics-out FILE]
   kdv bench    --input FILE.csv --method M [--res WxH] [--kernel K] [--bandwidth B]
-               [--threads N] [--stats]
+               [--threads N] [--stats] [--trace-out FILE] [--metrics-out FILE]
   kdv hotspots --input FILE.csv [--res WxH] [--kernel K] [--bandwidth B]
                [--peak-fraction F] [--top N]
   kdv stkdv    --input FILE.csv --frames N [--res WxH] [--kernel K] [--bandwidth B]
@@ -49,6 +49,7 @@ USAGE:
   kdv serve    --input FILE.csv --batch TRACE.txt [--tile-size N] [--base-res WxH]
                [--max-zoom Z] [--kernel K] [--bandwidth B] [--cache-mb M]
                [--threads N] [--out-prefix PREFIX] [--stats]
+               [--trace-out FILE] [--metrics-out FILE]
   kdv info     --input FILE.csv
 
 OPTIONS:
@@ -62,7 +63,13 @@ OPTIONS:
   --scale-mode   linear | sqrt | log                     (default sqrt)
   --threads      sweep worker threads; 0 or omitted = all cores
                  (SLAM methods, stkdv and serve)
-  --stats        print the sweep telemetry report (SLAM methods only)
+  --stats        print the sweep telemetry report (SLAM methods only);
+                 with --trace-out/--metrics-out also prints a per-phase
+                 span summary table
+  --trace-out    record structured spans and write a Chrome trace-event
+                 JSON file (load in Perfetto / chrome://tracing)
+  --metrics-out  write a flat JSON snapshot of the metrics registry
+                 (counters, gauges, log2 histograms) for this run
 
 SERVE OPTIONS:
   --batch        viewport trace file: one `zoom px py width height` line
@@ -113,6 +120,66 @@ impl Args {
 
     fn has_flag(&self, key: &str) -> bool {
         self.flags.iter().any(|f| f == key)
+    }
+}
+
+/// Observability session driven by `--trace-out` / `--metrics-out`.
+///
+/// Constructing one turns the span recorder on when either flag is
+/// present (it stays off — a single relaxed load per span site —
+/// otherwise). [`ObsSession::finish`] drains the recorder, writes the
+/// requested export files, and prints the per-phase summary table when
+/// `--stats` was also given.
+struct ObsSession {
+    trace_out: Option<PathBuf>,
+    metrics_out: Option<PathBuf>,
+    baseline: kdv_obs::Snapshot,
+    stats: bool,
+}
+
+impl ObsSession {
+    fn from_args(args: &Args) -> Self {
+        let trace_out = args.get("trace-out").map(PathBuf::from);
+        let metrics_out = args.get("metrics-out").map(PathBuf::from);
+        if trace_out.is_some() || metrics_out.is_some() {
+            kdv_obs::span::clear();
+            kdv_obs::set_enabled(true);
+        }
+        Self {
+            trace_out,
+            metrics_out,
+            baseline: kdv_obs::metrics::global().snapshot(),
+            stats: args.has_flag("stats"),
+        }
+    }
+
+    /// Whether either export flag was given (the recorder is live).
+    fn active(&self) -> bool {
+        self.trace_out.is_some() || self.metrics_out.is_some()
+    }
+
+    fn finish(self) -> Result<(), String> {
+        if !self.active() {
+            return Ok(());
+        }
+        kdv_obs::set_enabled(false);
+        kdv_obs::span::flush_thread();
+        let trace = kdv_obs::span::take_trace();
+        if let Some(path) = &self.trace_out {
+            std::fs::write(path, kdv_obs::chrome_trace_json(&trace))
+                .map_err(|e| format!("{}: {e}", path.display()))?;
+            println!("wrote {} span(s) to {}", trace.events.len(), path.display());
+        }
+        if let Some(path) = &self.metrics_out {
+            let snap = kdv_obs::metrics::global().snapshot().diff(&self.baseline);
+            std::fs::write(path, kdv_obs::metrics_json(&snap))
+                .map_err(|e| format!("{}: {e}", path.display()))?;
+            println!("wrote {} metric(s) to {}", snap.values.len(), path.display());
+        }
+        if self.stats {
+            print!("{}", kdv_obs::phase_summary(&trace));
+        }
+        Ok(())
     }
 }
 
@@ -254,9 +321,11 @@ fn cmd_render(args: &Args) -> Result<(), String> {
     let out = PathBuf::from(args.get("out").unwrap_or("kdv.ppm"));
     let threads = parse_threads(args)?;
     let stats = args.has_flag("stats");
+    let obs = ObsSession::from_args(args);
 
     let start = Instant::now();
-    let (grid, report) = compute_with_runtime(method, &params, &points, threads, stats)?;
+    let (grid, report) =
+        compute_with_runtime(method, &params, &points, threads, stats || obs.active())?;
     let elapsed = start.elapsed();
     let image = render(&grid, colormap, scale_mode);
     image.save_ppm(&out).map_err(|e| e.to_string())?;
@@ -271,8 +340,14 @@ fn cmd_render(args: &Args) -> Result<(), String> {
         out.display()
     );
     if let Some(report) = report {
-        println!("{}", report.summary());
+        if obs.active() {
+            report.record_metrics();
+        }
+        if stats {
+            println!("{}", report.summary());
+        }
     }
+    obs.finish()?;
     if args.has_flag("ascii") {
         // coarse preview: subsample the grid to <= 72 columns
         println!("{}", ascii_art(&grid, scale_mode));
@@ -285,8 +360,10 @@ fn cmd_bench(args: &Args) -> Result<(), String> {
     let method = parse_method(args.get("method").ok_or("--method is required")?)?;
     let threads = parse_threads(args)?;
     let stats = args.has_flag("stats");
+    let obs = ObsSession::from_args(args);
     let start = Instant::now();
-    let (_, report) = compute_with_runtime(method, &params, &points, threads, stats)?;
+    let (_, report) =
+        compute_with_runtime(method, &params, &points, threads, stats || obs.active())?;
     println!(
         "{}\t{}x{}\tn={}\tthreads={}\t{:.4}s",
         method.name(),
@@ -297,8 +374,14 @@ fn cmd_bench(args: &Args) -> Result<(), String> {
         start.elapsed().as_secs_f64()
     );
     if let Some(report) = report {
-        println!("{}", report.summary());
+        if obs.active() {
+            report.record_metrics();
+        }
+        if stats {
+            println!("{}", report.summary());
+        }
     }
+    obs.finish()?;
     Ok(())
 }
 
@@ -414,6 +497,7 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         args.get("cache-mb").unwrap_or("256").parse().map_err(|_| "bad --cache-mb")?;
     let threads = parse_threads(args)?;
     let stats = args.has_flag("stats");
+    let obs = ObsSession::from_args(args);
 
     let trace_text = std::fs::read_to_string(batch).map_err(|e| format!("{batch}: {e}"))?;
     let requests = kdv_serve::trace::parse(&trace_text).map_err(|e| e.to_string())?;
@@ -440,6 +524,9 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         let (grid, report) = server.serve_viewport(vp, threads).map_err(|e| {
             format!("request #{} (zoom {} at {},{}): {e}", i + 1, vp.zoom, vp.px, vp.py)
         })?;
+        if obs.active() {
+            report.record_metrics();
+        }
         if stats {
             println!(
                 "request {:>3}: zoom {} @({},{}) {}x{}  {:>8.3} ms  hits {} misses {} evictions {}",
@@ -477,6 +564,7 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         server.cache().bytes(),
         server.cache().budget()
     );
+    obs.finish()?;
     Ok(())
 }
 

@@ -22,6 +22,7 @@
 //! | incremental pan | full recompute | sweep ULPs |
 //! | NKDV forward augmentation | per-lixel Dijkstra | network ULPs |
 //! | stitched tiles | monolithic SLAM_BUCKET | bitwise |
+//! | instrumented bucket | same sweep, recorder off | bitwise |
 //!
 //! Auxiliary inputs a pair needs beyond the case itself (per-point
 //! weights, event timestamps, the road network) are synthesised from
@@ -44,7 +45,7 @@ use crate::case::{CaseSpec, SplitMix64};
 use crate::tolerance::{compare, unit_kernel_peak, Comparison, Policy};
 
 /// Names of every pair in the registry, in execution order.
-pub const PAIR_NAMES: [&str; 19] = [
+pub const PAIR_NAMES: [&str; 20] = [
     "SLAM_SORT vs SCAN",
     "SLAM_BUCKET vs SCAN",
     "SLAM_SORT^(RAO) vs SCAN",
@@ -64,6 +65,7 @@ pub const PAIR_NAMES: [&str; 19] = [
     "incremental pan vs recompute",
     "NKDV forward vs Dijkstra",
     "stitched tiles vs monolithic",
+    "instrumented bucket vs plain",
 ];
 
 /// Outcome of one engine×oracle pair on one case.
@@ -251,6 +253,24 @@ pub fn run_case(case: &CaseSpec) -> Vec<PairResult> {
             ),
         },
     );
+
+    // --- instrumented sweep vs plain (bitwise) -----------------------------
+    // Observability must be observation-only: the same bucket sweep with
+    // the span recorder live cannot change a single output bit. The spans
+    // this case records are discarded — only the densities matter here.
+    out.push({
+        let plain = sweep_bucket::compute(&params, pts);
+        let was_enabled = kdv_obs::enabled();
+        kdv_obs::set_enabled(true);
+        let traced = sweep_bucket::compute(&params, pts);
+        kdv_obs::set_enabled(was_enabled);
+        kdv_obs::span::flush_thread();
+        kdv_obs::span::clear();
+        match (traced, plain) {
+            (Ok(t), Ok(p)) => ok(PAIR_NAMES[19], Policy::Bitwise, t.values(), p.values()),
+            (t, p) => fail(PAIR_NAMES[19], two_errors(t.err(), p.err())),
+        }
+    });
 
     debug_assert_eq!(out.len(), PAIR_NAMES.len());
     out

@@ -140,7 +140,7 @@ fn json_number(v: f64) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::oracle::run_case;
+    use crate::oracle::{run_case, PAIR_NAMES};
 
     #[test]
     fn report_aggregates_and_serializes() {
@@ -151,8 +151,8 @@ mod tests {
         }
         assert_eq!(report.cases, 3);
         assert_eq!(report.total_violations(), 0);
-        // 3 seeds = 3 kernels, 19 pairs each
-        assert_eq!(report.covered_combinations(), 19 * 3);
+        // 3 seeds = 3 kernels, one combination per registry pair each
+        assert_eq!(report.covered_combinations(), PAIR_NAMES.len() * 3);
         let json = report.to_json();
         assert!(json.contains("\"mode\": \"test\""));
         assert!(json.contains("SLAM_BUCKET vs SCAN"));

@@ -143,13 +143,29 @@ pub fn sweep_grid<E: RowEngine>(
     let ctx = SweepContext::new(params, points)?;
     let mut grid = DensityGrid::zeroed(params.grid.res_x, params.grid.res_y);
     let mut envelope = EnvelopeBuffer::for_points(ctx.points.len());
+    let _sweep = kdv_obs::span2(
+        "sweep.sequential",
+        "rows",
+        params.grid.res_y as u64,
+        "points",
+        points.len() as u64,
+    );
     for j in 0..params.grid.res_y {
         let k = ctx.ks[j];
-        let band = ctx.index.band(params.bandwidth, k);
+        let band = {
+            let _s = kdv_obs::span1("band.search", "row", j as u64);
+            ctx.index.band(params.bandwidth, k)
+        };
         if band.is_empty() {
             continue;
         }
-        let intervals = envelope.fill_band(&ctx.index, band, params.bandwidth, k);
+        let intervals = {
+            let mut s = kdv_obs::span1("envelope.fill", "row", j as u64);
+            let intervals = envelope.fill_band(&ctx.index, band, params.bandwidth, k);
+            s.arg("size", intervals.len() as u64);
+            intervals
+        };
+        let _s = kdv_obs::span1("row.sweep", "row", j as u64);
         engine.process_row(&ctx.xs, k, intervals, grid.row_mut(j));
     }
     Ok(grid)

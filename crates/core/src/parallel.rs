@@ -229,32 +229,47 @@ pub fn compute_parallel_with_report(
     let table = RowTable::new(&mut values, res_x);
 
     let start = Instant::now();
-    let workers = run_scheduler(
-        res_y,
-        threads,
-        &|| (EnvelopeBuffer::for_points(ctx.points.len()), AnyEngine::new(engine, params)),
-        &|(envelope, eng), j, stats| {
-            let k = ctx.ks[j];
-            let t0 = Instant::now();
-            let band = ctx.index.band(params.bandwidth, k);
-            if band.is_empty() {
-                // the output row is already zeroed — skip the engine
-                stats.fill_nanos += t0.elapsed().as_nanos() as u64;
-                stats.rows_skipped += 1;
-                stats.envelope_sizes.push((j, 0));
-                return;
-            }
-            let intervals = envelope.fill_band(&ctx.index, band, params.bandwidth, k);
-            let t1 = Instant::now();
-            // SAFETY: the scheduler claims each row exactly once.
-            let out = unsafe { table.row(j) };
-            eng.process_row(&ctx.xs, k, intervals, out);
-            stats.fill_nanos += (t1 - t0).as_nanos() as u64;
-            stats.sweep_nanos += t1.elapsed().as_nanos() as u64;
-            stats.envelope_sizes.push((j, intervals.len()));
-        },
-        &|(envelope, eng)| envelope.space_bytes() + eng.space_bytes(),
-    );
+    let workers = {
+        let _sweep =
+            kdv_obs::span2("sweep.parallel", "rows", res_y as u64, "threads", threads as u64);
+        run_scheduler(
+            res_y,
+            threads,
+            &|| (EnvelopeBuffer::for_points(ctx.points.len()), AnyEngine::new(engine, params)),
+            &|(envelope, eng), j, stats| {
+                let k = ctx.ks[j];
+                let t0 = Instant::now();
+                let band = {
+                    let _s = kdv_obs::span1("band.search", "row", j as u64);
+                    ctx.index.band(params.bandwidth, k)
+                };
+                if band.is_empty() {
+                    // the output row is already zeroed — skip the engine
+                    stats.fill_nanos += t0.elapsed().as_nanos() as u64;
+                    stats.rows_skipped += 1;
+                    stats.envelope_sizes.push((j, 0));
+                    return;
+                }
+                let intervals = {
+                    let mut s = kdv_obs::span1("envelope.fill", "row", j as u64);
+                    let intervals = envelope.fill_band(&ctx.index, band, params.bandwidth, k);
+                    s.arg("size", intervals.len() as u64);
+                    intervals
+                };
+                let t1 = Instant::now();
+                // SAFETY: the scheduler claims each row exactly once.
+                let out = unsafe { table.row(j) };
+                {
+                    let _s = kdv_obs::span1("row.sweep", "row", j as u64);
+                    eng.process_row(&ctx.xs, k, intervals, out);
+                }
+                stats.fill_nanos += (t1 - t0).as_nanos() as u64;
+                stats.sweep_nanos += t1.elapsed().as_nanos() as u64;
+                stats.envelope_sizes.push((j, intervals.len()));
+            },
+            &|(envelope, eng)| envelope.space_bytes() + eng.space_bytes(),
+        )
+    };
     let mut report = SweepReport::from_workers(workers, res_y, ctx.space_bytes());
     report.wall_nanos = start.elapsed().as_nanos() as u64;
     Ok((DensityGrid::from_values(res_x, res_y, values), report))
@@ -334,39 +349,54 @@ fn compute_weighted_rows_parallel(
     let table = RowTable::new(&mut values, res_x);
 
     let start = Instant::now();
-    let workers = run_scheduler(
-        res_y,
-        threads,
-        &|| {
-            let mut ws = WeightedWorkspace::new();
-            ws.engine_for(params);
-            ws
-        },
-        &|ws, j, stats| {
-            let WeightedWorkspace { envelope, env_weights, engine, .. } = ws;
-            let engine = engine.as_mut().expect("engine_for configured the engine");
-            let k = ctx.ks[j];
-            let t0 = Instant::now();
-            let band = ctx.index.band(bandwidth, k);
-            if band.is_empty() {
-                // the output row is already zeroed — skip the engine
-                stats.fill_nanos += t0.elapsed().as_nanos() as u64;
-                stats.rows_skipped += 1;
-                stats.envelope_sizes.push((j, 0));
-                return;
-            }
-            ctx.index.gather(band.clone(), weights, env_weights);
-            let intervals = envelope.fill_band(&ctx.index, band, bandwidth, k);
-            let t1 = Instant::now();
-            // SAFETY: the scheduler claims each row exactly once.
-            let out = unsafe { table.row(j) };
-            engine.process_row(&ctx.xs, k, intervals, env_weights, out);
-            stats.fill_nanos += (t1 - t0).as_nanos() as u64;
-            stats.sweep_nanos += t1.elapsed().as_nanos() as u64;
-            stats.envelope_sizes.push((j, intervals.len()));
-        },
-        &|ws| ws.space_bytes(),
-    );
+    let workers = {
+        let _sweep =
+            kdv_obs::span2("sweep.parallel", "rows", res_y as u64, "threads", threads as u64);
+        run_scheduler(
+            res_y,
+            threads,
+            &|| {
+                let mut ws = WeightedWorkspace::new();
+                ws.engine_for(params);
+                ws
+            },
+            &|ws, j, stats| {
+                let WeightedWorkspace { envelope, env_weights, engine, .. } = ws;
+                let engine = engine.as_mut().expect("engine_for configured the engine");
+                let k = ctx.ks[j];
+                let t0 = Instant::now();
+                let band = {
+                    let _s = kdv_obs::span1("band.search", "row", j as u64);
+                    ctx.index.band(bandwidth, k)
+                };
+                if band.is_empty() {
+                    // the output row is already zeroed — skip the engine
+                    stats.fill_nanos += t0.elapsed().as_nanos() as u64;
+                    stats.rows_skipped += 1;
+                    stats.envelope_sizes.push((j, 0));
+                    return;
+                }
+                let intervals = {
+                    let mut s = kdv_obs::span1("envelope.fill", "row", j as u64);
+                    ctx.index.gather(band.clone(), weights, env_weights);
+                    let intervals = envelope.fill_band(&ctx.index, band, bandwidth, k);
+                    s.arg("size", intervals.len() as u64);
+                    intervals
+                };
+                let t1 = Instant::now();
+                // SAFETY: the scheduler claims each row exactly once.
+                let out = unsafe { table.row(j) };
+                {
+                    let _s = kdv_obs::span1("row.sweep", "row", j as u64);
+                    engine.process_row(&ctx.xs, k, intervals, env_weights, out);
+                }
+                stats.fill_nanos += (t1 - t0).as_nanos() as u64;
+                stats.sweep_nanos += t1.elapsed().as_nanos() as u64;
+                stats.envelope_sizes.push((j, intervals.len()));
+            },
+            &|ws| ws.space_bytes(),
+        )
+    };
     let mut report = SweepReport::from_workers(workers, res_y, ctx.space_bytes());
     report.wall_nanos = start.elapsed().as_nanos() as u64;
     Ok((DensityGrid::from_values(res_x, res_y, values), report))
@@ -418,7 +448,10 @@ pub fn compute_multi_bandwidth_parallel(
             let k = ctx.ks[j];
             let t0 = Instant::now();
             // the widest band bounds every smaller bandwidth's binary search
-            let band_max = ctx.index.band(b_max, k);
+            let band_max = {
+                let _s = kdv_obs::span1("band.search", "row", j as u64);
+                ctx.index.band(b_max, k)
+            };
             if band_max.is_empty() {
                 stats.fill_nanos += t0.elapsed().as_nanos() as u64;
                 stats.rows_skipped += 1;
@@ -431,11 +464,17 @@ pub fn compute_multi_bandwidth_parallel(
                 if band.is_empty() {
                     continue;
                 }
-                let intervals = envelope.fill_band(&ctx.index, band, b, k);
+                let intervals = {
+                    let mut s = kdv_obs::span1("envelope.fill", "row", j as u64);
+                    let intervals = envelope.fill_band(&ctx.index, band, b, k);
+                    s.arg("size", intervals.len() as u64);
+                    intervals
+                };
                 engine.set_bandwidth(b);
                 // SAFETY: the scheduler claims each row exactly once, and
                 // each bandwidth writes to its own raster.
                 let out = unsafe { tables[bi].row(j) };
+                let _s = kdv_obs::span1("row.sweep", "row", j as u64);
                 engine.process_row(&ctx.xs, k, intervals, out);
             }
             stats.fill_nanos += (t1 - t0).as_nanos() as u64;

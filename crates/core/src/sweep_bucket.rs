@@ -132,16 +132,19 @@ impl RowEngine for BucketSweep {
         // `bl == bu` means the interval contains no pixel centre: it would
         // activate and deactivate at the same pixel, contributing nothing,
         // so it is dropped here (saving work *and* rounding noise).
-        for (idx, iv) in intervals.iter().enumerate() {
-            let bl = Self::lower_bucket_index(xs, x0, inv_gap, iv.lb);
-            let bu = Self::upper_bucket_index(xs, x0, inv_gap, iv.ub);
-            if bl == bu {
-                continue;
+        {
+            let _s = kdv_obs::span1("bucket.scatter", "intervals", intervals.len() as u64);
+            for (idx, iv) in intervals.iter().enumerate() {
+                let bl = Self::lower_bucket_index(xs, x0, inv_gap, iv.lb);
+                let bu = Self::upper_bucket_index(xs, x0, inv_gap, iv.ub);
+                if bl == bu {
+                    continue;
+                }
+                self.next_l[idx] = self.head_l[bl];
+                self.head_l[bl] = idx as u32;
+                self.next_u[idx] = self.head_u[bu];
+                self.head_u[bu] = idx as u32;
             }
-            self.next_l[idx] = self.head_l[bl];
-            self.head_l[bl] = idx as u32;
-            self.next_u[idx] = self.head_u[bu];
-            self.head_u[bu] = idx as u32;
         }
 
         // Sweep pass (lines 13–20): each interval visited at most once per

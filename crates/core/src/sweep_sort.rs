@@ -80,12 +80,15 @@ impl RowEngine for SortSweep {
     fn process_row(&mut self, xs: &[f64], k: f64, intervals: &[SweepInterval], out: &mut [f64]) {
         // Build and sort the two endpoint lists — the row's bottleneck
         // (O(|E(k)| log |E(k)|), line 3 of Algorithm 1).
-        self.lbs.clear();
-        self.ubs.clear();
-        self.lbs.extend(intervals.iter().map(|iv| (iv.lb, iv.ub, iv.point)));
-        self.ubs.extend(intervals.iter().map(|iv| (iv.ub, iv.lb, iv.point)));
-        self.lbs.sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
-        self.ubs.sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
+        {
+            let _s = kdv_obs::span1("interval.sort", "intervals", intervals.len() as u64);
+            self.lbs.clear();
+            self.ubs.clear();
+            self.lbs.extend(intervals.iter().map(|iv| (iv.lb, iv.ub, iv.point)));
+            self.ubs.extend(intervals.iter().map(|iv| (iv.ub, iv.lb, iv.point)));
+            self.lbs.sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
+            self.ubs.sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
+        }
 
         self.l_acc.reset();
         self.u_acc.reset();

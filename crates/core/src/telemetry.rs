@@ -8,6 +8,13 @@
 //! binaries) can inspect load balance and the envelope-size distribution —
 //! the quantities that decide whether dynamic row scheduling pays off on
 //! clustered data.
+//!
+//! Since the `kdv-obs` observability layer landed, the same quantities are
+//! also emitted as structured spans (`band.search`, `envelope.fill`,
+//! `row.sweep`, …) whenever the recorder is enabled. [`SweepReport`] is
+//! kept as the stable *compatibility view*: [`SweepReport::from_trace`]
+//! derives one from the span stream, and [`SweepReport::record_metrics`]
+//! publishes its aggregates into the global metrics registry.
 
 /// What one worker thread did during a parallel sweep.
 #[derive(Debug, Clone, Default)]
@@ -88,7 +95,13 @@ impl SweepReport {
             total_aux_bytes += w.aux_bytes;
             rows_skipped += w.rows_skipped;
             for &(row, size) in &w.envelope_sizes {
-                envelope_sizes[row] = size;
+                // A worker can only legitimately record rows it was handed;
+                // an out-of-range index is a scheduler bug, but telemetry
+                // must not panic a release sweep over it — drop the record.
+                debug_assert!(row < rows, "worker recorded out-of-range row {row} of {rows}");
+                if let Some(slot) = envelope_sizes.get_mut(row) {
+                    *slot = size;
+                }
             }
         }
         Self {
@@ -116,6 +129,113 @@ impl SweepReport {
         self
     }
 
+    /// Accumulates tile-cache counters from another observation window,
+    /// saturating at `u64::MAX` like the counters themselves — merging two
+    /// near-full windows must stay monotone, not wrap.
+    pub fn merge_cache_counters(&mut self, hits: u64, misses: u64, evictions: u64) {
+        self.cache_hits = self.cache_hits.saturating_add(hits);
+        self.cache_misses = self.cache_misses.saturating_add(misses);
+        self.cache_evictions = self.cache_evictions.saturating_add(evictions);
+    }
+
+    /// Derives the compatibility view from a recorded span stream: rows
+    /// and skips from `band.search`/`envelope.fill` counts, per-row
+    /// envelope sizes from the `envelope.fill` `row`/`size` arguments,
+    /// phase nanoseconds from span durations, and the wall clock from the
+    /// enclosing `sweep.parallel`/`sweep.sequential` span. One worker per
+    /// recorder thread id, in thread-id order.
+    ///
+    /// Heap accounting (`aux_bytes`) is not part of the span stream, so
+    /// the byte fields of the derived report are zero — callers that need
+    /// them use the report returned by the `*_with_report` entry points.
+    pub fn from_trace(trace: &kdv_obs::Trace, rows: usize) -> Self {
+        fn arg(e: &kdv_obs::TraceEvent, key: &str) -> Option<u64> {
+            e.args.as_slice().iter().find(|(k, _)| *k == key).map(|&(_, v)| v)
+        }
+        // events are sorted by (tid, ts), so each worker's rows replay in
+        // the order it swept them: a `band.search` not followed by its
+        // row's `envelope.fill` is a skipped (empty-band) row
+        let mut workers: Vec<(u64, WorkerStats)> = Vec::new();
+        let mut pending: Option<u64> = None;
+        let mut wall_nanos = 0u64;
+        let mut last_tid = None;
+        for e in &trace.events {
+            if last_tid != Some(e.tid) {
+                if let (Some(row), Some((_, w))) = (pending.take(), workers.last_mut()) {
+                    w.rows_skipped += 1;
+                    w.envelope_sizes.push((row as usize, 0));
+                }
+                last_tid = Some(e.tid);
+            }
+            match e.name {
+                "sweep.parallel" | "sweep.sequential" => wall_nanos = wall_nanos.max(e.dur_ns),
+                "band.search" | "envelope.fill" | "row.sweep" => {
+                    let w = match workers.last_mut() {
+                        Some((tid, w)) if *tid == e.tid => w,
+                        _ => {
+                            workers.push((e.tid, WorkerStats::default()));
+                            &mut workers.last_mut().expect("just pushed").1
+                        }
+                    };
+                    match e.name {
+                        "band.search" => {
+                            if let Some(row) = pending.take() {
+                                w.rows_skipped += 1;
+                                w.envelope_sizes.push((row as usize, 0));
+                            }
+                            pending = arg(e, "row");
+                            w.rows += 1;
+                            w.fill_nanos += e.dur_ns;
+                        }
+                        "envelope.fill" => {
+                            let row = arg(e, "row").or_else(|| pending.take());
+                            pending = None;
+                            w.fill_nanos += e.dur_ns;
+                            if let (Some(row), Some(size)) = (row, arg(e, "size")) {
+                                w.envelope_sizes.push((row as usize, size as usize));
+                            }
+                        }
+                        _ => w.sweep_nanos += e.dur_ns,
+                    }
+                }
+                _ => {}
+            }
+        }
+        if let (Some(row), Some((_, w))) = (pending.take(), workers.last_mut()) {
+            w.rows_skipped += 1;
+            w.envelope_sizes.push((row as usize, 0));
+        }
+        let mut report = Self::from_workers(workers.into_iter().map(|(_, w)| w).collect(), rows, 0);
+        report.wall_nanos = wall_nanos;
+        report
+    }
+
+    /// Publishes the report's aggregates into the global `kdv-obs` metrics
+    /// registry (counters `sweep.rows` / `sweep.rows_skipped`, histograms
+    /// `sweep.fill_ns` / `sweep.sweep_ns` per worker and
+    /// `sweep.envelope_size` per row). Called once per run by the CLI when
+    /// a metrics export is requested — never from the per-row hot path.
+    pub fn record_metrics(&self) {
+        let reg = kdv_obs::metrics::global();
+        reg.counter("sweep.rows").add(self.rows as u64);
+        reg.counter("sweep.rows_skipped").add(self.rows_skipped as u64);
+        let fill = reg.histogram("sweep.fill_ns");
+        for &ns in &self.fill_nanos {
+            fill.record(ns);
+        }
+        let sweep = reg.histogram("sweep.sweep_ns");
+        for &ns in &self.sweep_nanos {
+            sweep.record(ns);
+        }
+        let env = reg.histogram("sweep.envelope_size");
+        for &size in &self.envelope_sizes {
+            env.record(size as u64);
+        }
+        reg.counter("cache.hits").add(self.cache_hits);
+        reg.counter("cache.misses").add(self.cache_misses);
+        reg.counter("cache.evictions").add(self.cache_evictions);
+    }
+
     /// Largest per-row envelope set.
     pub fn max_envelope(&self) -> usize {
         self.envelope_sizes.iter().copied().max().unwrap_or(0)
@@ -130,13 +250,8 @@ impl SweepReport {
     /// sizes — the distribution that decides whether banded extraction
     /// beats a full scan on this dataset.
     pub fn envelope_percentile(&self, q: f64) -> usize {
-        if self.envelope_sizes.is_empty() {
-            return 0;
-        }
-        let mut sorted = self.envelope_sizes.clone();
-        sorted.sort_unstable();
-        let rank = (q.clamp(0.0, 1.0) * (sorted.len() - 1) as f64).round() as usize;
-        sorted[rank]
+        let sizes: Vec<u64> = self.envelope_sizes.iter().map(|&s| s as u64).collect();
+        kdv_obs::stats::percentile_u64(&sizes, q).unwrap_or(0) as usize
     }
 
     /// Total envelope-fill time across workers, in nanoseconds.
@@ -296,6 +411,102 @@ mod tests {
         assert_eq!(served.cache_hits, 7);
         let s = served.summary();
         assert!(s.contains("7 hit(s)") && s.contains("2 miss(es)") && s.contains("1 eviction(s)"));
+    }
+
+    #[test]
+    fn out_of_range_row_is_clamped_in_release_and_asserts_in_debug() {
+        let bad = worker(&[(0, 3), (9, 5)], 0, 0, 0); // row 9 of a 2-row raster
+        if cfg!(debug_assertions) {
+            let result = std::panic::catch_unwind(|| SweepReport::from_workers(vec![bad], 2, 0));
+            assert!(result.is_err(), "debug build must flag the scheduler bug");
+        } else {
+            let report = SweepReport::from_workers(vec![bad], 2, 0);
+            assert_eq!(report.envelope_sizes, vec![3, 0], "bad record dropped, not panicked");
+            assert_eq!(report.rows_per_worker, vec![2]);
+        }
+    }
+
+    #[test]
+    fn merge_cache_counters_saturates() {
+        let mut report = SweepReport::from_workers(Vec::new(), 0, 0).with_cache_counters(
+            u64::MAX - 1,
+            10,
+            u64::MAX,
+        );
+        report.merge_cache_counters(5, 3, 1);
+        assert_eq!(report.cache_hits, u64::MAX, "near-full counter saturates");
+        assert_eq!(report.cache_misses, 13, "ordinary counters add");
+        assert_eq!(report.cache_evictions, u64::MAX, "full counter stays pinned");
+        report.merge_cache_counters(0, 0, 0);
+        assert_eq!((report.cache_hits, report.cache_misses), (u64::MAX, 13));
+    }
+
+    #[test]
+    fn from_trace_derives_the_compat_view() {
+        use kdv_obs::{SpanArgs, Trace, TraceEvent};
+        fn args(pairs: &[(&'static str, u64)]) -> SpanArgs {
+            let mut a = SpanArgs::default();
+            for &(k, v) in pairs {
+                a.push(k, v);
+            }
+            a
+        }
+        fn ev(
+            name: &'static str,
+            tid: u64,
+            ts: u64,
+            dur: u64,
+            a: &[(&'static str, u64)],
+        ) -> TraceEvent {
+            TraceEvent { name, tid, ts_ns: ts, dur_ns: dur, args: args(a) }
+        }
+        // worker 1 sweeps rows 0 (size 4) and 2 (empty band, skipped);
+        // worker 2 sweeps row 1 (size 6); main thread holds the wall span
+        let trace = Trace {
+            events: vec![
+                ev("sweep.parallel", 0, 0, 10_000, &[("rows", 3), ("threads", 2)]),
+                ev("band.search", 1, 100, 50, &[("row", 0)]),
+                ev("envelope.fill", 1, 160, 200, &[("row", 0), ("size", 4)]),
+                ev("row.sweep", 1, 400, 700, &[("row", 0)]),
+                ev("band.search", 1, 1200, 40, &[("row", 2)]),
+                ev("band.search", 2, 150, 60, &[("row", 1)]),
+                ev("envelope.fill", 2, 220, 300, &[("row", 1), ("size", 6)]),
+                ev("row.sweep", 2, 600, 900, &[("row", 1)]),
+            ],
+            unmatched_begins: 0,
+            unmatched_ends: 0,
+        };
+        let report = SweepReport::from_trace(&trace, 3);
+        assert_eq!(report.threads, 2);
+        assert_eq!(report.rows, 3);
+        assert_eq!(report.wall_nanos, 10_000);
+        assert_eq!(report.envelope_sizes, vec![4, 6, 0]);
+        assert_eq!(report.rows_per_worker, vec![2, 1]);
+        assert_eq!(report.rows_skipped, 1);
+        assert_eq!(report.fill_nanos, vec![50 + 200 + 40, 60 + 300]);
+        assert_eq!(report.sweep_nanos, vec![700, 900]);
+    }
+
+    #[test]
+    fn record_metrics_publishes_aggregates() {
+        let registry = kdv_obs::metrics::global();
+        let before = registry.snapshot();
+        let mut report =
+            SweepReport::from_workers(vec![worker(&[(0, 5), (1, 0)], 120, 340, 0)], 2, 0);
+        report.merge_cache_counters(3, 2, 1);
+        report.record_metrics();
+        let delta = registry.snapshot().diff(&before);
+        // counters are cumulative across tests sharing the global registry,
+        // so only the window delta is asserted
+        assert_eq!(delta.counter("sweep.rows"), Some(2));
+        assert_eq!(delta.counter("sweep.rows_skipped"), Some(1));
+        assert_eq!(delta.counter("cache.hits"), Some(3));
+        assert_eq!(delta.counter("cache.misses"), Some(2));
+        assert_eq!(delta.counter("cache.evictions"), Some(1));
+        match delta.get("sweep.envelope_size") {
+            Some(kdv_obs::metrics::MetricValue::Histogram(h)) => assert_eq!(h.count, 2),
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]

@@ -185,11 +185,20 @@ pub fn sweep_rows<E: RowEngine>(
     out.fill(0.0);
     for (slot, j) in rows.enumerate() {
         let k = ctx.ks[j];
-        let band = ctx.index.band(bandwidth, k);
+        let band = {
+            let _s = kdv_obs::span1("band.search", "row", j as u64);
+            ctx.index.band(bandwidth, k)
+        };
         if band.is_empty() {
             continue;
         }
-        let intervals = envelope.fill_band(&ctx.index, band, bandwidth, k);
+        let intervals = {
+            let mut s = kdv_obs::span1("envelope.fill", "row", j as u64);
+            let intervals = envelope.fill_band(&ctx.index, band, bandwidth, k);
+            s.arg("size", intervals.len() as u64);
+            intervals
+        };
+        let _s = kdv_obs::span1("row.sweep", "row", j as u64);
         engine.process_row(&ctx.xs, k, intervals, &mut out[slot * x_count..(slot + 1) * x_count]);
     }
 }
@@ -208,6 +217,7 @@ pub fn compute_band<E: RowEngine>(
     band: &mut Vec<f64>,
 ) -> Vec<Tile> {
     let rows = tiling.tile_rows(ty);
+    let _s = kdv_obs::span2("tile.band", "ty", ty as u64, "rows", rows.len() as u64);
     band.resize(rows.len() * tiling.res_x, 0.0);
     sweep_rows(ctx, bandwidth, rows.clone(), engine, envelope, band);
     slice_band(tiling, ty, rows, band)
@@ -215,6 +225,7 @@ pub fn compute_band<E: RowEngine>(
 
 /// Slices one computed row band (full raster width) into its tiles.
 fn slice_band(tiling: &Tiling, ty: usize, band_rows: Range<usize>, band: &[f64]) -> Vec<Tile> {
+    let _s = kdv_obs::span1("tile.slice", "tiles", tiling.tiles_x() as u64);
     let height = band_rows.len();
     let mut tiles = Vec::with_capacity(tiling.tiles_x());
     for tx in 0..tiling.tiles_x() {
@@ -291,6 +302,7 @@ pub fn compute_tiles_parallel(
 /// uncovered — a stitching bug must never degrade silently into a
 /// half-zero raster.
 pub fn stitch(tiling: &Tiling, tiles: &[Tile]) -> DensityGrid {
+    let _s = kdv_obs::span1("tile.stitch", "tiles", tiles.len() as u64);
     assert_eq!(tiles.len(), tiling.tile_count(), "tile count mismatch");
     let mut grid = DensityGrid::zeroed(tiling.res_x, tiling.res_y);
     let mut covered = 0usize;

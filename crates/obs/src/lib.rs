@@ -1,0 +1,39 @@
+//! # kdv-obs — observability runtime for the SLAM-KDV workspace
+//!
+//! A dependency-free (no tokio, no `tracing`, std only) observability
+//! layer shared by the sweep engines, the parallel runtime, the tile
+//! server and the bench harness. The paper's cost model makes concrete
+//! per-phase predictions — envelope extraction vs. interval sort vs. row
+//! sweep — and this crate is how the repo observes them empirically:
+//!
+//! * [`span`] — a per-thread **span recorder**: `begin`/`end` events with
+//!   static names and `u64` arguments, recorded into thread-local buffers
+//!   that drain into a global sink when a thread exits (or on an explicit
+//!   [`span::flush_thread`]). Spans are RAII guards ([`span::span`]), so
+//!   every begin has a matching end by construction; a **disabled**
+//!   recorder costs one relaxed atomic load and a branch per span.
+//! * [`metrics`] — a **registry** of named counters, gauges and
+//!   fixed-bucket log2 histograms with cheap atomic recording. Counters
+//!   are *saturating* (they stick at `u64::MAX` instead of wrapping),
+//!   matching the tile-cache counter semantics. Point-in-time
+//!   [`metrics::Snapshot`]s can be diffed and serialized.
+//! * [`export`] — exporters: Chrome trace-event JSON (loadable in
+//!   Perfetto / `chrome://tracing`), a flat JSON metrics snapshot, and a
+//!   human-readable per-phase summary table.
+//! * [`stats`] — the percentile / median helpers previously copy-pasted
+//!   between `kdv-core` telemetry and the bench binaries.
+//!
+//! The recorder state is process-global (one trace per process), which is
+//! what a CLI invocation or a server wants. Tests that enable it must
+//! serialize through [`span::exclusive`] and live in their own
+//! integration-test binary so concurrent unit tests cannot interleave
+//! foreign events into the window under assertion.
+
+pub mod export;
+pub mod metrics;
+pub mod span;
+pub mod stats;
+
+pub use export::{chrome_trace_json, metrics_json, phase_summary, validate_json};
+pub use metrics::{Counter, Gauge, Histogram, Registry, Snapshot};
+pub use span::{enabled, set_enabled, span, span1, span2, SpanArgs, SpanGuard, Trace, TraceEvent};

@@ -1,0 +1,521 @@
+//! Metrics registry: named counters, gauges and log2 histograms with
+//! cheap atomic recording and diffable point-in-time snapshots.
+//!
+//! Counters are **saturating** — they stick at `u64::MAX` instead of
+//! wrapping — matching the tile-cache counter semantics in `kdv-serve`
+//! (a cache that has served `u64::MAX` hits should report "a lot", not
+//! wrap back to zero mid-soak). Histograms use 65 fixed power-of-two
+//! buckets so recording is a `leading_zeros` and one relaxed
+//! `fetch_add`; no allocation, no locks on the record path.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Number of histogram buckets: bucket 0 holds exactly `{0}`, bucket
+/// `i >= 1` holds `[2^(i-1), 2^i - 1]`, so bucket 64 ends at `u64::MAX`.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A saturating atomic counter (sticks at `u64::MAX`, never wraps).
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A counter starting at zero.
+    pub const fn new() -> Self {
+        Counter { value: AtomicU64::new(0) }
+    }
+
+    /// Adds 1, saturating at `u64::MAX`.
+    #[inline]
+    pub fn bump(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`, saturating at `u64::MAX`.
+    pub fn add(&self, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let mut cur = self.value.load(Ordering::Relaxed);
+        loop {
+            let next = cur.saturating_add(n);
+            match self.value.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(seen) => {
+                    if seen == u64::MAX {
+                        return;
+                    }
+                    cur = seen;
+                }
+            }
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Resets to zero (test hook; production snapshots diff instead).
+    pub fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+
+    /// Sets an explicit value (used by the rollover test hook in the
+    /// tile cache to force near-`u64::MAX` states).
+    pub fn force(&self, v: u64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+}
+
+/// A last-write-wins gauge.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicU64,
+}
+
+impl Gauge {
+    /// A gauge starting at zero.
+    pub const fn new() -> Self {
+        Gauge { value: AtomicU64::new(0) }
+    }
+
+    /// Sets the gauge.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Index of the bucket a value falls into: 0 for 0, else
+/// `64 - leading_zeros(v)` (so `[2^(i-1), 2^i - 1]` maps to `i`).
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+/// Inclusive upper bound of bucket `i` (`u64::MAX` for the last bucket).
+pub fn bucket_upper_bound(i: usize) -> u64 {
+    match i {
+        0 => 0,
+        64.. => u64::MAX,
+        _ => (1u64 << i) - 1,
+    }
+}
+
+/// A fixed-bucket log2 histogram: 65 power-of-two buckets, plus a
+/// saturating running count/sum/min/max so snapshots can report exact
+/// means alongside the bucketed distribution.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: Counter,
+    sum: Counter,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub const fn new() -> Self {
+        // `AtomicU64` is not `Copy`; a local interior-mutable const is
+        // the `const fn` way to build the array — each array slot
+        // instantiates a fresh zero, which is exactly the intent here.
+        #[allow(clippy::declare_interior_mutable_const)]
+        const ZERO: AtomicU64 = AtomicU64::new(0);
+        Histogram {
+            buckets: [ZERO; HISTOGRAM_BUCKETS],
+            count: Counter::new(),
+            sum: Counter::new(),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.bump();
+        self.sum.add(v);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the histogram state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; HISTOGRAM_BUCKETS];
+        for (out, b) in buckets.iter_mut().zip(&self.buckets) {
+            *out = b.load(Ordering::Relaxed);
+        }
+        let count = self.count.get();
+        HistogramSnapshot {
+            buckets,
+            count,
+            sum: self.sum.get(),
+            min: if count == 0 { 0 } else { self.min.load(Ordering::Relaxed) },
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Frozen histogram state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket observation counts.
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+    /// Total observations.
+    pub count: u64,
+    /// Saturating sum of observations.
+    pub sum: u64,
+    /// Smallest observation (0 when empty).
+    pub min: u64,
+    /// Largest observation (0 when empty).
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean observation, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Approximate quantile `q in [0,1]`: the upper bound of the bucket
+    /// containing the nearest-rank observation. Exact values live in the
+    /// trace; the histogram answers "which power-of-two decade".
+    pub fn quantile_upper_bound(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * (self.count - 1) as f64).round() as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen = seen.saturating_add(c);
+            if seen > rank {
+                return bucket_upper_bound(i).min(self.max);
+            }
+        }
+        self.max
+    }
+}
+
+enum Instrument {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Box<Histogram>),
+}
+
+impl Instrument {
+    fn kind(&self) -> &'static str {
+        match self {
+            Instrument::Counter(_) => "counter",
+            Instrument::Gauge(_) => "gauge",
+            Instrument::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// A registry of named instruments. Names are `&'static str` from the
+/// stable metric-name table in the README; registration is
+/// get-or-create, so call sites just name the metric they record to.
+///
+/// Lookup takes a mutex but call sites are expected to either record
+/// rarely (per request / per run, not per row) or hold on to the
+/// returned handle; the handles themselves record lock-free.
+#[derive(Default)]
+pub struct Registry {
+    instruments: Mutex<Vec<(&'static str, &'static Instrument)>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub const fn new() -> Self {
+        Registry { instruments: Mutex::new(Vec::new()) }
+    }
+
+    fn get_or_register(&self, name: &'static str, make: fn() -> Instrument) -> &'static Instrument {
+        let mut list = self.instruments.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some((_, inst)) = list.iter().find(|(n, _)| *n == name) {
+            return inst;
+        }
+        // Instruments live for the process lifetime: leaking gives every
+        // handle a 'static borrow with no per-record synchronization.
+        let inst: &'static Instrument = Box::leak(Box::new(make()));
+        list.push((name, inst));
+        inst
+    }
+
+    /// The counter named `name`, created on first use.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different instrument kind.
+    pub fn counter(&self, name: &'static str) -> &'static Counter {
+        match self.get_or_register(name, || Instrument::Counter(Counter::new())) {
+            Instrument::Counter(c) => c,
+            other => panic!("metric {name:?} is a {}, not a counter", other.kind()),
+        }
+    }
+
+    /// The gauge named `name`, created on first use.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different instrument kind.
+    pub fn gauge(&self, name: &'static str) -> &'static Gauge {
+        match self.get_or_register(name, || Instrument::Gauge(Gauge::new())) {
+            Instrument::Gauge(g) => g,
+            other => panic!("metric {name:?} is a {}, not a gauge", other.kind()),
+        }
+    }
+
+    /// The histogram named `name`, created on first use.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different instrument kind.
+    pub fn histogram(&self, name: &'static str) -> &'static Histogram {
+        match self.get_or_register(name, || Instrument::Histogram(Box::default())) {
+            Instrument::Histogram(h) => h,
+            other => panic!("metric {name:?} is a {}, not a histogram", other.kind()),
+        }
+    }
+
+    /// A point-in-time snapshot of every registered instrument, sorted
+    /// by name.
+    pub fn snapshot(&self) -> Snapshot {
+        let list = self.instruments.lock().unwrap_or_else(|e| e.into_inner());
+        let mut values: Vec<(String, MetricValue)> = list
+            .iter()
+            .map(|(name, inst)| {
+                let value = match inst {
+                    Instrument::Counter(c) => MetricValue::Counter(c.get()),
+                    Instrument::Gauge(g) => MetricValue::Gauge(g.get()),
+                    Instrument::Histogram(h) => MetricValue::Histogram(h.snapshot()),
+                };
+                (name.to_string(), value)
+            })
+            .collect();
+        values.sort_by(|a, b| a.0.cmp(&b.0));
+        Snapshot { values }
+    }
+}
+
+/// One frozen metric value.
+///
+/// The histogram variant is ~550 bytes against the scalars' 8; snapshots
+/// are a handful of entries built once per export, so the per-entry
+/// overhead is irrelevant and a `Box` would only complicate `diff`.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetricValue {
+    /// Counter value.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(u64),
+    /// Histogram state.
+    Histogram(HistogramSnapshot),
+}
+
+/// A frozen, name-sorted view of a [`Registry`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Snapshot {
+    /// `(name, value)` pairs sorted by name.
+    pub values: Vec<(String, MetricValue)>,
+}
+
+impl Snapshot {
+    /// Looks up a metric by name.
+    pub fn get(&self, name: &str) -> Option<&MetricValue> {
+        self.values.binary_search_by(|(n, _)| n.as_str().cmp(name)).ok().map(|i| &self.values[i].1)
+    }
+
+    /// Counter value by name (`None` if absent or not a counter).
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.get(name)? {
+            MetricValue::Counter(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The change from `earlier` to `self`: counters and histogram
+    /// counts subtract (saturating — a counter pinned at `u64::MAX`
+    /// diffs as whatever headroom remained, never underflows); gauges
+    /// and histogram min/max take `self`'s value (they are points, not
+    /// accumulations). Metrics absent from `earlier` pass through.
+    pub fn diff(&self, earlier: &Snapshot) -> Snapshot {
+        let values = self
+            .values
+            .iter()
+            .map(|(name, value)| {
+                let diffed = match (value, earlier.get(name)) {
+                    (MetricValue::Counter(now), Some(MetricValue::Counter(then))) => {
+                        MetricValue::Counter(now.saturating_sub(*then))
+                    }
+                    (MetricValue::Histogram(now), Some(MetricValue::Histogram(then))) => {
+                        let mut h = *now;
+                        for (b, t) in h.buckets.iter_mut().zip(&then.buckets) {
+                            *b = b.saturating_sub(*t);
+                        }
+                        h.count = h.count.saturating_sub(then.count);
+                        h.sum = h.sum.saturating_sub(then.sum);
+                        MetricValue::Histogram(h)
+                    }
+                    _ => value.clone(),
+                };
+                (name.clone(), diffed)
+            })
+            .collect();
+        Snapshot { values }
+    }
+}
+
+/// The process-global registry (what the CLI flags export).
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_saturates_at_max() {
+        let c = Counter::new();
+        c.force(u64::MAX - 1);
+        c.bump();
+        assert_eq!(c.get(), u64::MAX);
+        c.bump();
+        assert_eq!(c.get(), u64::MAX);
+        c.add(1000);
+        assert_eq!(c.get(), u64::MAX);
+    }
+
+    #[test]
+    fn bucket_index_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        // every bucket's upper bound indexes back into the same bucket
+        for i in 0..HISTOGRAM_BUCKETS {
+            assert_eq!(bucket_index(bucket_upper_bound(i)), i, "bucket {i}");
+        }
+    }
+
+    #[test]
+    fn histogram_records_and_snapshots() {
+        let h = Histogram::new();
+        for v in [0, 1, 1, 7, 1000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.sum, 1009);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 1000);
+        assert_eq!(s.buckets[0], 1); // {0}
+        assert_eq!(s.buckets[1], 2); // {1}
+        assert_eq!(s.buckets[3], 1); // [4,7]
+        assert_eq!(s.buckets[10], 1); // [512,1023]
+        assert!((s.mean() - 201.8).abs() < 1e-9);
+        // median falls in bucket {1}
+        assert_eq!(s.quantile_upper_bound(0.5), 1);
+        // the top quantile is capped at the observed max, not 1023
+        assert_eq!(s.quantile_upper_bound(1.0), 1000);
+    }
+
+    #[test]
+    fn empty_histogram_snapshot_is_zeroed() {
+        let s = Histogram::new().snapshot();
+        assert_eq!((s.count, s.sum, s.min, s.max), (0, 0, 0, 0));
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.quantile_upper_bound(0.5), 0);
+    }
+
+    #[test]
+    fn registry_get_or_register_returns_same_instrument() {
+        let r = Registry::new();
+        r.counter("test.c").add(3);
+        r.counter("test.c").add(4);
+        assert_eq!(r.counter("test.c").get(), 7);
+        r.gauge("test.g").set(9);
+        r.histogram("test.h").record(5);
+        let s = r.snapshot();
+        assert_eq!(s.counter("test.c"), Some(7));
+        assert_eq!(s.get("test.g"), Some(&MetricValue::Gauge(9)));
+        assert!(matches!(s.get("test.h"), Some(MetricValue::Histogram(h)) if h.count == 1));
+        assert!(s.get("test.missing").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "not a gauge")]
+    fn registry_kind_mismatch_panics() {
+        let r = Registry::new();
+        r.counter("test.kind");
+        r.gauge("test.kind");
+    }
+
+    #[test]
+    fn snapshot_diff_subtracts_counters_keeps_gauges() {
+        let r = Registry::new();
+        let c = r.counter("d.c");
+        let g = r.gauge("d.g");
+        let h = r.histogram("d.h");
+        c.add(10);
+        g.set(100);
+        h.record(4);
+        let before = r.snapshot();
+        c.add(5);
+        g.set(42);
+        h.record(4);
+        h.record(900);
+        let after = r.snapshot();
+        let d = after.diff(&before);
+        assert_eq!(d.counter("d.c"), Some(5));
+        assert_eq!(d.get("d.g"), Some(&MetricValue::Gauge(42)));
+        match d.get("d.h") {
+            Some(MetricValue::Histogram(hs)) => {
+                assert_eq!(hs.count, 2);
+                assert_eq!(hs.sum, 904);
+                assert_eq!(hs.buckets[3], 1);
+                assert_eq!(hs.buckets[10], 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn saturated_counter_diff_never_underflows() {
+        let r = Registry::new();
+        let c = r.counter("sat.c");
+        c.force(u64::MAX);
+        let before = r.snapshot();
+        c.add(7);
+        let after = r.snapshot();
+        assert_eq!(after.diff(&before).counter("sat.c"), Some(0));
+    }
+}

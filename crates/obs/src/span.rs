@@ -1,0 +1,457 @@
+//! The span recorder: lock-free per-thread begin/end event buffers with
+//! RAII guards.
+//!
+//! Recording path: [`span`] checks one global `AtomicBool`; when the
+//! recorder is disabled that check is the *entire* cost (plus an inert
+//! guard whose `Drop` takes the same one branch). When enabled, the guard
+//! pushes a `Begin` event into a thread-local `Vec` and its `Drop` pushes
+//! the matching `End` — no locks, no allocation beyond the `Vec`'s
+//! amortised growth, no cross-thread traffic on the hot path.
+//!
+//! Collection path: a thread's buffer drains into the global sink when
+//! the thread exits (thread-local destructor) or when the thread calls
+//! [`flush_thread`] explicitly (the main thread never "exits" before the
+//! process does, so exporters flush it by hand). [`take_trace`] pairs the
+//! per-thread begin/end streams into complete spans; RAII guarantees the
+//! per-thread streams are properly nested, and the pairing reports any
+//! unmatched events instead of guessing.
+//!
+//! Timestamps are nanoseconds since the process-wide epoch (the first
+//! time any recorder API observes the clock), so spans from different
+//! threads share one timeline.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::Instant;
+
+/// Maximum arguments a single raw event carries; a paired [`TraceEvent`]
+/// merges the begin and end argument sets, so it holds up to twice this.
+pub const MAX_RAW_ARGS: usize = 2;
+
+/// A small inline `(&'static str, u64)` argument set (no allocation).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpanArgs {
+    len: u8,
+    items: [(&'static str, u64); 2 * MAX_RAW_ARGS],
+}
+
+impl SpanArgs {
+    /// Adds an argument; silently drops arguments past the inline
+    /// capacity (observability must never panic the observed code).
+    pub fn push(&mut self, key: &'static str, value: u64) {
+        if (self.len as usize) < self.items.len() {
+            self.items[self.len as usize] = (key, value);
+            self.len += 1;
+        }
+    }
+
+    /// The recorded `(key, value)` pairs.
+    pub fn as_slice(&self) -> &[(&'static str, u64)] {
+        &self.items[..self.len as usize]
+    }
+
+    /// Whether no arguments were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn merged(&self, other: &SpanArgs) -> SpanArgs {
+        let mut out = *self;
+        for &(k, v) in other.as_slice() {
+            out.push(k, v);
+        }
+        out
+    }
+}
+
+/// Whether a raw event opens or closes a span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RawKind {
+    /// Span opened.
+    Begin,
+    /// Span closed.
+    End,
+}
+
+/// One raw begin/end event as recorded in a thread buffer.
+#[derive(Debug, Clone, Copy)]
+pub struct RawEvent {
+    /// Static span name (the stable registry in the README).
+    pub name: &'static str,
+    /// Begin or end.
+    pub kind: RawKind,
+    /// Nanoseconds since the recorder epoch.
+    pub ts_ns: u64,
+    /// Arguments attached to this side of the span.
+    pub args: SpanArgs,
+}
+
+/// One drained thread buffer: the recording thread's id plus its events
+/// in chronological order.
+#[derive(Debug, Clone)]
+pub struct ThreadEvents {
+    /// Recorder-assigned thread id (dense, starts at 0, stable for the
+    /// thread's lifetime).
+    pub tid: u64,
+    /// The thread's events in the order they were recorded.
+    pub events: Vec<RawEvent>,
+}
+
+/// One complete (begin-matched-with-end) span.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceEvent {
+    /// Static span name.
+    pub name: &'static str,
+    /// Recording thread id.
+    pub tid: u64,
+    /// Start, nanoseconds since the recorder epoch.
+    pub ts_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Begin-side then end-side arguments.
+    pub args: SpanArgs,
+}
+
+/// A paired trace: complete spans plus counts of events the pairing
+/// could not match (always zero under RAII usage; exposed so tests can
+/// assert it).
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    /// Complete spans, ordered by thread then start time.
+    pub events: Vec<TraceEvent>,
+    /// `Begin` events with no matching `End` (a guard leaked or a thread
+    /// buffer was drained mid-span).
+    pub unmatched_begins: usize,
+    /// `End` events with no matching `Begin`.
+    pub unmatched_ends: usize,
+}
+
+impl Trace {
+    /// Whether every begin found its end.
+    pub fn is_balanced(&self) -> bool {
+        self.unmatched_begins == 0 && self.unmatched_ends == 0
+    }
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static NEXT_TID: AtomicU64 = AtomicU64::new(0);
+static SINK: Mutex<Vec<ThreadEvents>> = Mutex::new(Vec::new());
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+static EXCLUSIVE: Mutex<()> = Mutex::new(());
+
+fn now_ns() -> u64 {
+    EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+fn lock_sink() -> MutexGuard<'static, Vec<ThreadEvents>> {
+    // A panic while holding the sink only interrupts event collection,
+    // never the observed computation — recover the data instead of
+    // poisoning every later export.
+    SINK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+struct TlsBuf {
+    tid: u64,
+    events: Vec<RawEvent>,
+}
+
+impl TlsBuf {
+    fn flush(&mut self) {
+        if self.events.is_empty() {
+            return;
+        }
+        let drained = ThreadEvents { tid: self.tid, events: std::mem::take(&mut self.events) };
+        lock_sink().push(drained);
+    }
+}
+
+impl Drop for TlsBuf {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+thread_local! {
+    static BUF: RefCell<TlsBuf> = RefCell::new(TlsBuf {
+        tid: NEXT_TID.fetch_add(1, Ordering::Relaxed),
+        events: Vec::new(),
+    });
+}
+
+fn record(name: &'static str, kind: RawKind, args: SpanArgs) {
+    let ts_ns = now_ns();
+    // If the thread is in TLS teardown the event is dropped — losing a
+    // span beats aborting the process inside a destructor.
+    let _ = BUF.try_with(|b| {
+        if let Ok(mut b) = b.try_borrow_mut() {
+            b.events.push(RawEvent { name, kind, ts_ns, args });
+        }
+    });
+}
+
+/// Turns recording on or off process-wide. Spans opened while enabled
+/// still record their `End` after disabling (the guard captured its
+/// active state at open), so traces stay balanced across the switch.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::SeqCst);
+}
+
+/// Whether the recorder is currently enabled.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// RAII span guard: records `Begin` at creation (when enabled) and `End`
+/// at drop. The disabled path is one branch at creation and one at drop.
+#[must_use = "a span guard measures the scope it lives in"]
+pub struct SpanGuard {
+    name: &'static str,
+    args: SpanArgs,
+    active: bool,
+}
+
+impl SpanGuard {
+    /// Attaches an argument to the span's `End` event — for quantities
+    /// only known at scope exit (an envelope size, an eviction count).
+    #[inline]
+    pub fn arg(&mut self, key: &'static str, value: u64) {
+        if self.active {
+            self.args.push(key, value);
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    #[inline]
+    fn drop(&mut self) {
+        if self.active {
+            record(self.name, RawKind::End, self.args);
+        }
+    }
+}
+
+/// Opens a span. `name` must be `'static` (the stable span registry —
+/// see the README's Observability section).
+#[inline]
+pub fn span(name: &'static str) -> SpanGuard {
+    let active = enabled();
+    if active {
+        record(name, RawKind::Begin, SpanArgs::default());
+    }
+    SpanGuard { name, args: SpanArgs::default(), active }
+}
+
+/// Opens a span with one argument on the `Begin` event.
+#[inline]
+pub fn span1(name: &'static str, key: &'static str, value: u64) -> SpanGuard {
+    let active = enabled();
+    if active {
+        let mut args = SpanArgs::default();
+        args.push(key, value);
+        record(name, RawKind::Begin, args);
+    }
+    SpanGuard { name, args: SpanArgs::default(), active }
+}
+
+/// Opens a span with two arguments on the `Begin` event.
+#[inline]
+pub fn span2(
+    name: &'static str,
+    k1: &'static str,
+    v1: u64,
+    k2: &'static str,
+    v2: u64,
+) -> SpanGuard {
+    let active = enabled();
+    if active {
+        let mut args = SpanArgs::default();
+        args.push(k1, v1);
+        args.push(k2, v2);
+        record(name, RawKind::Begin, args);
+    }
+    SpanGuard { name, args: SpanArgs::default(), active }
+}
+
+/// Drains the calling thread's buffer into the global sink. Exporters
+/// call this on the main thread before [`take_trace`]; worker threads
+/// drain automatically when they exit.
+pub fn flush_thread() {
+    let _ = BUF.try_with(|b| {
+        if let Ok(mut b) = b.try_borrow_mut() {
+            b.flush();
+        }
+    });
+}
+
+/// Takes every drained thread buffer out of the sink (flushing the
+/// calling thread first), grouped by thread id with per-thread
+/// chronological order preserved.
+pub fn take_raw() -> Vec<ThreadEvents> {
+    flush_thread();
+    let drained: Vec<ThreadEvents> = std::mem::take(&mut *lock_sink());
+    // A thread that flushed more than once appears as multiple entries;
+    // concatenate them (arrival order == per-thread chronological order).
+    let mut by_tid: Vec<ThreadEvents> = Vec::new();
+    for part in drained {
+        match by_tid.iter_mut().find(|t| t.tid == part.tid) {
+            Some(existing) => existing.events.extend(part.events),
+            None => by_tid.push(part),
+        }
+    }
+    by_tid.sort_by_key(|t| t.tid);
+    by_tid
+}
+
+/// Takes the recorded events and pairs them into complete spans.
+///
+/// RAII guards nest properly within a thread, so pairing is a per-thread
+/// stack: `Begin` pushes, `End` pops its matching `Begin` (same name at
+/// the top of the stack) and emits one [`TraceEvent`] whose arguments are
+/// the begin-side then end-side sets. Events that cannot be matched are
+/// counted, never silently dropped into a wrong pairing.
+pub fn take_trace() -> Trace {
+    let mut trace = Trace::default();
+    for thread in take_raw() {
+        let mut stack: Vec<RawEvent> = Vec::new();
+        for event in thread.events {
+            match event.kind {
+                RawKind::Begin => stack.push(event),
+                RawKind::End => {
+                    if stack.last().map(|b| b.name) == Some(event.name) {
+                        let begin = stack.pop().expect("checked non-empty");
+                        trace.events.push(TraceEvent {
+                            name: begin.name,
+                            tid: thread.tid,
+                            ts_ns: begin.ts_ns,
+                            dur_ns: event.ts_ns.saturating_sub(begin.ts_ns),
+                            args: begin.args.merged(&event.args),
+                        });
+                    } else {
+                        trace.unmatched_ends += 1;
+                    }
+                }
+            }
+        }
+        trace.unmatched_begins += stack.len();
+    }
+    trace.events.sort_by_key(|e| (e.tid, e.ts_ns));
+    trace
+}
+
+/// Discards everything recorded so far (does not change the enabled
+/// flag). Long-running hosts that only sample occasionally call this
+/// between windows so the sink cannot grow without bound.
+pub fn clear() {
+    let _ = take_raw();
+}
+
+/// Serializes tests that toggle the process-global recorder. Every test
+/// that calls [`set_enabled`] must hold this guard for its whole body;
+/// the mutex recovers from poisoning so one failing test cannot wedge
+/// the rest of the suite.
+pub fn exclusive() -> MutexGuard<'static, ()> {
+    EXCLUSIVE.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_records_nothing() {
+        let _x = exclusive();
+        set_enabled(false);
+        clear();
+        {
+            let mut g = span1("test.disabled", "k", 1);
+            g.arg("v", 2);
+        }
+        assert!(take_trace().events.is_empty());
+    }
+
+    #[test]
+    fn spans_pair_with_args_merged() {
+        let _x = exclusive();
+        set_enabled(true);
+        clear();
+        {
+            let mut g = span2("test.outer", "a", 1, "b", 2);
+            {
+                let _inner = span("test.inner");
+            }
+            g.arg("c", 3);
+        }
+        set_enabled(false);
+        let trace = take_trace();
+        assert!(trace.is_balanced(), "{trace:?}");
+        assert_eq!(trace.events.len(), 2);
+        let outer = trace.events.iter().find(|e| e.name == "test.outer").unwrap();
+        let inner = trace.events.iter().find(|e| e.name == "test.inner").unwrap();
+        assert_eq!(outer.args.as_slice(), &[("a", 1), ("b", 2), ("c", 3)]);
+        assert!(inner.args.is_empty());
+        // inner nests within outer on the shared timeline
+        assert!(inner.ts_ns >= outer.ts_ns);
+        assert!(inner.ts_ns + inner.dur_ns <= outer.ts_ns + outer.dur_ns);
+    }
+
+    #[test]
+    fn worker_threads_drain_on_exit() {
+        let _x = exclusive();
+        set_enabled(true);
+        clear();
+        std::thread::scope(|scope| {
+            for _ in 0..3 {
+                scope.spawn(|| {
+                    let _g = span("test.worker");
+                });
+            }
+        });
+        {
+            let _g = span("test.main");
+        }
+        set_enabled(false);
+        let trace = take_trace();
+        assert!(trace.is_balanced());
+        assert_eq!(trace.events.iter().filter(|e| e.name == "test.worker").count(), 3);
+        let worker_tids: std::collections::BTreeSet<u64> =
+            trace.events.iter().filter(|e| e.name == "test.worker").map(|e| e.tid).collect();
+        assert_eq!(worker_tids.len(), 3, "each worker thread gets its own tid");
+    }
+
+    #[test]
+    fn span_opened_before_disable_still_closes() {
+        let _x = exclusive();
+        set_enabled(true);
+        clear();
+        let g = span("test.straddle");
+        set_enabled(false);
+        drop(g);
+        let trace = take_trace();
+        assert!(trace.is_balanced());
+        assert_eq!(trace.events.len(), 1);
+        assert_eq!(trace.events[0].name, "test.straddle");
+    }
+
+    #[test]
+    fn args_overflow_is_dropped_not_panicked() {
+        let mut args = SpanArgs::default();
+        for i in 0..10 {
+            args.push("k", i);
+        }
+        assert_eq!(args.as_slice().len(), 2 * MAX_RAW_ARGS);
+    }
+
+    #[test]
+    fn clear_discards_pending_events() {
+        let _x = exclusive();
+        set_enabled(true);
+        {
+            let _g = span("test.discarded");
+        }
+        clear();
+        set_enabled(false);
+        assert!(take_trace().events.is_empty());
+    }
+}

@@ -1,0 +1,71 @@
+//! Small numeric helpers shared by `kdv-core` telemetry and the bench
+//! binaries (previously copy-pasted nearest-rank percentile and median
+//! implementations).
+
+/// Nearest-rank percentile of `values` at quantile `q in [0,1]`
+/// (`rank = round(q * (len-1))`), or `None` when empty. Matches the
+/// semantics `SweepReport::envelope_percentile` has always used.
+pub fn percentile_u64(values: &[u64], q: f64) -> Option<u64> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_unstable();
+    let rank = (q.clamp(0.0, 1.0) * (sorted.len() - 1) as f64).round() as usize;
+    Some(sorted[rank])
+}
+
+/// Nearest-rank percentile for floating-point samples (total order via
+/// `f64::total_cmp`, so NaN sorts last instead of poisoning the sort).
+pub fn percentile_f64(values: &[f64], q: f64) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let rank = (q.clamp(0.0, 1.0) * (sorted.len() - 1) as f64).round() as usize;
+    Some(sorted[rank])
+}
+
+/// Median of floating-point samples (nearest-rank, `None` when empty) —
+/// the helper the bench binaries each reimplemented inline.
+pub fn median_f64(values: &[f64]) -> Option<f64> {
+    percentile_f64(values, 0.5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_u64_nearest_rank() {
+        let v = [5u64, 1, 9, 3, 7];
+        assert_eq!(percentile_u64(&v, 0.0), Some(1));
+        assert_eq!(percentile_u64(&v, 0.5), Some(5));
+        assert_eq!(percentile_u64(&v, 1.0), Some(9));
+        // q = 0.9 -> rank round(3.6) = 4
+        assert_eq!(percentile_u64(&v, 0.9), Some(9));
+        // q = 0.6 -> rank round(2.4) = 2
+        assert_eq!(percentile_u64(&v, 0.6), Some(5));
+        assert_eq!(percentile_u64(&[], 0.5), None);
+        // out-of-range q clamps
+        assert_eq!(percentile_u64(&v, -1.0), Some(1));
+        assert_eq!(percentile_u64(&v, 2.0), Some(9));
+    }
+
+    #[test]
+    fn median_f64_matches_sorted_middle() {
+        assert_eq!(median_f64(&[3.0, 1.0, 2.0]), Some(2.0));
+        // even length: nearest-rank rounds half up, so the upper middle
+        assert_eq!(median_f64(&[4.0, 1.0, 3.0, 2.0]), Some(3.0));
+        assert_eq!(median_f64(&[]), None);
+        assert_eq!(median_f64(&[7.5]), Some(7.5));
+    }
+
+    #[test]
+    fn percentile_f64_tolerates_nan() {
+        let v = [1.0, f64::NAN, 2.0];
+        assert_eq!(percentile_f64(&v, 0.0), Some(1.0));
+        assert_eq!(percentile_f64(&v, 0.5), Some(2.0));
+    }
+}

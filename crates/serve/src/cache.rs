@@ -23,7 +23,6 @@
 
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use kdv_core::tile::Tile;
@@ -65,53 +64,40 @@ impl TileKey {
     }
 }
 
-/// Saturating cache counters, shared by all shards.
+/// Saturating cache counters, shared by all shards. Built on the
+/// saturating [`kdv_obs::Counter`] — once a counter reaches `u64::MAX`
+/// it stays there; wrapping would make long-lived statistics
+/// non-monotone.
 #[derive(Debug, Default)]
 pub struct CacheStats {
-    hits: AtomicU64,
-    misses: AtomicU64,
-    evictions: AtomicU64,
-}
-
-/// Saturating increment: once a counter reaches `u64::MAX` it stays
-/// there. Wrapping would make long-lived statistics non-monotone.
-fn saturating_bump(counter: &AtomicU64, by: u64) {
-    let mut cur = counter.load(Ordering::Relaxed);
-    loop {
-        let next = cur.saturating_add(by);
-        if cur == next {
-            return; // already saturated
-        }
-        match counter.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
-            Ok(_) => return,
-            Err(seen) => cur = seen,
-        }
-    }
+    hits: kdv_obs::Counter,
+    misses: kdv_obs::Counter,
+    evictions: kdv_obs::Counter,
 }
 
 impl CacheStats {
     /// Cache hits so far.
     pub fn hits(&self) -> u64 {
-        self.hits.load(Ordering::Relaxed)
+        self.hits.get()
     }
 
     /// Cache misses so far.
     pub fn misses(&self) -> u64 {
-        self.misses.load(Ordering::Relaxed)
+        self.misses.get()
     }
 
     /// Evictions so far.
     pub fn evictions(&self) -> u64 {
-        self.evictions.load(Ordering::Relaxed)
+        self.evictions.get()
     }
 
     /// Test hook: forces the raw counter values (e.g. to the `u64`
     /// boundary) so rollover behaviour can be exercised without serving
     /// 2⁶⁴ requests. Not for production use.
     pub fn force(&self, hits: u64, misses: u64, evictions: u64) {
-        self.hits.store(hits, Ordering::Relaxed);
-        self.misses.store(misses, Ordering::Relaxed);
-        self.evictions.store(evictions, Ordering::Relaxed);
+        self.hits.force(hits);
+        self.misses.force(misses);
+        self.evictions.force(evictions);
     }
 }
 
@@ -252,14 +238,16 @@ impl TileCache {
 
     /// Looks a tile up, refreshing its recency. Counts a hit or a miss.
     pub fn get(&self, key: &TileKey) -> Option<Arc<Tile>> {
+        let mut span = kdv_obs::span("cache.lookup");
         let found = self.shard_of(key).lock().expect("cache shard poisoned").get(key);
+        span.arg("hit", found.is_some() as u64);
         match found {
             Some(t) => {
-                saturating_bump(&self.stats.hits, 1);
+                self.stats.hits.bump();
                 Some(t)
             }
             None => {
-                saturating_bump(&self.stats.misses, 1);
+                self.stats.misses.bump();
                 None
             }
         }
@@ -276,8 +264,10 @@ impl TileCache {
     /// not cached at all — counted as one eviction, since the tile was
     /// produced and immediately dropped.
     pub fn insert(&self, key: TileKey, tile: Arc<Tile>) {
+        let mut span = kdv_obs::span1("cache.insert", "bytes", tile.bytes() as u64);
         if tile.bytes() > self.shard_budget {
-            saturating_bump(&self.stats.evictions, 1);
+            span.arg("evicted", 1);
+            self.stats.evictions.bump();
             return;
         }
         let evicted = self.shard_of(&key).lock().expect("cache shard poisoned").insert(
@@ -285,8 +275,9 @@ impl TileCache {
             tile,
             self.shard_budget,
         );
+        span.arg("evicted", evicted);
         if evicted > 0 {
-            saturating_bump(&self.stats.evictions, evicted);
+            self.stats.evictions.add(evicted);
         }
     }
 

@@ -109,6 +109,7 @@ impl TileServer {
         if let Some(ctx) = slot.get() {
             return Ok(Arc::clone(ctx));
         }
+        let _s = kdv_obs::span1("pyramid.build", "zoom", zoom as u64);
         let params = self.pyramid.level_params(
             zoom,
             self.config.kernel,
@@ -133,6 +134,13 @@ impl TileServer {
         threads: usize,
     ) -> Result<(DensityGrid, SweepReport)> {
         let started = Instant::now();
+        let mut span = kdv_obs::span2(
+            "serve.viewport",
+            "zoom",
+            viewport.zoom as u64,
+            "pixels",
+            (viewport.width * viewport.height) as u64,
+        );
         let (hits0, misses0, evictions0) = (
             self.cache.stats().hits(),
             self.cache.stats().misses(),
@@ -231,6 +239,8 @@ impl TileServer {
         );
         report.threads = threads;
         report.wall_nanos = started.elapsed().as_nanos() as u64;
+        span.arg("misses", report.cache_misses);
+        kdv_obs::metrics::global().histogram("serve.request_ns").record(report.wall_nanos);
         Ok((out, report))
     }
 }

@@ -1,130 +1,13 @@
 //! Smoke tests over the committed benchmark result files: `./ci.sh bench`
 //! appends entries to `results/BENCH_*.json`, and a malformed append (a
 //! bad suffix splice, a truncated run) must fail CI rather than silently
-//! corrupt the history. The checks are a hand-rolled JSON well-formedness
-//! pass plus presence of the keys downstream tooling reads — no JSON
-//! dependency in the budget.
+//! corrupt the history. The checks are [`kdv_obs::validate_json`] (a
+//! recursive-descent well-formedness pass — no JSON dependency in the
+//! budget) plus presence of the keys downstream tooling reads.
 
 use std::path::Path;
 
-/// Minimal recursive-descent JSON well-formedness check (objects, arrays,
-/// strings with escapes, numbers, true/false/null). Returns the byte
-/// offset that failed, if any.
-fn validate_json(s: &str) -> Result<(), usize> {
-    let b = s.as_bytes();
-    let mut i = 0usize;
-    fn ws(b: &[u8], i: &mut usize) {
-        while *i < b.len() && matches!(b[*i], b' ' | b'\t' | b'\n' | b'\r') {
-            *i += 1;
-        }
-    }
-    fn value(b: &[u8], i: &mut usize, depth: usize) -> Result<(), usize> {
-        if depth > 64 {
-            return Err(*i);
-        }
-        ws(b, i);
-        match b.get(*i) {
-            Some(b'{') => {
-                *i += 1;
-                ws(b, i);
-                if b.get(*i) == Some(&b'}') {
-                    *i += 1;
-                    return Ok(());
-                }
-                loop {
-                    ws(b, i);
-                    string(b, i)?;
-                    ws(b, i);
-                    if b.get(*i) != Some(&b':') {
-                        return Err(*i);
-                    }
-                    *i += 1;
-                    value(b, i, depth + 1)?;
-                    ws(b, i);
-                    match b.get(*i) {
-                        Some(b',') => *i += 1,
-                        Some(b'}') => {
-                            *i += 1;
-                            return Ok(());
-                        }
-                        _ => return Err(*i),
-                    }
-                }
-            }
-            Some(b'[') => {
-                *i += 1;
-                ws(b, i);
-                if b.get(*i) == Some(&b']') {
-                    *i += 1;
-                    return Ok(());
-                }
-                loop {
-                    value(b, i, depth + 1)?;
-                    ws(b, i);
-                    match b.get(*i) {
-                        Some(b',') => *i += 1,
-                        Some(b']') => {
-                            *i += 1;
-                            return Ok(());
-                        }
-                        _ => return Err(*i),
-                    }
-                }
-            }
-            Some(b'"') => string(b, i),
-            Some(b't') => literal(b, i, b"true"),
-            Some(b'f') => literal(b, i, b"false"),
-            Some(b'n') => literal(b, i, b"null"),
-            Some(c) if c.is_ascii_digit() || *c == b'-' => {
-                // lenient number scan: digits, sign, dot, exponent
-                let start = *i;
-                while *i < b.len()
-                    && matches!(b[*i], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
-                {
-                    *i += 1;
-                }
-                if *i == start {
-                    Err(start)
-                } else {
-                    Ok(())
-                }
-            }
-            _ => Err(*i),
-        }
-    }
-    fn string(b: &[u8], i: &mut usize) -> Result<(), usize> {
-        if b.get(*i) != Some(&b'"') {
-            return Err(*i);
-        }
-        *i += 1;
-        while let Some(&c) = b.get(*i) {
-            match c {
-                b'\\' => *i += 2,
-                b'"' => {
-                    *i += 1;
-                    return Ok(());
-                }
-                _ => *i += 1,
-            }
-        }
-        Err(*i)
-    }
-    fn literal(b: &[u8], i: &mut usize, lit: &[u8]) -> Result<(), usize> {
-        if b.len() >= *i + lit.len() && &b[*i..*i + lit.len()] == lit {
-            *i += lit.len();
-            Ok(())
-        } else {
-            Err(*i)
-        }
-    }
-    value(b, &mut i, 0)?;
-    ws(b, &mut i);
-    if i == b.len() {
-        Ok(())
-    } else {
-        Err(i)
-    }
-}
+use kdv_obs::validate_json;
 
 fn read_results(name: &str) -> String {
     let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("results").join(name);
@@ -173,6 +56,24 @@ fn bench_envelope_json_parses_with_expected_keys() {
         ["\"rows\"", "\"bandwidth\"", "\"extract_scan_s\"", "\"extract_banded_s\"", "\"mean_band\""]
     {
         assert!(text.contains(key), "BENCH_envelope.json missing key {key}");
+    }
+}
+
+#[test]
+fn bench_obs_json_parses_with_expected_keys() {
+    let text = read_results("BENCH_obs.json");
+    validate_json(&text)
+        .unwrap_or_else(|off| panic!("BENCH_obs.json is not valid JSON near byte {off}"));
+    for key in [
+        "\"n\"",
+        "\"requests\"",
+        "\"spans\"",
+        "\"disabled_s\"",
+        "\"instrumented_s\"",
+        "\"ratio\"",
+        "\"max_ratio\"",
+    ] {
+        assert!(text.contains(key), "BENCH_obs.json missing key {key}");
     }
 }
 
