@@ -13,6 +13,12 @@
 #                      trace replay through the CLI export flags, JSON
 #                      well-formedness smoke, and the bench_obs
 #                      instrumented-vs-disabled overhead assertion
+#   ./ci.sh serve-load concurrent serving gate: bench_serve (multi-
+#                      session replay, bitwise sequential==concurrent,
+#                      zero duplicate band computes, p99 cap, explicit
+#                      load-shed under saturation), a v2 trace replay
+#                      through the CLI front end, and the serve hammer
+#                      tests
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -55,6 +61,28 @@ if [[ "${1:-}" == "obs" ]]; then
     cargo test -q -p kdv-obs
     cargo test -q -p kdv-core --test obs_properties
     echo "==> OBS OK"
+    exit 0
+fi
+
+if [[ "${1:-}" == "serve-load" ]]; then
+    echo "==> bench_serve (bitwise, zero-duplicate-band, p99 and load-shed assertions)"
+    cargo run --release -p kdv-bench --bin bench_serve
+    echo "==> v2 multi-session trace replay through the CLI front end"
+    tmp="$(mktemp -d)"
+    trap 'rm -rf "$tmp"' EXIT
+    cargo run --release -p kdv-cli -- generate --city seattle --scale 0.05 --out "$tmp/city.csv"
+    out="$(cargo run --release -p kdv-cli -- serve --input "$tmp/city.csv" \
+        --batch traces/pan_sessions.trace --max-zoom 2 --cache-mb 128 \
+        --workers 4 --queue-depth 64 --stats)"
+    echo "$out" | tail -4
+    echo "$out" | grep -q ", 0 duplicate compute(s)" \
+        || { echo "duplicate band computes in CLI replay" >&2; exit 1; }
+    echo "$out" | grep -q ", 0 shed (0 queue-full, 0 deadline)" \
+        || { echo "unexpected load shedding in unsaturated CLI replay" >&2; exit 1; }
+    echo "==> serve hammer + front-end tests"
+    cargo test -q -p kdv-serve
+    cargo test -q --test bench_results
+    echo "==> SERVE-LOAD OK"
     exit 0
 fi
 

@@ -49,6 +49,7 @@ USAGE:
   kdv serve    --input FILE.csv --batch TRACE.txt [--tile-size N] [--base-res WxH]
                [--max-zoom Z] [--kernel K] [--bandwidth B] [--cache-mb M]
                [--threads N] [--out-prefix PREFIX] [--stats]
+               [--workers N] [--queue-depth N] [--deadline-ms MS]
                [--trace-out FILE] [--metrics-out FILE]
   kdv info     --input FILE.csv
 
@@ -72,15 +73,27 @@ OPTIONS:
                  (counters, gauges, log2 histograms) for this run
 
 SERVE OPTIONS:
-  --batch        viewport trace file: one `zoom px py width height` line
-                 per request, `#` comments allowed
+  --batch        viewport trace file, `#` comments allowed. v1: one
+                 `zoom px py width height` line per request, replayed
+                 sequentially. v2: `session think_ms zoom px py width
+                 height` lines, replayed concurrently (one thread per
+                 session) through the worker-pool front end
   --tile-size    tile side length in pixels                (default 256)
   --base-res     level-0 raster, e.g. 512x512; level z doubles per zoom
                  (default one tile: tile-size x tile-size)
   --max-zoom     deepest zoom level served                 (default 4)
   --cache-mb     tile cache budget in MiB                  (default 256)
+  --workers      front-end worker threads for v2 replay    (default 4);
+                 with a v1 trace, forces it through the front end too
+  --queue-depth  bounded admission queue; submits beyond it are
+                 load-shed with an explicit rejection      (default 64)
+  --deadline-ms  shed requests still queued after this many ms
+                 (default: no deadline)
   --out-prefix   write each served viewport as PREFIX_NNN.ppm
-  --stats        print per-request cache deltas and a final summary
+                 (sequential v1 replay only)
+  --stats        print per-request cache deltas and a final summary;
+                 concurrent replay also prints p50/p99 latency, shed
+                 counts and single-flight band counters
 ";
 
 /// Minimal `--key value` argument map with flag support.
@@ -500,26 +513,69 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     let obs = ObsSession::from_args(args);
 
     let trace_text = std::fs::read_to_string(batch).map_err(|e| format!("{batch}: {e}"))?;
-    let requests = kdv_serve::trace::parse(&trace_text).map_err(|e| e.to_string())?;
-    if requests.is_empty() {
+    let trace = kdv_serve::trace::parse_sessions(&trace_text).map_err(|e| e.to_string())?;
+    if trace.num_requests() == 0 {
         return Err(format!("{batch}: trace contains no requests"));
     }
+    let concurrent = trace.version == 2 || args.get("workers").is_some();
 
     let pyramid = kdv_serve::PyramidSpec::new(mbr, tile_size, base_x, base_y, max_zoom)
         .map_err(|e| e.to_string())?;
     let config =
         kdv_serve::ServeConfig { dataset: 1, kernel, bandwidth, weight: 1.0 / points.len() as f64 };
     let n = points.len();
-    let server = kdv_serve::TileServer::new(pyramid, config, points, cache_mb << 20, 16);
+    let server = std::sync::Arc::new(kdv_serve::TileServer::new(
+        pyramid,
+        config,
+        points,
+        cache_mb << 20,
+        16,
+    ));
 
     println!(
         "serving {} request(s) over {} points (tile {tile_size}px, base {base_x}x{base_y}, \
          max zoom {max_zoom}, bandwidth {bandwidth:.2}, cache {cache_mb} MiB, {threads} thread(s))",
-        requests.len(),
+        trace.num_requests(),
         n
     );
-    let colormap: ColorMap = args.get("colormap").unwrap_or("heat").parse()?;
     let start = Instant::now();
+    if concurrent {
+        serve_concurrent(args, &trace, &server, stats)?;
+    } else {
+        serve_sequential(args, &trace, &server, threads, stats, &obs)?;
+    }
+    let cs = server.cache_stats();
+    let total = cs.hits() + cs.misses();
+    println!(
+        "replayed {} request(s) in {:.3}s: {} hit(s) / {} miss(es) ({:.1}% hit rate), \
+         {} eviction(s), {} rejected, cache {} tile(s) / {} B of {} B",
+        trace.num_requests(),
+        start.elapsed().as_secs_f64(),
+        cs.hits(),
+        cs.misses(),
+        if total == 0 { 0.0 } else { 100.0 * cs.hits() as f64 / total as f64 },
+        cs.evictions(),
+        cs.rejected(),
+        server.cache().len(),
+        server.cache().bytes(),
+        server.cache().budget()
+    );
+    obs.finish()?;
+    Ok(())
+}
+
+/// Sequential v1 replay: one request at a time, straight at the server.
+fn serve_sequential(
+    args: &Args,
+    trace: &kdv_serve::TraceFile,
+    server: &kdv_serve::TileServer,
+    threads: usize,
+    stats: bool,
+    obs: &ObsSession,
+) -> Result<(), String> {
+    let colormap: ColorMap = args.get("colormap").unwrap_or("heat").parse()?;
+    let requests: Vec<_> =
+        trace.sessions.iter().flat_map(|s| s.requests.iter().map(|r| r.viewport)).collect();
     for (i, vp) in requests.iter().enumerate() {
         let (grid, report) = server.serve_viewport(vp, threads).map_err(|e| {
             format!("request #{} (zoom {} at {},{}): {e}", i + 1, vp.zoom, vp.px, vp.py)
@@ -529,7 +585,8 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         }
         if stats {
             println!(
-                "request {:>3}: zoom {} @({},{}) {}x{}  {:>8.3} ms  hits {} misses {} evictions {}",
+                "request {:>3}: zoom {} @({},{}) {}x{}  {:>8.3} ms  hits {} misses {} \
+                 evictions {} rejected {}",
                 i + 1,
                 vp.zoom,
                 vp.px,
@@ -539,7 +596,8 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
                 report.wall_nanos as f64 / 1e6,
                 report.cache_hits,
                 report.cache_misses,
-                report.cache_evictions
+                report.cache_evictions,
+                report.cache_rejected
             );
         }
         if let Some(prefix) = args.get("out-prefix") {
@@ -549,22 +607,80 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
                 .map_err(|e| e.to_string())?;
         }
     }
-    let cs = server.cache_stats();
-    let total = cs.hits() + cs.misses();
+    Ok(())
+}
+
+/// Concurrent replay through the worker-pool front end: one closed-loop
+/// thread per trace session, honoring think times.
+fn serve_concurrent(
+    args: &Args,
+    trace: &kdv_serve::TraceFile,
+    server: &std::sync::Arc<kdv_serve::TileServer>,
+    stats: bool,
+) -> Result<(), String> {
+    if args.get("out-prefix").is_some() {
+        return Err("--out-prefix is only supported for sequential (v1) replay".into());
+    }
+    let workers: usize = args.get("workers").unwrap_or("4").parse().map_err(|_| "bad --workers")?;
+    let queue_depth: usize =
+        args.get("queue-depth").unwrap_or("64").parse().map_err(|_| "bad --queue-depth")?;
+    let deadline = match args.get("deadline-ms") {
+        Some(ms) => {
+            Some(std::time::Duration::from_millis(ms.parse().map_err(|_| "bad --deadline-ms")?))
+        }
+        None => None,
+    };
+    let fe_config =
+        kdv_serve::FrontendConfig { workers, queue_depth, deadline, threads_per_request: 1 };
     println!(
-        "replayed {} request(s) in {:.3}s: {} hit(s) / {} miss(es) ({:.1}% hit rate), \
-         {} eviction(s), cache {} tile(s) / {} B of {} B",
-        requests.len(),
-        start.elapsed().as_secs_f64(),
-        cs.hits(),
-        cs.misses(),
-        if total == 0 { 0.0 } else { 100.0 * cs.hits() as f64 / total as f64 },
-        cs.evictions(),
-        server.cache().len(),
-        server.cache().bytes(),
-        server.cache().budget()
+        "concurrent replay: {} session(s), {} worker(s), queue depth {}, deadline {}",
+        trace.sessions.len(),
+        workers,
+        queue_depth,
+        deadline.map_or("none".to_string(), |d| format!("{} ms", d.as_millis()))
     );
-    obs.finish()?;
+    let frontend = kdv_serve::Frontend::new(std::sync::Arc::clone(server), fe_config);
+    let records = kdv_serve::replay_concurrent(&frontend, &trace.sessions, true);
+    if stats {
+        for r in &records {
+            let outcome = match &r.outcome {
+                kdv_serve::ReplayOutcome::Served { checksum } => format!("ok {checksum:016x}"),
+                kdv_serve::ReplayOutcome::Shed(reason) => format!("shed ({reason})"),
+                kdv_serve::ReplayOutcome::Failed(e) => format!("failed: {e}"),
+            };
+            println!(
+                "session {:>2} req {:>3}: {:>8.3} ms  {}",
+                r.session,
+                r.seq + 1,
+                r.latency_ns as f64 / 1e6,
+                outcome
+            );
+        }
+    }
+    let served = records
+        .iter()
+        .filter(|r| matches!(r.outcome, kdv_serve::ReplayOutcome::Served { .. }))
+        .count();
+    let p50 = kdv_serve::replay::latency_quantile_ns(&records, 0.5);
+    let p99 = kdv_serve::replay::latency_quantile_ns(&records, 0.99);
+    let fs = frontend.stats();
+    let flights = server.flight_stats();
+    println!(
+        "front end: {} served, {} shed ({} queue-full, {} deadline), \
+         p50 {:.3} ms, p99 {:.3} ms",
+        served,
+        fs.shed(),
+        fs.shed_queue_full(),
+        fs.shed_deadline(),
+        p50 as f64 / 1e6,
+        p99 as f64 / 1e6
+    );
+    println!(
+        "bands: {} computed, {} joined in flight, {} duplicate compute(s)",
+        flights.computed(),
+        flights.joined(),
+        flights.duplicate_computes()
+    );
     Ok(())
 }
 

@@ -23,6 +23,9 @@ pub enum KdvError {
     /// A cooperative deadline expired before the computation finished
     /// (used by the experiment harness to emulate the paper's 4-hour cap).
     DeadlineExceeded,
+    /// An internal coordination failure (e.g. a worker that was computing
+    /// a shared result panicked, leaving its waiters nothing to reuse).
+    Internal(&'static str),
 }
 
 impl fmt::Display for KdvError {
@@ -48,6 +51,7 @@ impl fmt::Display for KdvError {
                 write!(f, "tile size {tile_size} must be at least 1 pixel")
             }
             KdvError::DeadlineExceeded => write!(f, "computation exceeded its deadline"),
+            KdvError::Internal(what) => write!(f, "internal error: {what}"),
         }
     }
 }

@@ -72,6 +72,10 @@ pub struct SweepReport {
     pub cache_misses: u64,
     /// Tiles evicted to keep the cache inside its byte budget.
     pub cache_evictions: u64,
+    /// Tiles the cache refused outright (oversized — computed, never
+    /// cached, immediately dropped). Distinct from `cache_evictions`,
+    /// which means an entry was cached and later displaced.
+    pub cache_rejected: u64,
 }
 
 impl SweepReport {
@@ -118,6 +122,7 @@ impl SweepReport {
             cache_hits: 0,
             cache_misses: 0,
             cache_evictions: 0,
+            cache_rejected: 0,
         }
     }
 
@@ -126,6 +131,12 @@ impl SweepReport {
         self.cache_hits = hits;
         self.cache_misses = misses;
         self.cache_evictions = evictions;
+        self
+    }
+
+    /// Attaches the count of cache-refused (oversized) tiles.
+    pub fn with_cache_rejected(mut self, rejected: u64) -> Self {
+        self.cache_rejected = rejected;
         self
     }
 
@@ -234,6 +245,7 @@ impl SweepReport {
         reg.counter("cache.hits").add(self.cache_hits);
         reg.counter("cache.misses").add(self.cache_misses);
         reg.counter("cache.evictions").add(self.cache_evictions);
+        reg.counter("cache.rejected").add(self.cache_rejected);
     }
 
     /// Largest per-row envelope set.
@@ -317,11 +329,15 @@ impl SweepReport {
             self.rows_per_worker,
             self.imbalance()
         );
-        if self.cache_hits > 0 || self.cache_misses > 0 || self.cache_evictions > 0 {
+        if self.cache_hits > 0
+            || self.cache_misses > 0
+            || self.cache_evictions > 0
+            || self.cache_rejected > 0
+        {
             let _ = writeln!(
                 s,
-                "  tile cache: {} hit(s), {} miss(es), {} eviction(s)",
-                self.cache_hits, self.cache_misses, self.cache_evictions
+                "  tile cache: {} hit(s), {} miss(es), {} eviction(s), {} rejected",
+                self.cache_hits, self.cache_misses, self.cache_evictions, self.cache_rejected
             );
         }
         let _ = write!(

@@ -16,10 +16,11 @@
 //! budget is rejected outright (it would evict everything and then be
 //! evicted itself the moment anything else arrived).
 //!
-//! Hit/miss/eviction counters are **saturating** (they stick at
-//! `u64::MAX` rather than wrapping), keeping reported statistics monotone
-//! over the cache's lifetime however long it serves; the regression test
-//! `serve_regressions::rollover` pins this via [`CacheStats::force`].
+//! Hit/miss/eviction/rejection counters are **saturating** (they stick
+//! at `u64::MAX` rather than wrapping), keeping reported statistics
+//! monotone over the cache's lifetime however long it serves; the
+//! regression test `serve_regressions::rollover` pins this via
+//! [`CacheStats::force`].
 
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
@@ -68,11 +69,17 @@ impl TileKey {
 /// saturating [`kdv_obs::Counter`] — once a counter reaches `u64::MAX`
 /// it stays there; wrapping would make long-lived statistics
 /// non-monotone.
+///
+/// `evictions` means **displacement**: an entry that was cached and then
+/// pushed out to keep the shard inside its budget. An oversized tile that
+/// was never admitted counts under `rejected` instead — conflating the
+/// two would make a cache that admits nothing look like one that churns.
 #[derive(Debug, Default)]
 pub struct CacheStats {
     hits: kdv_obs::Counter,
     misses: kdv_obs::Counter,
     evictions: kdv_obs::Counter,
+    rejected: kdv_obs::Counter,
 }
 
 impl CacheStats {
@@ -86,9 +93,15 @@ impl CacheStats {
         self.misses.get()
     }
 
-    /// Evictions so far.
+    /// Entries displaced from the cache to stay inside the byte budget.
     pub fn evictions(&self) -> u64 {
         self.evictions.get()
+    }
+
+    /// Inserts refused outright (tile larger than one shard's budget) —
+    /// the tile was computed, never cached, and dropped.
+    pub fn rejected(&self) -> u64 {
+        self.rejected.get()
     }
 
     /// Test hook: forces the raw counter values (e.g. to the `u64`
@@ -99,6 +112,17 @@ impl CacheStats {
         self.misses.force(misses);
         self.evictions.force(evictions);
     }
+}
+
+/// What one [`TileCache::insert`] did, from the inserting caller's point
+/// of view — the per-request attribution the global [`CacheStats`]
+/// cannot provide under concurrency.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InsertOutcome {
+    /// Entries this insert displaced to fit the shard budget.
+    pub evicted: u64,
+    /// Whether the tile was refused outright (oversized, never cached).
+    pub rejected: bool,
 }
 
 const NIL: usize = usize::MAX;
@@ -218,11 +242,18 @@ impl TileCache {
     /// A cache holding at most `byte_budget` bytes of tile buffers across
     /// `shards` shards (rounded up to a power of two; the budget is split
     /// evenly, so the whole cache never exceeds `byte_budget`).
+    ///
+    /// Degenerate arguments are clamped rather than rejected: `shards`
+    /// is forced into `[1, 4096]` (zero shards would divide by zero),
+    /// and each shard keeps a budget of at least one byte so a tiny
+    /// `byte_budget` (smaller than the shard count) degrades to a cache
+    /// that can still admit nothing larger than a byte — not one whose
+    /// zero budget silently misclassifies every insert.
     pub fn new(byte_budget: usize, shards: usize) -> Self {
         let shards = shards.clamp(1, 1 << 12).next_power_of_two();
         Self {
             shards: (0..shards).map(|_| Mutex::new(Shard::new())).collect(),
-            shard_budget: byte_budget / shards,
+            shard_budget: (byte_budget / shards).max(1),
             shard_mask: shards as u64 - 1,
             stats: CacheStats::default(),
         }
@@ -261,14 +292,18 @@ impl TileCache {
 
     /// Inserts a computed tile, evicting cold entries to stay inside the
     /// byte budget. Oversized tiles (larger than one shard's budget) are
-    /// not cached at all — counted as one eviction, since the tile was
-    /// produced and immediately dropped.
-    pub fn insert(&self, key: TileKey, tile: Arc<Tile>) {
+    /// not cached at all — counted under `rejected` (never admitted),
+    /// distinct from `evictions` (admitted and later displaced).
+    ///
+    /// Returns this insert's own effect so callers serving one request
+    /// can attribute displacement to themselves instead of diffing the
+    /// global counters (which misattributes under concurrency).
+    pub fn insert(&self, key: TileKey, tile: Arc<Tile>) -> InsertOutcome {
         let mut span = kdv_obs::span1("cache.insert", "bytes", tile.bytes() as u64);
         if tile.bytes() > self.shard_budget {
-            span.arg("evicted", 1);
-            self.stats.evictions.bump();
-            return;
+            span.arg("rejected", 1);
+            self.stats.rejected.bump();
+            return InsertOutcome { evicted: 0, rejected: true };
         }
         let evicted = self.shard_of(&key).lock().expect("cache shard poisoned").insert(
             key,
@@ -279,6 +314,7 @@ impl TileCache {
         if evicted > 0 {
             self.stats.evictions.add(evicted);
         }
+        InsertOutcome { evicted, rejected: false }
     }
 
     /// Total bytes of tile buffers currently held.
@@ -349,11 +385,47 @@ mod tests {
     }
 
     #[test]
-    fn oversized_tile_is_rejected() {
+    fn oversized_tile_is_rejected_not_evicted() {
         let cache = TileCache::new(64, 1);
-        cache.insert(key(0, 0), tile(0, 64));
+        let outcome = cache.insert(key(0, 0), tile(0, 64));
         assert!(cache.is_empty());
+        assert_eq!(outcome, InsertOutcome { evicted: 0, rejected: true });
+        assert_eq!(cache.stats().rejected(), 1, "refused insert counts as rejected");
+        assert_eq!(cache.stats().evictions(), 0, "nothing was cached, nothing displaced");
+    }
+
+    #[test]
+    fn zero_shards_does_not_panic() {
+        // regression: `new(budget, 0)` must clamp the shard count, not
+        // divide the budget by zero
+        let cache = TileCache::new(1 << 20, 0);
+        let outcome = cache.insert(key(0, 0), tile(0, 4));
+        assert_eq!(outcome, InsertOutcome::default());
+        assert!(cache.get(&key(0, 0)).is_some());
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn tiny_budget_clamps_shard_budget_to_one_byte() {
+        // a budget smaller than the shard count must not truncate the
+        // per-shard budget to zero (every insert would be "oversized")
+        let cache = TileCache::new(3, 8);
+        assert!(cache.budget() >= cache.shards.len());
+        let outcome = cache.insert(key(0, 0), tile(0, 4));
+        assert!(outcome.rejected, "a real tile still exceeds a 1-byte shard");
+        assert!(TileCache::new(0, 0).budget() >= 1);
+    }
+
+    #[test]
+    fn insert_outcome_reports_own_displacement() {
+        let unit = tile(0, 8).bytes();
+        let cache = TileCache::new(unit * 2, 1);
+        assert_eq!(cache.insert(key(0, 0), tile(0, 8)), InsertOutcome::default());
+        assert_eq!(cache.insert(key(1, 0), tile(1, 8)), InsertOutcome::default());
+        let third = cache.insert(key(2, 0), tile(2, 8));
+        assert_eq!(third, InsertOutcome { evicted: 1, rejected: false });
         assert_eq!(cache.stats().evictions(), 1);
+        assert_eq!(cache.stats().rejected(), 0);
     }
 
     #[test]

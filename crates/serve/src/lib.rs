@@ -10,8 +10,15 @@
 //! * [`server`] — viewport assembly; misses compute whole tile row bands
 //!   with `kdv_core::tile::compute_band`, so one miss prefetches the
 //!   band's horizontal neighbours.
-//! * [`trace`] — recorded viewport sequences for `kdv serve --batch`
-//!   replay and the tile benchmarks.
+//! * [`trace`] — recorded viewport sequences (v1 single-stream, v2
+//!   multi-session with think times) for `kdv serve --batch` replay and
+//!   the tile benchmarks.
+//! * [`frontend`] — concurrent serving front end: a worker pool over a
+//!   bounded admission queue with per-request deadlines and explicit
+//!   load shedding.
+//! * [`replay`] — sequential and concurrent trace replayers that
+//!   checksum every served grid so the two modes can be proven
+//!   bitwise-identical.
 //!
 //! The invariant tying it together: a served viewport is bitwise-equal to
 //! cropping the monolithic `sweep_bucket` raster of its level, for any
@@ -19,10 +26,17 @@
 //! the tile path to that contract under the exact (ULP-zero) policy.
 
 pub mod cache;
+pub mod frontend;
 pub mod pyramid;
+pub mod replay;
 pub mod server;
 pub mod trace;
 
-pub use cache::{CacheStats, TileCache, TileKey};
+pub use cache::{CacheStats, InsertOutcome, TileCache, TileKey};
+pub use frontend::{
+    Frontend, FrontendConfig, FrontendStats, ServeError, ServeResult, ShedReason, Ticket,
+};
 pub use pyramid::{PyramidSpec, TileCoord, Viewport};
-pub use server::{ServeConfig, TileServer};
+pub use replay::{checksum, replay_concurrent, replay_sequential, ReplayOutcome, ReplayRecord};
+pub use server::{FlightStats, ServeConfig, TileServer};
+pub use trace::{Session, SessionRequest, TraceFile};

@@ -14,9 +14,21 @@
 //! count. The cache key carries the full provenance of the bits
 //! ([`crate::cache::TileKey`]), and tile computation is
 //! viewport-independent, so cached and fresh tiles cannot diverge.
+//!
+//! Concurrency: band computation is **single-flight**. Concurrent misses
+//! on the same `(zoom, ty)` row band elect one leader under the in-flight
+//! table's lock; the leader computes the band once and publishes the
+//! tiles to every waiter, so two users panning the same region share one
+//! sweep instead of duplicating it (this is also the cross-request
+//! batching unit — a band *is* the batch, and every request that needs
+//! any tile of it joins the same computation). [`FlightStats`] counts
+//! leaders, joiners and duplicate computes; under an adequately sized
+//! cache the duplicate counter stays at zero however many threads hammer
+//! the server, which `ci.sh serve-load` asserts.
 
-use std::collections::{BTreeSet, HashMap};
-use std::sync::{Arc, OnceLock};
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::Instant;
 
 use kdv_core::driver::SweepContext;
@@ -24,7 +36,7 @@ use kdv_core::envelope::EnvelopeBuffer;
 use kdv_core::parallel::for_each_index_with;
 use kdv_core::sweep_bucket::BucketSweep;
 use kdv_core::telemetry::SweepReport;
-use kdv_core::tile::{compute_band, Tile};
+use kdv_core::tile::{compute_band, Tile, Tiling};
 use kdv_core::{DensityGrid, KdvError, KernelType, Point, Result};
 
 use crate::cache::{CacheStats, TileCache, TileKey};
@@ -45,6 +57,79 @@ pub struct ServeConfig {
     pub weight: f64,
 }
 
+/// Identity of one tile row band within a server (the server fixes
+/// dataset, kernel, bandwidth and weight, so `(zoom, ty)` is the full
+/// single-flight key).
+type BandId = (u8, usize);
+
+/// The shared tiles of one computed band, in `tx` order.
+type BandTiles = Vec<Arc<Tile>>;
+
+/// One in-flight band computation: the leader publishes the band's tiles
+/// (or its error) into `slot` and wakes every waiter.
+struct BandFlight {
+    slot: Mutex<Option<Result<Arc<BandTiles>>>>,
+    done: Condvar,
+}
+
+impl BandFlight {
+    fn new() -> Self {
+        Self { slot: Mutex::new(None), done: Condvar::new() }
+    }
+
+    /// Publishes the leader's result exactly once and wakes all waiters.
+    fn publish(&self, result: Result<Arc<BandTiles>>) {
+        let mut slot = self.slot.lock().expect("band flight poisoned");
+        if slot.is_none() {
+            *slot = Some(result);
+        }
+        self.done.notify_all();
+    }
+
+    /// Blocks until the leader publishes, then returns a clone of the
+    /// result.
+    fn wait(&self) -> Result<Arc<BandTiles>> {
+        let mut slot = self.slot.lock().expect("band flight poisoned");
+        while slot.is_none() {
+            slot = self.done.wait(slot).expect("band flight poisoned");
+        }
+        slot.as_ref().expect("published").clone()
+    }
+}
+
+/// Saturating single-flight counters for band computation. `computed`
+/// counts band sweeps actually executed, `joined` counts misses that
+/// reused another request's in-flight sweep instead of starting their
+/// own, and `duplicate_computes` counts computes of a band this server
+/// had already computed before — wasted work that only a cache eviction
+/// (or a dedup bug) can cause. With a cache large enough to hold the
+/// working set, `duplicate_computes` must stay at exactly zero.
+#[derive(Debug, Default)]
+pub struct FlightStats {
+    computed: kdv_obs::Counter,
+    joined: kdv_obs::Counter,
+    duplicates: kdv_obs::Counter,
+}
+
+impl FlightStats {
+    /// Band sweeps executed by this server.
+    pub fn computed(&self) -> u64 {
+        self.computed.get()
+    }
+
+    /// Misses that joined an in-flight band compute instead of starting
+    /// a duplicate one.
+    pub fn joined(&self) -> u64 {
+        self.joined.get()
+    }
+
+    /// Computes of a band that had already been computed before (zero
+    /// unless the cache evicted it in between).
+    pub fn duplicate_computes(&self) -> u64 {
+        self.duplicates.get()
+    }
+}
+
 /// Caching tile server over one point set and pyramid.
 pub struct TileServer {
     pyramid: PyramidSpec,
@@ -55,6 +140,14 @@ pub struct TileServer {
     /// index + pixel coordinates), indexed by zoom. Shared by every
     /// request at that level.
     contexts: Vec<OnceLock<Arc<SweepContext>>>,
+    /// Single-flight table: bands currently being computed, keyed by
+    /// `(zoom, ty)`. A miss either inserts (becomes the leader) or waits
+    /// on the existing flight.
+    inflight: Mutex<HashMap<BandId, Arc<BandFlight>>>,
+    /// Every band this server has ever computed — duplicate-compute
+    /// detection. Bounded by the pyramid's band count, not by traffic.
+    computed_bands: Mutex<HashSet<BandId>>,
+    flights: FlightStats,
 }
 
 impl TileServer {
@@ -68,7 +161,16 @@ impl TileServer {
         cache_shards: usize,
     ) -> Self {
         let contexts = (0..=pyramid.max_zoom as usize).map(|_| OnceLock::new()).collect();
-        Self { pyramid, config, points, cache: TileCache::new(cache_bytes, cache_shards), contexts }
+        Self {
+            pyramid,
+            config,
+            points,
+            cache: TileCache::new(cache_bytes, cache_shards),
+            contexts,
+            inflight: Mutex::new(HashMap::new()),
+            computed_bands: Mutex::new(HashSet::new()),
+            flights: FlightStats::default(),
+        }
     }
 
     /// The pyramid this server answers for.
@@ -89,6 +191,11 @@ impl TileServer {
     /// The tile cache (exposed for stress tests and byte accounting).
     pub fn cache(&self) -> &TileCache {
         &self.cache
+    }
+
+    /// The single-flight band-computation counters.
+    pub fn flight_stats(&self) -> &FlightStats {
+        &self.flights
     }
 
     fn key(&self, zoom: u8, tx: usize, ty: usize) -> TileKey {
@@ -120,14 +227,93 @@ impl TileServer {
         Ok(Arc::clone(slot.get_or_init(|| built)))
     }
 
+    /// Splits one request's missing bands into flights this request
+    /// leads (it was first; it must compute and publish) and flights it
+    /// joins (another request is already computing the same band).
+    #[allow(clippy::type_complexity)]
+    fn claim_bands(
+        &self,
+        zoom: u8,
+        bands: &[usize],
+    ) -> (Vec<(usize, Arc<BandFlight>)>, Vec<(usize, Arc<BandFlight>)>) {
+        use std::collections::hash_map::Entry;
+        let mut lead = Vec::new();
+        let mut join = Vec::new();
+        let mut map = self.inflight.lock().expect("inflight table poisoned");
+        for &ty in bands {
+            match map.entry((zoom, ty)) {
+                Entry::Occupied(e) => {
+                    self.flights.joined.bump();
+                    kdv_obs::metrics::global().counter("serve.band.joined").bump();
+                    join.push((ty, Arc::clone(e.get())));
+                }
+                Entry::Vacant(v) => {
+                    let flight = Arc::new(BandFlight::new());
+                    v.insert(Arc::clone(&flight));
+                    lead.push((ty, flight));
+                }
+            }
+        }
+        (lead, join)
+    }
+
+    /// Removes a finished flight from the in-flight table (waiters that
+    /// already hold the `Arc` still read its published result).
+    fn deregister(&self, id: BandId) {
+        self.inflight.lock().expect("inflight table poisoned").remove(&id);
+    }
+
+    /// Computes one led band, caches its tiles, records the single-flight
+    /// counters and publishes the result to any joined waiters. Always
+    /// publishes and deregisters, even if the sweep panics (the lease
+    /// guard publishes an error so waiters fail instead of hanging).
+    fn lead_band<E: kdv_core::driver::RowEngine>(
+        &self,
+        req: &LeadContext<'_>,
+        ty: usize,
+        flight: &Arc<BandFlight>,
+        scratch: &mut (E, EnvelopeBuffer, Vec<f64>),
+    ) -> Arc<BandTiles> {
+        let zoom = req.zoom;
+        let (engine, envelope, band) = scratch;
+        let mut lease = FlightLease { server: self, id: (zoom, ty), flight, published: false };
+        let computed =
+            compute_band(req.ctx, req.tiling, self.config.bandwidth, ty, engine, envelope, band);
+        let shared: Arc<BandTiles> = Arc::new(computed.into_iter().map(Arc::new).collect());
+        for tile in shared.iter() {
+            // Every tile of the band goes into the cache — the sweep
+            // already paid for them (pan prefetch).
+            let outcome = self.cache.insert(self.key(zoom, tile.tx, tile.ty), Arc::clone(tile));
+            req.evictions.fetch_add(outcome.evicted, Ordering::Relaxed);
+            req.rejected.fetch_add(outcome.rejected as u64, Ordering::Relaxed);
+        }
+        let duplicate =
+            !self.computed_bands.lock().expect("computed-band set poisoned").insert((zoom, ty));
+        self.flights.computed.bump();
+        let metrics = kdv_obs::metrics::global();
+        metrics.counter("serve.band.computed").bump();
+        if duplicate {
+            self.flights.duplicates.bump();
+            metrics.counter("serve.band.duplicate").bump();
+        }
+        lease.complete(Ok(Arc::clone(&shared)));
+        shared
+    }
+
     /// Serves one viewport: assembles the requested pixel window from
     /// cached tiles, computing (and caching) any missing row bands on the
-    /// work-stealing runtime (`threads == 0` means "auto").
+    /// work-stealing runtime (`threads == 0` means "auto"). Misses are
+    /// **single-flight** per band: if another request is already
+    /// computing a needed band, this request waits for that result
+    /// instead of duplicating the sweep.
     ///
     /// Returns the `width × height` density raster plus a [`SweepReport`]
-    /// whose cache counters are the **deltas** this request caused.
-    /// The raster is bitwise-equal to cropping the monolithic level
-    /// raster, for any cache state and thread count.
+    /// whose cache counters are the **deltas this request itself
+    /// caused** — counted along this request's own lookups and inserts,
+    /// never inferred from the global counters (which would misattribute
+    /// other requests' traffic under concurrency). The raster is
+    /// bitwise-equal to cropping the monolithic level raster, for any
+    /// cache state and thread count.
     pub fn serve_viewport(
         &self,
         viewport: &Viewport,
@@ -141,11 +327,6 @@ impl TileServer {
             "pixels",
             (viewport.width * viewport.height) as u64,
         );
-        let (hits0, misses0, evictions0) = (
-            self.cache.stats().hits(),
-            self.cache.stats().misses(),
-            self.cache.stats().evictions(),
-        );
         let vp = viewport
             .clamped(&self.pyramid)
             .ok_or(KdvError::EmptyResolution { x: viewport.width, y: viewport.height })?;
@@ -154,27 +335,44 @@ impl TileServer {
         let want_cols = vp.tile_cols(tile_size);
         let want_rows = vp.tile_rows(tile_size);
 
-        // Look every needed tile up first; group the misses by row band.
+        // Look every needed tile up first, counting this request's own
+        // hits and misses; group the misses by row band.
         let mut tiles: HashMap<(usize, usize), Arc<Tile>> = HashMap::new();
         let mut missing_bands: BTreeSet<usize> = BTreeSet::new();
+        let (mut req_hits, mut req_misses) = (0u64, 0u64);
         for ty in want_rows.clone() {
             for tx in want_cols.clone() {
                 match self.cache.get(&self.key(vp.zoom, tx, ty)) {
                     Some(tile) => {
+                        req_hits += 1;
                         tiles.insert((tx, ty), tile);
                     }
                     None => {
+                        req_misses += 1;
                         missing_bands.insert(ty);
                     }
                 }
             }
         }
 
+        let req_evictions = AtomicU64::new(0);
+        let req_rejected = AtomicU64::new(0);
         if !missing_bands.is_empty() {
             let ctx = self.level_context(vp.zoom)?;
             let bands: Vec<usize> = missing_bands.into_iter().collect();
-            let computed: Vec<Vec<Tile>> = for_each_index_with(
-                bands.len(),
+            let (lead, join) = self.claim_bands(vp.zoom, &bands);
+            let req = LeadContext {
+                ctx: &ctx,
+                tiling: &tiling,
+                zoom: vp.zoom,
+                evictions: &req_evictions,
+                rejected: &req_rejected,
+            };
+
+            // Compute the bands this request leads, in parallel, each
+            // publishing to its flight as soon as it finishes.
+            let led: Vec<(usize, Arc<BandTiles>)> = for_each_index_with(
+                lead.len(),
                 threads,
                 || {
                     (
@@ -187,27 +385,23 @@ impl TileServer {
                         Vec::new(),
                     )
                 },
-                |(engine, envelope, band), i| {
-                    compute_band(
-                        &ctx,
-                        &tiling,
-                        self.config.bandwidth,
-                        bands[i],
-                        engine,
-                        envelope,
-                        band,
-                    )
+                |scratch, i| {
+                    let (ty, ref flight) = lead[i];
+                    let shared = self.lead_band(&req, ty, flight, scratch);
+                    (ty, shared)
                 },
             );
-            for band_tiles in computed {
-                for tile in band_tiles {
-                    let (tx, ty) = (tile.tx, tile.ty);
-                    let tile = Arc::new(tile);
-                    // Every tile of the band goes into the cache — the
-                    // sweep already paid for them (pan prefetch).
-                    self.cache.insert(self.key(vp.zoom, tx, ty), Arc::clone(&tile));
-                    if want_cols.contains(&tx) && want_rows.contains(&ty) {
-                        tiles.insert((tx, ty), tile);
+
+            // Collect led results, then wait for the flights other
+            // requests are computing on this request's behalf.
+            let mut band_results: Vec<(usize, Arc<BandTiles>)> = led;
+            for (ty, flight) in join {
+                band_results.push((ty, flight.wait()?));
+            }
+            for (_, shared) in band_results {
+                for tile in shared.iter() {
+                    if want_cols.contains(&tile.tx) && want_rows.contains(&tile.ty) {
+                        tiles.insert((tile.tx, tile.ty), Arc::clone(tile));
                     }
                 }
             }
@@ -232,16 +426,54 @@ impl TileServer {
             }
         }
 
-        let mut report = SweepReport::from_workers(Vec::new(), vp.height, 0).with_cache_counters(
-            self.cache.stats().hits().saturating_sub(hits0),
-            self.cache.stats().misses().saturating_sub(misses0),
-            self.cache.stats().evictions().saturating_sub(evictions0),
-        );
+        let mut report = SweepReport::from_workers(Vec::new(), vp.height, 0)
+            .with_cache_counters(req_hits, req_misses, req_evictions.load(Ordering::Relaxed))
+            .with_cache_rejected(req_rejected.load(Ordering::Relaxed));
         report.threads = threads;
         report.wall_nanos = started.elapsed().as_nanos() as u64;
         span.arg("misses", report.cache_misses);
         kdv_obs::metrics::global().histogram("serve.request_ns").record(report.wall_nanos);
         Ok((out, report))
+    }
+}
+
+/// Per-request context shared by every band this request leads: the
+/// level's sweep context and tiling, plus the request-local eviction /
+/// rejection accumulators (leaders insert from parallel worker threads,
+/// so the deltas are atomics).
+struct LeadContext<'a> {
+    ctx: &'a SweepContext,
+    tiling: &'a Tiling,
+    zoom: u8,
+    evictions: &'a AtomicU64,
+    rejected: &'a AtomicU64,
+}
+
+/// Publish-on-drop guard for a led band: if the leader's sweep panics
+/// before it publishes, waiters receive an error instead of blocking
+/// forever, and the flight is removed from the in-flight table either
+/// way.
+struct FlightLease<'a> {
+    server: &'a TileServer,
+    id: BandId,
+    flight: &'a Arc<BandFlight>,
+    published: bool,
+}
+
+impl FlightLease<'_> {
+    fn complete(&mut self, result: Result<Arc<BandTiles>>) {
+        self.flight.publish(result);
+        self.server.deregister(self.id);
+        self.published = true;
+    }
+}
+
+impl Drop for FlightLease<'_> {
+    fn drop(&mut self) {
+        if !self.published {
+            self.flight.publish(Err(KdvError::Internal("band compute leader panicked")));
+            self.server.deregister(self.id);
+        }
     }
 }
 
@@ -344,7 +576,10 @@ mod tests {
         let vp = Viewport { zoom: 1, px: 10, py: 10, width: 50, height: 50 };
         let (grid, report) = srv.serve_viewport(&vp, 0).unwrap();
         assert_eq!(grid, crop_reference(&srv, &vp));
-        assert!(report.cache_evictions > 0, "small budget must evict");
+        // a 1024-byte budget cannot admit a single tile: every insert is
+        // rejected as oversized (not miscounted as an eviction)
+        assert!(report.cache_rejected > 0, "tiny budget must reject oversized tiles");
+        assert_eq!(report.cache_evictions, 0, "nothing admitted, so nothing displaced");
         assert!(srv.cache().bytes() <= srv.cache().budget());
     }
 }

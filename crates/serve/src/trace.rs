@@ -1,6 +1,6 @@
 //! Viewport trace files — recorded pan/zoom sessions for batch replay.
 //!
-//! One request per line, five whitespace-separated integers:
+//! **v1** — one request per line, five whitespace-separated integers:
 //!
 //! ```text
 //! # zoom px py width height
@@ -8,10 +8,24 @@
 //! 1 64 0 256 256
 //! ```
 //!
-//! `#` starts a comment (whole-line or trailing); blank lines are
-//! skipped. The format is deliberately trivial so traces can be captured
-//! with a shell one-liner and diffed in review; `kdv serve --batch`
-//! replays one of these against a [`crate::server::TileServer`].
+//! **v2** — multi-session: each line carries a session id and the think
+//! time (milliseconds the simulated user paused before issuing the
+//! request), seven fields total:
+//!
+//! ```text
+//! # session think_ms zoom px py width height
+//! 0 0   2 0   384 512 512
+//! 1 25  2 128 384 512 512
+//! ```
+//!
+//! Lines from different sessions may interleave freely; a session's
+//! requests replay in file order. A file must be uniformly v1 or v2
+//! (mixed arities are a parse error). `#` starts a comment (whole-line
+//! or trailing); blank lines are skipped. The format is deliberately
+//! trivial so traces can be captured with a shell one-liner and diffed
+//! in review; `kdv serve --batch` replays v1 sequentially against a
+//! [`crate::server::TileServer`] and v2 concurrently through the
+//! [`crate::frontend::Frontend`] (one thread per session).
 
 use crate::pyramid::Viewport;
 
@@ -81,6 +95,155 @@ pub fn format(viewports: &[Viewport]) -> String {
     s
 }
 
+/// One request of a recorded session: the viewport plus the think time
+/// the simulated user paused before issuing it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionRequest {
+    /// Milliseconds of user think time before this request.
+    pub think_ms: u64,
+    /// The requested viewport.
+    pub viewport: Viewport,
+}
+
+/// One client session of a multi-session trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Session {
+    /// Session id from the trace file.
+    pub id: u32,
+    /// Requests in file order.
+    pub requests: Vec<SessionRequest>,
+}
+
+/// A parsed trace file of either version, normalised to sessions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceFile {
+    /// `1` (five-field single-session) or `2` (seven-field
+    /// multi-session).
+    pub version: u8,
+    /// Sessions in order of first appearance; a v1 file becomes one
+    /// session with id 0 and zero think times.
+    pub sessions: Vec<Session>,
+}
+
+impl TraceFile {
+    /// Total request count across sessions.
+    pub fn num_requests(&self) -> usize {
+        self.sessions.iter().map(|s| s.requests.len()).sum()
+    }
+}
+
+fn parse_viewport(fields: &[&str], line: usize) -> Result<Viewport, TraceError> {
+    let num = |i: usize, name: &str| -> Result<usize, TraceError> {
+        fields[i].parse::<usize>().map_err(|_| TraceError {
+            line,
+            message: format!("{name} `{}` is not a non-negative integer", fields[i]),
+        })
+    };
+    let zoom = num(0, "zoom")?;
+    if zoom > u8::MAX as usize {
+        return Err(TraceError { line, message: format!("zoom {zoom} out of range") });
+    }
+    Ok(Viewport {
+        zoom: zoom as u8,
+        px: num(1, "px")?,
+        py: num(2, "py")?,
+        width: num(3, "width")?,
+        height: num(4, "height")?,
+    })
+}
+
+/// Parses a trace file of either version into sessions. The arity of the
+/// first data line fixes the version; every later line must match it.
+pub fn parse_sessions(text: &str) -> Result<TraceFile, TraceError> {
+    let mut version: Option<u8> = None;
+    let mut order: Vec<u32> = Vec::new();
+    let mut sessions: std::collections::HashMap<u32, Vec<SessionRequest>> =
+        std::collections::HashMap::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = idx + 1;
+        let body = raw.split('#').next().unwrap_or("").trim();
+        if body.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = body.split_whitespace().collect();
+        let line_version = match fields.len() {
+            5 => 1,
+            7 => 2,
+            n => {
+                return Err(TraceError {
+                    line,
+                    message: format!(
+                        "expected 5 fields (v1 `zoom px py width height`) or 7 (v2 \
+                         `session think_ms zoom px py width height`), got {n}"
+                    ),
+                })
+            }
+        };
+        match version {
+            None => version = Some(line_version),
+            Some(v) if v != line_version => {
+                return Err(TraceError {
+                    line,
+                    message: format!(
+                        "mixed trace versions: file started as v{v}, this line is v{line_version}"
+                    ),
+                })
+            }
+            Some(_) => {}
+        }
+        let (session, think_ms, vp_fields) = if line_version == 1 {
+            (0u32, 0u64, &fields[..])
+        } else {
+            let session = fields[0].parse::<u32>().map_err(|_| TraceError {
+                line,
+                message: format!("session `{}` is not a non-negative integer", fields[0]),
+            })?;
+            let think_ms = fields[1].parse::<u64>().map_err(|_| TraceError {
+                line,
+                message: format!("think_ms `{}` is not a non-negative integer", fields[1]),
+            })?;
+            (session, think_ms, &fields[2..])
+        };
+        let viewport = parse_viewport(vp_fields, line)?;
+        if !sessions.contains_key(&session) {
+            order.push(session);
+        }
+        sessions.entry(session).or_default().push(SessionRequest { think_ms, viewport });
+    }
+    Ok(TraceFile {
+        version: version.unwrap_or(1),
+        sessions: order
+            .into_iter()
+            .map(|id| Session { id, requests: sessions.remove(&id).expect("ordered") })
+            .collect(),
+    })
+}
+
+/// Formats sessions back into the v2 trace format ([`parse_sessions`]
+/// inverse, interleaving sessions request-by-request the way a live
+/// capture would record them).
+pub fn format_sessions(sessions: &[Session]) -> String {
+    let mut s = String::from("# session think_ms zoom px py width height\n");
+    let mut cursors = vec![0usize; sessions.len()];
+    loop {
+        let mut wrote = false;
+        for (session, cursor) in sessions.iter().zip(cursors.iter_mut()) {
+            if let Some(r) = session.requests.get(*cursor) {
+                let vp = r.viewport;
+                s.push_str(&format!(
+                    "{} {} {} {} {} {} {}\n",
+                    session.id, r.think_ms, vp.zoom, vp.px, vp.py, vp.width, vp.height
+                ));
+                *cursor += 1;
+                wrote = true;
+            }
+        }
+        if !wrote {
+            return s;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -111,5 +274,83 @@ mod tests {
             Viewport { zoom: 2, px: 7, py: 31, width: 100, height: 60 },
         ];
         assert_eq!(parse(&format(&vps)).unwrap(), vps);
+    }
+
+    #[test]
+    fn v2_parses_interleaved_sessions_in_file_order() {
+        let text = "# session think_ms zoom px py width height\n\
+                    0 0  1 0  0 64 64\n\
+                    1 50 1 32 0 64 64   # second user joins\n\
+                    0 25 1 64 0 64 64\n\
+                    1 0  0 0  0 32 32\n";
+        let t = parse_sessions(text).unwrap();
+        assert_eq!(t.version, 2);
+        assert_eq!(t.num_requests(), 4);
+        assert_eq!(t.sessions.len(), 2);
+        assert_eq!(t.sessions[0].id, 0);
+        assert_eq!(t.sessions[0].requests.len(), 2);
+        assert_eq!(t.sessions[0].requests[1].think_ms, 25);
+        assert_eq!(t.sessions[1].requests[0].think_ms, 50);
+        assert_eq!(
+            t.sessions[1].requests[1].viewport,
+            Viewport { zoom: 0, px: 0, py: 0, width: 32, height: 32 }
+        );
+    }
+
+    #[test]
+    fn v1_file_parses_as_one_zero_think_session() {
+        let t = parse_sessions("1 0 0 256 256\n1 64 0 256 256\n").unwrap();
+        assert_eq!(t.version, 1);
+        assert_eq!(t.sessions.len(), 1);
+        assert_eq!(t.sessions[0].id, 0);
+        assert!(t.sessions[0].requests.iter().all(|r| r.think_ms == 0));
+        assert_eq!(t.num_requests(), 2);
+    }
+
+    #[test]
+    fn mixed_versions_and_bad_fields_are_rejected_with_position() {
+        let err = parse_sessions("1 0 0 256 256\n0 0 1 0 0 256 256\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("mixed trace versions"));
+        let err = parse_sessions("0 x 1 0 0 256 256\n").unwrap_err();
+        assert!(err.message.contains("think_ms"));
+        let err = parse_sessions("0 0 1 0 0 256\n").unwrap_err();
+        assert!(err.to_string().contains("expected 5 fields"));
+        assert!(parse_sessions("0 0 999 0 0 1 1\n").is_err());
+    }
+
+    #[test]
+    fn format_sessions_round_trips() {
+        let sessions = vec![
+            Session {
+                id: 0,
+                requests: vec![
+                    SessionRequest {
+                        think_ms: 0,
+                        viewport: Viewport { zoom: 1, px: 0, py: 0, width: 64, height: 64 },
+                    },
+                    SessionRequest {
+                        think_ms: 10,
+                        viewport: Viewport { zoom: 1, px: 32, py: 0, width: 64, height: 64 },
+                    },
+                ],
+            },
+            Session {
+                id: 3,
+                requests: vec![SessionRequest {
+                    think_ms: 5,
+                    viewport: Viewport { zoom: 0, px: 0, py: 0, width: 48, height: 48 },
+                }],
+            },
+        ];
+        let t = parse_sessions(&format_sessions(&sessions)).unwrap();
+        assert_eq!(t.version, 2);
+        assert_eq!(t.sessions, sessions);
+    }
+
+    #[test]
+    fn empty_trace_defaults_to_v1_with_no_sessions() {
+        let t = parse_sessions("# nothing here\n").unwrap();
+        assert_eq!((t.version, t.sessions.len(), t.num_requests()), (1, 0, 0));
     }
 }

@@ -78,6 +78,36 @@ fn bench_obs_json_parses_with_expected_keys() {
 }
 
 #[test]
+fn bench_serve_json_parses_with_expected_keys() {
+    let text = read_results("BENCH_serve.json");
+    validate_json(&text)
+        .unwrap_or_else(|off| panic!("BENCH_serve.json is not valid JSON near byte {off}"));
+    for key in [
+        "\"runs\"",
+        "\"date\"",
+        "\"sessions\"",
+        "\"requests\"",
+        "\"distinct_bands\"",
+        "\"sequential_s\"",
+        "\"concurrent_s\"",
+        "\"p50_ms\"",
+        "\"p99_ms\"",
+        "\"bands_computed\"",
+        "\"bands_joined\"",
+        "\"duplicate_computes\"",
+        "\"saturation_shed\"",
+    ] {
+        assert!(text.contains(key), "BENCH_serve.json missing key {key}");
+    }
+    // the run itself asserts these, but the committed history must agree:
+    // a nonzero duplicate count must never be recorded
+    assert!(
+        text.contains("\"duplicate_computes\": 0"),
+        "BENCH_serve.json recorded duplicate band computes"
+    );
+}
+
+#[test]
 fn validator_accepts_and_rejects() {
     assert!(validate_json(r#"{"a": [1, 2.5e-3, "x\"y", true, null]}"#).is_ok());
     assert!(validate_json("{\n  \"runs\": []\n}\n").is_ok());
