@@ -19,6 +19,13 @@
 #                      load-shed under saturation), a v2 trace replay
 #                      through the CLI front end, and the serve hammer
 #                      tests
+#   ./ci.sh simd       SIMD dispatch gate: bench_simd (scalar vs f64x4
+#                      A/B with the >=2x fill+emit speedup assertion and
+#                      bitwise grid equality, appended to
+#                      results/BENCH_simd.json), the forced-scalar vs
+#                      auto subprocess dispatch tests, the simd unit
+#                      suite, and the quick conformance matrix (three
+#                      scalar-vs-vector oracle pairs included)
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -61,6 +68,21 @@ if [[ "${1:-}" == "obs" ]]; then
     cargo test -q -p kdv-obs
     cargo test -q -p kdv-core --test obs_properties
     echo "==> OBS OK"
+    exit 0
+fi
+
+if [[ "${1:-}" == "simd" ]]; then
+    echo "==> bench_simd (bitwise + >=2x fill+emit speedup assertions)"
+    cargo run --release -p kdv-bench --bin bench_simd -- --scale 0.001 --res 1280x960
+    echo "==> forced-scalar vs auto dispatch subprocess tests"
+    cargo test -q --test simd_dispatch
+    echo "==> simd unit suite (lanes, clamp, bitwise emit/fill pairs)"
+    cargo test -q -p kdv-core --lib simd
+    echo "==> quick conformance matrix (includes scalar-vs-vector pairs)"
+    cargo run --release -p kdv-conformance -- --quick
+    echo "==> bench results smoke test"
+    cargo test -q --test bench_results
+    echo "==> SIMD OK"
     exit 0
 fi
 

@@ -88,50 +88,6 @@ fn distinct_bands(sessions: &[Session]) -> usize {
     bands.len()
 }
 
-/// Days-to-civil conversion (Howard Hinnant's algorithm) for the dated
-/// JSON entry — no chrono in the dependency budget.
-fn utc_date(unix_secs: u64) -> String {
-    let days = (unix_secs / 86_400) as i64;
-    let secs = unix_secs % 86_400;
-    let z = days + 719_468;
-    let era = z.div_euclid(146_097);
-    let doe = z.rem_euclid(146_097);
-    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
-    let y = yoe + era * 400;
-    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
-    let mp = (5 * doy + 2) / 153;
-    let d = doy - (153 * mp + 2) / 5 + 1;
-    let m = if mp < 10 { mp + 3 } else { mp - 9 };
-    let y = if m <= 2 { y + 1 } else { y };
-    format!(
-        "{:04}-{:02}-{:02}T{:02}:{:02}:{:02}Z",
-        y,
-        m,
-        d,
-        secs / 3600,
-        (secs / 60) % 60,
-        secs % 60
-    )
-}
-
-/// Appends `entry` to the `"runs"` array of `path`, creating the file on
-/// first use (same suffix-splice shape as the other bench writers).
-fn append_run(path: &std::path::Path, entry: &str) {
-    const SUFFIX: &str = "\n  ]\n}\n";
-    let fresh = format!("{{\n  \"runs\": [\n{entry}{SUFFIX}");
-    match std::fs::read_to_string(path) {
-        Ok(existing) if existing.ends_with(SUFFIX) => {
-            let mut text = existing;
-            text.truncate(text.len() - SUFFIX.len());
-            text.push_str(",\n");
-            text.push_str(entry);
-            text.push_str(SUFFIX);
-            std::fs::write(path, text).expect("append BENCH_serve.json");
-        }
-        _ => std::fs::write(path, fresh).expect("write BENCH_serve.json"),
-    }
-}
-
 fn main() {
     let cfg = HarnessConfig::from_args();
     let extent = Rect::new(0.0, 0.0, 10_000.0, 10_000.0);
@@ -246,7 +202,7 @@ fn main() {
         .unwrap_or(0);
     let entry = format!(
         "    {{\n      \"date\": \"{}\",\n      \"n\": {},\n      \"sessions\": {},\n      \"requests\": {requests},\n      \"distinct_bands\": {expected_bands},\n      \"sequential_s\": {seq_s:.6},\n      \"concurrent_s\": {conc_s:.6},\n      \"p50_ms\": {p50_ms:.3},\n      \"p99_ms\": {p99_ms:.3},\n      \"bands_computed\": {},\n      \"bands_joined\": {},\n      \"duplicate_computes\": 0,\n      \"saturation_shed\": {shed}\n    }}",
-        utc_date(now),
+        kdv_bench::utc_date(now),
         points.len(),
         sessions.len(),
         flights.computed(),
@@ -255,6 +211,6 @@ fn main() {
 
     std::fs::create_dir_all(&cfg.out_dir).expect("create output dir");
     let path = cfg.out_dir.join("BENCH_serve.json");
-    append_run(&path, &entry);
+    kdv_bench::append_run(&path, &entry);
     println!("appended run to {}", path.display());
 }

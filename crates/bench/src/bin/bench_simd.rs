@@ -1,0 +1,215 @@
+//! Scalar vs `f64x4` A/B for the two vectorized hot loops.
+//!
+//! For each kernel × bandwidth, runs the full SLAM_BUCKET raster twice —
+//! once with the SIMD dispatch forced to the scalar path (the
+//! paper-faithful fused per-pixel sweep loop), once forced to the `f64x4`
+//! path (run-restructured emit + 4-lane evaluation) — with the span
+//! recorder live, and attributes time to the two instrumented scopes from
+//! the trace: `envelope.fill_simd` (the `b² − dy²` → `sqrt` → bounds
+//! computation) and `emit.simd` (the whole sweep pass: event drains plus
+//! density emit — both variants record the same scope, so the column is a
+//! symmetric comparison). The rest of the raster (bucket scatter,
+//! envelope banding) is identical between the two runs and excluded, so
+//! the speedup column measures exactly the work the lane layer replaces.
+//!
+//! Every pair of runs is also checked bitwise — the dispatch contract is
+//! that lane selection never changes a single output bit.
+//!
+//! Asserts the best (kernel, bandwidth) combination reaches
+//! [`MIN_SPEEDUP`] on the combined fill+emit time, then appends a dated
+//! entry to `BENCH_simd.json` in the output directory (`--out`, default
+//! `results/`), accumulating history like the other benches.
+//! `./ci.sh simd` runs this.
+
+use kdv_bench::HarnessConfig;
+use kdv_core::driver::KdvParams;
+use kdv_core::geom::{Point, Rect};
+use kdv_core::grid::{DensityGrid, GridSpec};
+use kdv_core::simd::{with_mode, SimdMode};
+use kdv_core::{sweep_bucket, KernelType};
+use kdv_data::synth::{generate, SynthConfig};
+
+/// Required speedup of the `f64x4` path over forced-scalar on the
+/// combined fill+emit time, at the best measured (kernel, bandwidth).
+/// The scalar sweep evaluates one aggregate `diff` + polynomial per
+/// pixel; the vector path amortises the `diff` over each event-free run
+/// and evaluates 4 pixels per lane group, so small-bandwidth rows (long
+/// runs) measure 3–5×. Kept at 2× so CI boxes under load don't flake.
+const MIN_SPEEDUP: f64 = 2.0;
+
+struct Sample {
+    fill_s: f64,
+    emit_s: f64,
+    lanes: u64,
+    grid: DensityGrid,
+}
+
+/// One instrumented raster with the dispatch pinned to `mode`, timing
+/// taken from the recorded spans rather than wall clock so only the two
+/// swapped loops are counted.
+fn run_once(params: &KdvParams, points: &[Point], mode: SimdMode) -> Sample {
+    with_mode(mode, || {
+        kdv_obs::span::clear();
+        kdv_obs::metrics::global().counter("simd.lanes").reset();
+        kdv_obs::set_enabled(true);
+        let grid = sweep_bucket::compute(params, points).expect("sweep must succeed");
+        kdv_obs::set_enabled(false);
+        let trace = kdv_obs::span::take_trace();
+        assert!(trace.is_balanced(), "span recorder must pair every begin/end");
+        let sum = |name: &str| -> f64 {
+            trace.events.iter().filter(|e| e.name == name).map(|e| e.dur_ns).sum::<u64>() as f64
+                / 1e9
+        };
+        let lanes = kdv_obs::metrics::global().counter("simd.lanes").get();
+        kdv_obs::span::clear();
+        Sample { fill_s: sum("envelope.fill_simd"), emit_s: sum("emit.simd"), lanes, grid }
+    })
+}
+
+/// Interleaved A/B sampling: alternates scalar and `f64x4` runs so clock
+/// throttling and cache state drift hit both sides equally, then takes
+/// the per-side median on the combined fill+emit seconds (returning the
+/// sample at the median so fill/emit stay a consistent pair).
+fn median_pair(params: &KdvParams, points: &[Point]) -> (Sample, Sample) {
+    const REPS: usize = 7;
+    let mut scalar: Vec<Sample> = Vec::with_capacity(REPS);
+    let mut simd: Vec<Sample> = Vec::with_capacity(REPS);
+    for _ in 0..REPS {
+        scalar.push(run_once(params, points, SimdMode::Scalar));
+        simd.push(run_once(params, points, SimdMode::Vector));
+    }
+    let median = |mut samples: Vec<Sample>| -> Sample {
+        samples.sort_by(|a, b| {
+            (a.fill_s + a.emit_s).partial_cmp(&(b.fill_s + b.emit_s)).expect("finite timings")
+        });
+        samples.swap_remove(REPS / 2)
+    };
+    (median(scalar), median(simd))
+}
+
+struct Row {
+    kernel: KernelType,
+    bandwidth: f64,
+    scalar_fill_s: f64,
+    scalar_emit_s: f64,
+    simd_fill_s: f64,
+    simd_emit_s: f64,
+    lanes: u64,
+    speedup: f64,
+}
+
+fn main() {
+    let cfg = HarnessConfig::from_args();
+    let extent = Rect::new(0.0, 0.0, 10_000.0, 10_000.0);
+    let n = (5_000_000.0 * cfg.scale).round().max(1_000.0) as usize;
+    let points: Vec<Point> =
+        generate(&SynthConfig::simple(extent), n, 11).into_iter().map(|r| r.point).collect();
+    let grid = GridSpec::new(extent, cfg.resolution.0, cfg.resolution.1).unwrap();
+
+    println!(
+        "simd A/B bench: n={} raster={}x{} dispatch={} (forced per run)",
+        points.len(),
+        grid.res_x,
+        grid.res_y,
+        kdv_core::simd::mode()
+    );
+    println!(
+        "{:>13} {:>10} {:>12} {:>12} {:>12} {:>12} {:>9}",
+        "kernel", "bandwidth", "scalar fill", "scalar emit", "f64x4 fill", "f64x4 emit", "speedup"
+    );
+
+    let mut rows: Vec<Row> = Vec::new();
+    for kernel in [KernelType::Epanechnikov, KernelType::Quartic] {
+        // city-typical widths: the 100–800 band is where interactive KDV
+        // maps live (bench_envelope sweeps the same region scale)
+        for bandwidth in [25.0, 50.0, 100.0, 200.0] {
+            let params =
+                KdvParams::new(grid, kernel, bandwidth).with_weight(1.0 / points.len() as f64);
+            let (scalar, simd) = median_pair(&params, &points);
+            assert_eq!(
+                scalar.grid, simd.grid,
+                "forced-scalar and f64x4 rasters must be bitwise identical \
+                 ({kernel} b={bandwidth})"
+            );
+            assert_eq!(scalar.lanes, 0, "forced-scalar run must touch no vector lanes");
+
+            let scalar_total = scalar.fill_s + scalar.emit_s;
+            let simd_total = simd.fill_s + simd.emit_s;
+            let speedup = if simd_total > 0.0 { scalar_total / simd_total } else { 1.0 };
+            println!(
+                "{:>13} {:>10.0} {:>10.2}ms {:>10.2}ms {:>10.2}ms {:>10.2}ms {:>8.2}x",
+                kernel.name(),
+                bandwidth,
+                scalar.fill_s * 1e3,
+                scalar.emit_s * 1e3,
+                simd.fill_s * 1e3,
+                simd.emit_s * 1e3,
+                speedup
+            );
+            rows.push(Row {
+                kernel,
+                bandwidth,
+                scalar_fill_s: scalar.fill_s,
+                scalar_emit_s: scalar.emit_s,
+                simd_fill_s: simd.fill_s,
+                simd_emit_s: simd.emit_s,
+                lanes: simd.lanes,
+                speedup,
+            });
+        }
+    }
+
+    let best = rows
+        .iter()
+        .max_by(|a, b| a.speedup.partial_cmp(&b.speedup).expect("finite speedups"))
+        .expect("at least one row");
+    println!(
+        "best: {} b={} at {:.2}x (required {MIN_SPEEDUP}x); f64x4 detected: {}",
+        best.kernel.name(),
+        best.bandwidth,
+        best.speedup,
+        kdv_core::simd::detected()
+    );
+    assert!(
+        best.speedup >= MIN_SPEEDUP,
+        "f64x4 fill+emit speedup {:.2}x below the required {MIN_SPEEDUP}x",
+        best.speedup
+    );
+
+    let now = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let mut entry = format!(
+        "    {{\n      \"date\": \"{}\",\n      \"n\": {},\n      \"res_x\": {},\n      \
+         \"res_y\": {},\n      \"vector_isa_detected\": {},\n      \
+         \"min_speedup\": {MIN_SPEEDUP},\n      \"best_speedup\": {:.4},\n      \"rows\": [\n",
+        kdv_bench::utc_date(now),
+        points.len(),
+        grid.res_x,
+        grid.res_y,
+        kdv_core::simd::detected(),
+        best.speedup
+    );
+    for (i, r) in rows.iter().enumerate() {
+        entry.push_str(&format!(
+            "        {{\"kernel\": \"{}\", \"bandwidth\": {}, \"scalar_fill_s\": {:.6}, \
+             \"scalar_emit_s\": {:.6}, \"simd_fill_s\": {:.6}, \"simd_emit_s\": {:.6}, \
+             \"simd_lane_pixels\": {}, \"speedup\": {:.4}}}{}\n",
+            r.kernel.name(),
+            r.bandwidth,
+            r.scalar_fill_s,
+            r.scalar_emit_s,
+            r.simd_fill_s,
+            r.simd_emit_s,
+            r.lanes,
+            r.speedup,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    entry.push_str("      ]\n    }");
+    std::fs::create_dir_all(&cfg.out_dir).expect("create output dir");
+    let path = cfg.out_dir.join("BENCH_simd.json");
+    kdv_bench::append_run(&path, &entry);
+    println!("appended to {}", path.display());
+}

@@ -274,6 +274,54 @@ impl Table {
     }
 }
 
+/// Days-to-civil conversion (Howard Hinnant's algorithm) for dated JSON
+/// entries — no chrono in the dependency budget.
+pub fn utc_date(unix_secs: u64) -> String {
+    let days = (unix_secs / 86_400) as i64;
+    let secs = unix_secs % 86_400;
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = if m <= 2 { y + 1 } else { y };
+    format!(
+        "{:04}-{:02}-{:02}T{:02}:{:02}:{:02}Z",
+        y,
+        m,
+        d,
+        secs / 3600,
+        (secs / 60) % 60,
+        secs % 60
+    )
+}
+
+/// Appends `entry` to the `"runs"` array of `path`, creating the file on
+/// first use. The writers control the exact shape, so the append is a
+/// suffix splice rather than a JSON parse; `tests/bench_results.rs`
+/// re-validates the whole file after every bench run.
+pub fn append_run(path: &Path, entry: &str) {
+    const SUFFIX: &str = "\n  ]\n}\n";
+    let fresh = format!("{{\n  \"runs\": [\n{entry}{SUFFIX}");
+    match std::fs::read_to_string(path) {
+        Ok(existing) if existing.ends_with(SUFFIX) => {
+            let mut text = existing;
+            text.truncate(text.len() - SUFFIX.len());
+            text.push_str(",\n");
+            text.push_str(entry);
+            text.push_str(SUFFIX);
+            std::fs::write(path, text).unwrap_or_else(|e| panic!("append {}: {e}", path.display()));
+        }
+        _ => {
+            std::fs::write(path, fresh).unwrap_or_else(|e| panic!("write {}: {e}", path.display()))
+        }
+    }
+}
+
 /// Prints the standard experiment banner (settings provenance).
 pub fn banner(name: &str, cfg: &HarnessConfig) {
     println!(

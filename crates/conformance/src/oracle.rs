@@ -23,6 +23,8 @@
 //! | NKDV forward augmentation | per-lixel Dijkstra | network ULPs |
 //! | stitched tiles | monolithic SLAM_BUCKET | bitwise |
 //! | instrumented bucket | same sweep, recorder off | bitwise |
+//! | f64x4 emit (bucket / sort) | forced-scalar twin | bitwise |
+//! | f64x4 envelope fill | forced-scalar twin | bitwise |
 //!
 //! Auxiliary inputs a pair needs beyond the case itself (per-point
 //! weights, event timestamps, the road network) are synthesised from
@@ -31,9 +33,11 @@
 
 use kdv_baselines::AnyMethod;
 use kdv_core::driver::KdvParams;
+use kdv_core::envelope::{BandIndex, EnvelopeBuffer};
 use kdv_core::parallel::{
     compute_parallel, compute_parallel_rao, compute_weighted_parallel, ParallelEngine,
 };
+use kdv_core::simd::{with_mode, SimdMode};
 use kdv_core::weighted::{compute_weighted, weighted_scan};
 use kdv_core::{multi_bandwidth, rao, sweep_bucket, KdvEngine, Method, Rect};
 use kdv_data::record::EventRecord;
@@ -45,7 +49,7 @@ use crate::case::{CaseSpec, SplitMix64};
 use crate::tolerance::{compare, unit_kernel_peak, Comparison, Policy};
 
 /// Names of every pair in the registry, in execution order.
-pub const PAIR_NAMES: [&str; 20] = [
+pub const PAIR_NAMES: [&str; 23] = [
     "SLAM_SORT vs SCAN",
     "SLAM_BUCKET vs SCAN",
     "SLAM_SORT^(RAO) vs SCAN",
@@ -66,6 +70,9 @@ pub const PAIR_NAMES: [&str; 20] = [
     "NKDV forward vs Dijkstra",
     "stitched tiles vs monolithic",
     "instrumented bucket vs plain",
+    "simd emit vs scalar emit (bucket)",
+    "simd emit vs scalar emit (sort)",
+    "simd envelope fill vs scalar",
 ];
 
 /// Outcome of one engine×oracle pair on one case.
@@ -270,6 +277,45 @@ pub fn run_case(case: &CaseSpec) -> Vec<PairResult> {
             (Ok(t), Ok(p)) => ok(PAIR_NAMES[19], Policy::Bitwise, t.values(), p.values()),
             (t, p) => fail(PAIR_NAMES[19], two_errors(t.err(), p.err())),
         }
+    });
+
+    // --- SIMD lane layer vs forced-scalar twins (bitwise) ------------------
+    // The f64x4 emit and envelope-fill paths mirror the scalar expression
+    // trees op for op, so forcing the dispatch either way must produce the
+    // identical raster. On hardware without the vector ISA `with_mode`
+    // clamps Vector to Scalar and the pairs hold trivially — that clamp is
+    // itself part of the contract (never execute an unsupported path).
+    for (idx, engine) in [(20usize, Method::SlamBucket), (21, Method::SlamSort)] {
+        out.push({
+            let scalar =
+                with_mode(SimdMode::Scalar, || KdvEngine::new(engine).compute(&params, pts));
+            let vector =
+                with_mode(SimdMode::Vector, || KdvEngine::new(engine).compute(&params, pts));
+            match (vector, scalar) {
+                (Ok(v), Ok(s)) => ok(PAIR_NAMES[idx], Policy::Bitwise, v.values(), s.values()),
+                (v, s) => fail(PAIR_NAMES[idx], two_errors(v.err(), s.err())),
+            }
+        });
+    }
+    out.push({
+        let fill_rows = |mode: SimdMode| {
+            with_mode(mode, || {
+                let index = BandIndex::build(pts);
+                let mut buf = EnvelopeBuffer::for_points(pts.len());
+                let mut flat = Vec::new();
+                for row in 0..params.grid.res_y {
+                    let k = params.grid.pixel_center(0, row).y;
+                    let band = index.band(case.bandwidth, k);
+                    for iv in buf.fill_band(&index, band, case.bandwidth, k) {
+                        flat.extend_from_slice(&[iv.lb, iv.ub, iv.point.x, iv.point.y]);
+                    }
+                }
+                flat
+            })
+        };
+        let scalar = fill_rows(SimdMode::Scalar);
+        let vector = fill_rows(SimdMode::Vector);
+        ok(PAIR_NAMES[22], Policy::Bitwise, &vector, &scalar)
     });
 
     debug_assert_eq!(out.len(), PAIR_NAMES.len());

@@ -205,10 +205,17 @@ impl EnvelopeBuffer {
         self.fill_band(index, band, bandwidth, k)
     }
 
-    /// Fills intervals for an already-located `band` (every point of the
-    /// range must satisfy `|k − p.y| ≤ b`, which [`BandIndex::band`]
-    /// guarantees). The bound computation reads the index's dense `xs`/`ys`
-    /// arrays so it auto-vectorizes.
+    /// Fills intervals for an already-located `band` (normally every point
+    /// of the range satisfies `|k − p.y| ≤ b`, which [`BandIndex::band`]
+    /// guarantees; a caller-built band may graze the support boundary, in
+    /// which case the underflowed `b² − dy²` is clamped to `+0.0` before
+    /// the square root — identically on the scalar and SIMD paths).
+    ///
+    /// The bound computation runs through [`crate::simd::fill_intervals`]:
+    /// 4 points per iteration with a scalar tail when the `f64x4` path is
+    /// selected, a plain scalar loop otherwise, bitwise identical either
+    /// way. Instrumented with the `envelope.fill_simd` span and the
+    /// `simd.lanes` counter.
     pub fn fill_band(
         &mut self,
         index: &BandIndex,
@@ -221,16 +228,11 @@ impl EnvelopeBuffer {
         let xs = &index.xs[band.clone()];
         let ys = &index.ys[band];
         self.intervals.reserve(xs.len());
-        for (&x, &y) in xs.iter().zip(ys) {
-            let dy = k - y;
-            let rem = b2 - dy * dy;
-            debug_assert!(rem >= 0.0, "band must only contain in-range points");
-            let half = rem.sqrt();
-            self.intervals.push(SweepInterval {
-                point: Point::new(x, y),
-                lb: x - half,
-                ub: x + half,
-            });
+        let mut span = kdv_obs::span1("envelope.fill_simd", "points", xs.len() as u64);
+        let lanes = crate::simd::fill_intervals(&mut self.intervals, xs, ys, b2, k);
+        span.arg("lanes", lanes as u64);
+        if kdv_obs::enabled() {
+            kdv_obs::metrics::global().counter("simd.lanes").add(lanes as u64);
         }
         &self.intervals
     }

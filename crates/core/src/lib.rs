@@ -53,6 +53,8 @@
 //! * [`weighted`] — per-point weights (temporal kernels, event counts).
 //! * [`multi_bandwidth`] — bandwidth-exploration sweeps sharing row scans.
 //! * [`grid_io`] — lossless raster persistence (binary and TSV).
+//! * [`simd`] — runtime-dispatched `f64x4` layer for the density emit and
+//!   envelope fill hot loops, bitwise identical to the scalar paths.
 //! * [`tile`] — tile-decomposed computation whose stitched output is
 //!   bitwise identical to the monolithic sweep (the compute layer under
 //!   the `kdv-serve` tile cache).
@@ -68,6 +70,7 @@ pub mod kernel;
 pub mod multi_bandwidth;
 pub mod parallel;
 pub mod rao;
+pub mod simd;
 pub mod stats;
 pub mod sweep_bucket;
 pub mod sweep_sort;

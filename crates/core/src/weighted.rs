@@ -135,8 +135,32 @@ impl WeightedAccumulator {
     }
 }
 
+impl WeightedAggregates {
+    /// Snapshot in the shared emit form: `wsum` plays the role of the
+    /// count, the polynomial is identical term-for-term (see
+    /// [`crate::simd::density_at`]).
+    #[inline]
+    fn emit(&self) -> crate::simd::EmitAggregates {
+        crate::simd::EmitAggregates {
+            n: self.wsum,
+            ax: self.ax,
+            ay: self.ay,
+            s: self.s,
+            cx: self.cx,
+            cy: self.cy,
+            q4: self.q4,
+            mxx: self.mxx,
+            mxy: self.mxy,
+            myy: self.myy,
+        }
+    }
+}
+
 /// Weighted density from aggregates — the weighted analogue of
-/// `KernelType::density_from_aggregates`.
+/// `KernelType::density_from_aggregates`. The scalar sweep path evaluates
+/// through this directly; the vector path goes through
+/// [`crate::simd::density_at`] with `n = wsum`, which mirrors this
+/// expression tree bit-for-bit (pinned by the emit-path test below).
 #[inline]
 fn density_from_weighted(
     kernel: KernelType,
@@ -187,6 +211,7 @@ pub(crate) struct WeightedRowSweep {
     next_u: Vec<u32>,
     l_acc: WeightedAccumulator,
     u_acc: WeightedAccumulator,
+    emit: crate::simd::EmitBuffer,
 }
 
 impl WeightedRowSweep {
@@ -202,6 +227,7 @@ impl WeightedRowSweep {
             next_u: Vec::new(),
             l_acc: WeightedAccumulator::new(quartic),
             u_acc: WeightedAccumulator::new(quartic),
+            emit: crate::simd::EmitBuffer::default(),
         }
     }
 
@@ -257,40 +283,129 @@ impl WeightedRowSweep {
             self.head_u[bu] = idx as u32;
         }
 
+        // Two variants, dispatched once per row on [`crate::simd::mode`] —
+        // see `BucketSweep::process_row`. Scalar: the fused per-pixel loop
+        // through `density_from_weighted`. Vector: event-free pixel
+        // stretches share one aggregate snapshot and frame, recorded as
+        // runs and evaluated by `EmitBuffer::flush` (4 pixels per
+        // iteration), bitwise identical to the per-pixel loop.
         self.l_acc.reset();
         self.u_acc.reset();
         let shift_limit = 4.0 * self.bandwidth;
         let mut frame_x = xs[0];
-        for (i, &x) in xs.iter().enumerate() {
-            if self.l_acc.count == self.u_acc.count {
-                self.l_acc.reset();
-                self.u_acc.reset();
-                frame_x = x;
-            } else if x - frame_x > shift_limit {
-                let delta = x - frame_x;
-                self.l_acc.shift_x(delta);
-                self.u_acc.shift_x(delta);
-                frame_x = x;
+        let mode = crate::simd::mode();
+        let mut span = kdv_obs::span1("emit.simd", "mode", mode as u64);
+        let lanes = match mode {
+            crate::simd::SimdMode::Scalar => {
+                for (i, &x) in xs.iter().enumerate() {
+                    if self.l_acc.count == self.u_acc.count {
+                        self.l_acc.reset();
+                        self.u_acc.reset();
+                        frame_x = x;
+                    } else if x - frame_x > shift_limit {
+                        let delta = x - frame_x;
+                        self.l_acc.shift_x(delta);
+                        self.u_acc.shift_x(delta);
+                        frame_x = x;
+                    }
+                    let mut cur = self.head_l[i];
+                    while cur != NIL {
+                        let idx = cur as usize;
+                        let p = &intervals[idx].point;
+                        self.l_acc.insert(&Point::new(p.x - frame_x, p.y - k), env_weights[idx]);
+                        cur = self.next_l[idx];
+                    }
+                    let agg = self.l_acc.diff(&self.u_acc);
+                    let q = Point::new(x - frame_x, 0.0);
+                    out[i] = density_from_weighted(
+                        self.kernel,
+                        &q,
+                        &agg,
+                        self.bandwidth,
+                        self.global_weight,
+                    );
+                    let mut cur = self.head_u[i + 1];
+                    while cur != NIL {
+                        let idx = cur as usize;
+                        let p = &intervals[idx].point;
+                        self.u_acc.insert(&Point::new(p.x - frame_x, p.y - k), env_weights[idx]);
+                        cur = self.next_u[idx];
+                    }
+                }
+                0
             }
-            let mut cur = self.head_l[i];
-            while cur != NIL {
-                let idx = cur as usize;
-                let p = &intervals[idx].point;
-                self.l_acc.insert(&Point::new(p.x - frame_x, p.y - k), env_weights[idx]);
-                cur = self.next_l[idx];
+            crate::simd::SimdMode::Vector => {
+                self.emit.clear();
+                let mut i = 0usize;
+                while i < x_count {
+                    let x = xs[i];
+                    if self.l_acc.count == self.u_acc.count {
+                        self.l_acc.reset();
+                        self.u_acc.reset();
+                        frame_x = x;
+                    } else if x - frame_x > shift_limit {
+                        let delta = x - frame_x;
+                        self.l_acc.shift_x(delta);
+                        self.u_acc.shift_x(delta);
+                        frame_x = x;
+                    }
+                    let mut cur = self.head_l[i];
+                    while cur != NIL {
+                        let idx = cur as usize;
+                        let p = &intervals[idx].point;
+                        self.l_acc.insert(&Point::new(p.x - frame_x, p.y - k), env_weights[idx]);
+                        cur = self.next_l[idx];
+                    }
+                    // `count` (insertions, not `wsum`) detects emptiness
+                    // exactly as the per-pixel loop does; empty ⟹ the reset
+                    // above ran and the lower-bound drain inserted nothing,
+                    // so every run pixel evaluates at `q = (+0.0, 0.0)`
+                    // with zeroed aggregates.
+                    let empty = self.l_acc.count == self.u_acc.count;
+                    let mut e = i + 1;
+                    if empty {
+                        while e < x_count && self.head_l[e] == NIL && self.head_u[e] == NIL {
+                            e += 1;
+                        }
+                    } else {
+                        while e < x_count
+                            && self.head_l[e] == NIL
+                            && self.head_u[e] == NIL
+                            && xs[e] - frame_x <= shift_limit
+                        {
+                            e += 1;
+                        }
+                    }
+                    if empty {
+                        self.emit.push_fill(
+                            i,
+                            e,
+                            crate::simd::density_at(
+                                self.kernel,
+                                &crate::simd::EmitAggregates::default(),
+                                0.0,
+                                self.bandwidth,
+                                self.global_weight,
+                            ),
+                        );
+                        frame_x = xs[e - 1];
+                    } else {
+                        let agg = self.l_acc.diff(&self.u_acc);
+                        self.emit.push_run(i, e, frame_x, agg.emit());
+                    }
+                    let mut cur = self.head_u[e];
+                    while cur != NIL {
+                        let idx = cur as usize;
+                        let p = &intervals[idx].point;
+                        self.u_acc.insert(&Point::new(p.x - frame_x, p.y - k), env_weights[idx]);
+                        cur = self.next_u[idx];
+                    }
+                    i = e;
+                }
+                self.emit.flush(self.kernel, self.bandwidth, self.global_weight, xs, out)
             }
-            let agg = self.l_acc.diff(&self.u_acc);
-            let q = Point::new(x - frame_x, 0.0);
-            out[i] =
-                density_from_weighted(self.kernel, &q, &agg, self.bandwidth, self.global_weight);
-            let mut cur = self.head_u[i + 1];
-            while cur != NIL {
-                let idx = cur as usize;
-                let p = &intervals[idx].point;
-                self.u_acc.insert(&Point::new(p.x - frame_x, p.y - k), env_weights[idx]);
-                cur = self.next_u[idx];
-            }
-        }
+        };
+        span.arg("lanes", lanes as u64);
     }
 
     /// Auxiliary heap bytes held by the engine.
@@ -300,6 +415,7 @@ impl WeightedRowSweep {
             + self.next_l.capacity()
             + self.next_u.capacity())
             * std::mem::size_of::<u32>()
+            + self.emit.space_bytes()
     }
 }
 
@@ -583,6 +699,36 @@ mod tests {
                 compute_weighted_rows(&p, &points, &weights, &mut WeightedWorkspace::new())
                     .unwrap();
             assert_eq!(banded, grid, "b={bandwidth}");
+        }
+    }
+
+    /// The sweep now emits through `simd::density_at` with `n = wsum`; that
+    /// expression tree must mirror the weighted reference bit-for-bit.
+    #[test]
+    fn emit_path_matches_density_from_weighted_bitwise() {
+        let mut l = WeightedAccumulator::new(true);
+        for (i, p) in [
+            Point::new(0.5, -1.5),
+            Point::new(-2.25, 0.75),
+            Point::new(3.0, 3.0),
+            Point::new(1e-4, -0.3),
+        ]
+        .iter()
+        .enumerate()
+        {
+            l.insert(p, 0.25 + i as f64 * 1.5);
+        }
+        let agg = l.diff(&WeightedAccumulator::new(true));
+        let emit = agg.emit();
+        for kernel in KernelType::ALL {
+            for dx in [-3.5, 0.0, 0.125, 2.75] {
+                for b in [1.25, 8.0] {
+                    let q = Point::new(dx, 0.0);
+                    let reference = density_from_weighted(kernel, &q, &agg, b, 0.6);
+                    let got = crate::simd::density_at(kernel, &emit, dx, b, 0.6);
+                    assert_eq!(got.to_bits(), reference.to_bits(), "{kernel} dx={dx} b={b}");
+                }
+            }
         }
     }
 

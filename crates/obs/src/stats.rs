@@ -53,6 +53,42 @@ mod tests {
         assert_eq!(percentile_u64(&v, 2.0), Some(9));
     }
 
+    /// Recorded regression: percentiles are permutation-invariant, ties
+    /// included. `SweepReport` feeds per-row band sizes in whatever order
+    /// the rows were processed (which the parallel driver permutes), so a
+    /// rank picked from an unsorted or unstably-tied slice would make the
+    /// telemetry output depend on thread scheduling.
+    #[test]
+    fn percentile_invariant_under_permutation_and_ties() {
+        let base = [4u64, 7, 7, 1, 7, 2, 9, 1, 7, 3];
+        // a handful of distinct permutations, including reversed and
+        // tie-adjacent swaps
+        let mut perms: Vec<Vec<u64>> = vec![base.to_vec()];
+        let mut rev = base.to_vec();
+        rev.reverse();
+        perms.push(rev);
+        let mut rot = base.to_vec();
+        rot.rotate_left(3);
+        perms.push(rot);
+        let mut swapped = base.to_vec();
+        swapped.swap(1, 4); // swaps two equal values across a distinct one
+        swapped.swap(0, 9);
+        perms.push(swapped);
+        for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0] {
+            let want = percentile_u64(&base, q);
+            for p in &perms {
+                assert_eq!(percentile_u64(p, q), want, "q={q} perm={p:?}");
+            }
+        }
+        // same property for the float variant, with tied samples
+        let fbase = [2.5, 1.0, 2.5, 0.5, 2.5, 9.0];
+        let mut frev = fbase.to_vec();
+        frev.reverse();
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(percentile_f64(&fbase, q), percentile_f64(&frev, q), "q={q}");
+        }
+    }
+
     #[test]
     fn median_f64_matches_sorted_middle() {
         assert_eq!(median_f64(&[3.0, 1.0, 2.0]), Some(2.0));

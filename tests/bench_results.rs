@@ -52,10 +52,42 @@ fn bench_envelope_json_parses_with_expected_keys() {
     let text = read_results("BENCH_envelope.json");
     validate_json(&text)
         .unwrap_or_else(|off| panic!("BENCH_envelope.json is not valid JSON near byte {off}"));
-    for key in
-        ["\"rows\"", "\"bandwidth\"", "\"extract_scan_s\"", "\"extract_banded_s\"", "\"mean_band\""]
-    {
+    for key in [
+        "\"rows\"",
+        "\"bandwidth\"",
+        "\"extract_scan_s\"",
+        "\"extract_banded_s\"",
+        "\"mean_band\"",
+        "\"emit_scalar_s\"",
+        "\"emit_simd_s\"",
+        "\"fill_scalar_s\"",
+        "\"fill_simd_s\"",
+    ] {
         assert!(text.contains(key), "BENCH_envelope.json missing key {key}");
+    }
+}
+
+#[test]
+fn bench_simd_json_parses_with_expected_keys() {
+    let text = read_results("BENCH_simd.json");
+    validate_json(&text)
+        .unwrap_or_else(|off| panic!("BENCH_simd.json is not valid JSON near byte {off}"));
+    for key in [
+        "\"n\"",
+        "\"vector_isa_detected\"",
+        "\"min_speedup\"",
+        "\"best_speedup\"",
+        "\"rows\"",
+        "\"kernel\"",
+        "\"bandwidth\"",
+        "\"scalar_fill_s\"",
+        "\"scalar_emit_s\"",
+        "\"simd_fill_s\"",
+        "\"simd_emit_s\"",
+        "\"simd_lane_pixels\"",
+        "\"speedup\"",
+    ] {
+        assert!(text.contains(key), "BENCH_simd.json missing key {key}");
     }
 }
 

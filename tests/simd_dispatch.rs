@@ -1,0 +1,154 @@
+//! SIMD dispatch contract, end to end: a forced-scalar process and an
+//! auto-dispatch process must produce bitwise-identical rasters on every
+//! engine family.
+//!
+//! `KDV_SIMD` is resolved once at startup (a `OnceLock` behind
+//! [`kdv_core::simd::mode`]), so exercising the environment path needs
+//! fresh processes: a probe test computes one raster per engine family —
+//! both sweep engines, RAO, weighted, multi-bandwidth, stitched tiles and
+//! STKDV frames — and prints an FNV-1a checksum of each; the driver test
+//! re-runs the probe in two child processes (`KDV_SIMD=scalar` and
+//! `KDV_SIMD=auto`) and compares the checksum tables. Policy is Bitwise:
+//! the checksums must match exactly, not approximately.
+
+use std::collections::BTreeMap;
+use std::process::Command;
+
+use kdv_core::driver::KdvParams;
+use kdv_core::geom::{Point, Rect};
+use kdv_core::grid::{DensityGrid, GridSpec};
+use kdv_core::KernelType;
+use kdv_data::record::EventRecord;
+use kdv_temporal::{compute_stkdv, FrameSpec, StKdvConfig, TemporalKernel};
+
+/// FNV-1a over the raw bit patterns — any single-bit output difference
+/// changes the checksum.
+fn checksum(grid: &DensityGrid) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for v in grid.values() {
+        for byte in v.to_bits().to_le_bytes() {
+            h ^= byte as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+fn test_points(n: usize, extent: Rect) -> Vec<Point> {
+    let mut state = 77u64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    (0..n)
+        .map(|_| {
+            Point::new(
+                extent.min_x + next() * (extent.max_x - extent.min_x),
+                extent.min_y + next() * (extent.max_y - extent.min_y),
+            )
+        })
+        .collect()
+}
+
+/// One raster per engine family, deterministic input. Kernel varies so
+/// both the quadratic and quartic emit polynomials are covered.
+fn family_checksums() -> Vec<(&'static str, u64)> {
+    let extent = Rect::new(0.0, 0.0, 300.0, 200.0);
+    let points = test_points(900, extent);
+    let grid = GridSpec::new(extent, 96, 64).unwrap();
+    let params = KdvParams::new(grid, KernelType::Epanechnikov, 18.0).with_weight(0.25);
+    let quartic = KdvParams::new(grid, KernelType::Quartic, 25.0).with_weight(0.25);
+
+    let mut out = Vec::new();
+    out.push(("bucket", checksum(&kdv_core::sweep_bucket::compute(&params, &points).unwrap())));
+    out.push(("sort", checksum(&kdv_core::sweep_sort::compute(&quartic, &points).unwrap())));
+    // tall raster forces the RAO transpose branch
+    let tall = GridSpec::new(Rect::new(0.0, 0.0, 200.0, 300.0), 48, 96).unwrap();
+    let tall_params = KdvParams::new(tall, KernelType::Quartic, 20.0).with_weight(0.25);
+    let tall_points = test_points(700, Rect::new(0.0, 0.0, 200.0, 300.0));
+    out.push((
+        "rao",
+        checksum(&kdv_core::rao::compute_bucket(&tall_params, &tall_points).unwrap()),
+    ));
+    let weights: Vec<f64> = (0..points.len()).map(|i| 0.5 + (i % 7) as f64 * 0.25).collect();
+    out.push((
+        "weighted",
+        checksum(&kdv_core::weighted::compute_weighted(&params, &points, &weights).unwrap()),
+    ));
+    let multi =
+        kdv_core::multi_bandwidth::compute_multi_bandwidth(&params, &points, &[9.0, 18.0, 36.0])
+            .unwrap();
+    for (grid, name) in multi.iter().zip(["multi_b9", "multi_b18", "multi_b36"]) {
+        out.push((name, checksum(grid)));
+    }
+    out.push(("tiles", checksum(&kdv_core::tile::compute_stitched(&params, &points, 32).unwrap())));
+    let events: Vec<EventRecord> = points
+        .iter()
+        .enumerate()
+        .map(|(i, &point)| EventRecord { point, timestamp: 1_000 + (i as i64 % 240), category: 0 })
+        .collect();
+    let config = StKdvConfig {
+        params,
+        frames: FrameSpec::new(1_000, 80, 3),
+        temporal_bandwidth: 120,
+        temporal_kernel: TemporalKernel::Epanechnikov,
+    };
+    for (i, frame) in compute_stkdv(&config, &events).unwrap().iter().enumerate() {
+        out.push((["stkdv_f0", "stkdv_f1", "stkdv_f2"][i], checksum(&frame.grid)));
+    }
+    out
+}
+
+/// Probe: prints one `kdv-dispatch-checksum:<family>=<hex>` line per
+/// engine family under whatever dispatch the environment resolved. The
+/// driver test below runs this in child processes; standalone (plain
+/// `cargo test`) it is a cheap smoke test of every family.
+#[test]
+fn simd_dispatch_probe() {
+    for (name, sum) in family_checksums() {
+        println!("kdv-dispatch-checksum:{name}={sum:016x}");
+    }
+}
+
+fn probe_checksums(simd_env: &str) -> BTreeMap<String, String> {
+    let output = Command::new(std::env::current_exe().unwrap())
+        .args(["--exact", "simd_dispatch_probe", "--nocapture"])
+        .env("KDV_SIMD", simd_env)
+        .output()
+        .expect("spawning the test binary");
+    assert!(
+        output.status.success(),
+        "probe child (KDV_SIMD={simd_env}) failed:\n{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let map: BTreeMap<String, String> = stdout
+        .lines()
+        .filter_map(|l| l.strip_prefix("kdv-dispatch-checksum:"))
+        .filter_map(|l| l.split_once('='))
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect();
+    assert!(!map.is_empty(), "probe child (KDV_SIMD={simd_env}) printed no checksums");
+    map
+}
+
+/// Forced-scalar vs auto dispatch over every engine family, in fresh
+/// processes so `KDV_SIMD` goes through the real startup resolution.
+#[test]
+fn forced_scalar_and_auto_dispatch_agree_bitwise_per_family() {
+    let scalar = probe_checksums("scalar");
+    let auto = probe_checksums("auto");
+    assert_eq!(
+        scalar.keys().collect::<Vec<_>>(),
+        auto.keys().collect::<Vec<_>>(),
+        "both probes must cover the same engine families"
+    );
+    for (family, sum) in &scalar {
+        assert_eq!(
+            sum, &auto[family],
+            "family '{family}': scalar and auto dispatch rasters diverged (Bitwise policy)"
+        );
+    }
+}
