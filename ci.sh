@@ -19,6 +19,13 @@
 #                      load-shed under saturation), a v2 trace replay
 #                      through the CLI front end, and the serve hammer
 #                      tests
+#   ./ci.sh coreset    approximate-overview gate: bench_coreset at
+#                      n=10^6 (sup-error <= advertised eps, deep zoom
+#                      bitwise vs the exact server, >=5x cold overview
+#                      speedup, appended to results/BENCH_coreset.json),
+#                      the kdv-coreset property suite, the tier-boundary
+#                      regression + hammer tests, and the quick
+#                      conformance matrix (four coreset pairs included)
 #   ./ci.sh simd       SIMD dispatch gate: bench_simd (scalar vs f64x4
 #                      A/B with the >=2x fill+emit speedup assertion and
 #                      bitwise grid equality, appended to
@@ -68,6 +75,21 @@ if [[ "${1:-}" == "obs" ]]; then
     cargo test -q -p kdv-obs
     cargo test -q -p kdv-core --test obs_properties
     echo "==> OBS OK"
+    exit 0
+fi
+
+if [[ "${1:-}" == "coreset" ]]; then
+    echo "==> bench_coreset at n=10^6 (eps-certificate, deep-zoom-bitwise, >=5x speedup gates)"
+    cargo run --release -p kdv-bench --bin bench_coreset -- --scale 0.5
+    echo "==> coreset unit + property suites"
+    cargo test -q -p kdv-coreset
+    echo "==> tier boundary regression + hammer"
+    cargo test -q -p kdv-serve --test tier_boundary
+    echo "==> quick conformance matrix (includes the four coreset pairs)"
+    cargo run --release -p kdv-conformance -- --quick
+    echo "==> bench results smoke test"
+    cargo test -q --test bench_results
+    echo "==> CORESET OK"
     exit 0
 fi
 

@@ -52,6 +52,7 @@ USAGE:
                [--max-zoom Z] [--kernel K] [--bandwidth B] [--cache-mb M]
                [--threads N] [--out-prefix PREFIX] [--stats]
                [--workers N] [--queue-depth N] [--deadline-ms MS]
+               [--coreset-zoom Z] [--coreset-eps REL] [--coreset-method M]
                [--trace-out FILE] [--metrics-out FILE]
   kdv info     --input FILE.csv
 
@@ -96,6 +97,14 @@ SERVE OPTIONS:
                  load-shed with an explicit rejection      (default 64)
   --deadline-ms  shed requests still queued after this many ms
                  (default: no deadline)
+  --coreset-zoom serve zoom levels <= Z from a certified eps-coreset of
+                 the dataset (the approximate overview tier); deeper
+                 zooms stay exact. Prints the achieved eps and coreset
+                 size, and --stats shows each request's tier
+  --coreset-eps  relative eps target for the overview tier, as a
+                 fraction of the density scale |w|*n*K(0)  (default 0.01)
+  --coreset-method grid | sort | sample coreset construction
+                 (default grid)
   --out-prefix   write each served viewport as PREFIX_NNN.ppm
                  (sequential v1 replay only)
   --stats        print per-request cache deltas and a final summary;
@@ -540,18 +549,43 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     }
     let concurrent = trace.version == 2 || args.get("workers").is_some();
 
+    let overview = match args.get("coreset-zoom") {
+        Some(z) => {
+            let zoom: u8 = z.parse().map_err(|_| "bad --coreset-zoom")?;
+            let rel: f64 = args
+                .get("coreset-eps")
+                .unwrap_or("0.01")
+                .parse()
+                .map_err(|_| "bad --coreset-eps")?;
+            let method: kdv_coreset::CoresetMethod =
+                args.get("coreset-method").unwrap_or("grid").parse().map_err(|e| format!("{e}"))?;
+            Some(kdv_serve::OverviewConfig {
+                max_zoom: zoom,
+                method,
+                target_rel_epsilon: rel,
+                seed: 7,
+            })
+        }
+        None => None,
+    };
+
     let pyramid = kdv_serve::PyramidSpec::new(mbr, tile_size, base_x, base_y, max_zoom)
         .map_err(|e| e.to_string())?;
     let config =
         kdv_serve::ServeConfig { dataset: 1, kernel, bandwidth, weight: 1.0 / points.len() as f64 };
     let n = points.len();
-    let server = std::sync::Arc::new(kdv_serve::TileServer::new(
-        pyramid,
-        config,
-        points,
-        cache_mb << 20,
-        16,
-    ));
+    let server = std::sync::Arc::new(match overview {
+        Some(ov) => kdv_serve::TileServer::with_overview_coreset(
+            pyramid,
+            config,
+            points,
+            cache_mb << 20,
+            16,
+            ov,
+        )
+        .map_err(|e| e.to_string())?,
+        None => kdv_serve::TileServer::new(pyramid, config, points, cache_mb << 20, 16),
+    });
 
     println!(
         "serving {} request(s) over {} points (tile {tile_size}px, base {base_x}x{base_y}, \
@@ -559,6 +593,18 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         trace.num_requests(),
         n
     );
+    if let Some(ov) = &overview {
+        let info = server.tier_info(0);
+        println!(
+            "coreset overview tier: zoom <= {} served from {} of {n} point(s) ({} coreset), \
+             advertised eps {:.3e} (rel target {})",
+            ov.max_zoom.min(max_zoom),
+            info.coreset_size.unwrap_or(0),
+            ov.method,
+            info.epsilon.unwrap_or(0.0),
+            ov.target_rel_epsilon
+        );
+    }
     let start = Instant::now();
     if concurrent {
         serve_concurrent(args, &trace, &server, stats)?;
@@ -606,7 +652,7 @@ fn serve_sequential(
         }
         if stats {
             println!(
-                "request {:>3}: zoom {} @({},{}) {}x{}  {:>8.3} ms  hits {} misses {} \
+                "request {:>3}: zoom {} @({},{}) {}x{}  tier {:7}  {:>8.3} ms  hits {} misses {} \
                  evictions {} rejected {}",
                 i + 1,
                 vp.zoom,
@@ -614,6 +660,7 @@ fn serve_sequential(
                 vp.py,
                 vp.width,
                 vp.height,
+                server.tier_info(vp.zoom).tier.name(),
                 report.wall_nanos as f64 / 1e6,
                 report.cache_hits,
                 report.cache_misses,

@@ -131,6 +131,23 @@ impl CaseSpec {
         [1, 7, 64, 256][(self.aux_seed() >> 17) as usize % 4]
     }
 
+    /// The coreset construction method the approximate-overview pairs
+    /// build with, derived from [`CaseSpec::aux_seed`] like
+    /// [`CaseSpec::tile_size`] (the v1 line format is closed). Returned
+    /// by name so this layer stays decoupled from `kdv-coreset`;
+    /// [`crate::oracle`] parses it back into a `CoresetMethod`.
+    pub fn coreset_method(&self) -> &'static str {
+        ["grid", "sort", "sample"][(self.aux_seed() >> 29) as usize % 3]
+    }
+
+    /// Relative ε target of the coreset pairs, as a fraction of the
+    /// density scale `|w|·n·K(0)`. The ladder spans near-lossless (the
+    /// builder usually has to keep most points) to aggressively
+    /// compressed (a handful of representatives must still certify).
+    pub fn coreset_epsilon_rel(&self) -> f64 {
+        [0.002, 0.01, 0.05, 0.2][(self.aux_seed() >> 23) as usize % 4]
+    }
+
     /// Maps `seed` to an adversarial case; `seed % 3` fixes the kernel so
     /// a contiguous seed range covers all three kernels evenly.
     pub fn generate(seed: u64) -> CaseSpec {
@@ -456,6 +473,28 @@ mod tests {
             assert_eq!(back.tile_size(), ts, "seed {seed}");
         }
         assert_eq!(seen.len(), 4, "all ladder rungs exercised: {seen:?}");
+    }
+
+    #[test]
+    fn coreset_dimension_is_covered_and_content_derived() {
+        let mut methods = std::collections::HashSet::new();
+        let mut rels = std::collections::HashSet::new();
+        for seed in 0..200 {
+            let case = CaseSpec::generate(seed);
+            methods.insert(case.coreset_method());
+            rels.insert(case.coreset_epsilon_rel().to_bits());
+            // content-derived: a corpus round trip picks the same point
+            // on both dimensions
+            let back = CaseSpec::from_line(&case.to_line()).unwrap();
+            assert_eq!(back.coreset_method(), case.coreset_method(), "seed {seed}");
+            assert_eq!(
+                back.coreset_epsilon_rel().to_bits(),
+                case.coreset_epsilon_rel().to_bits(),
+                "seed {seed}"
+            );
+        }
+        assert_eq!(methods.len(), 3, "all methods exercised: {methods:?}");
+        assert_eq!(rels.len(), 4, "all ε rungs exercised");
     }
 
     #[test]

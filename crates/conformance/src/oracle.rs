@@ -25,6 +25,9 @@
 //! | instrumented bucket | same sweep, recorder off | bitwise |
 //! | f64x4 emit (bucket / sort) | forced-scalar twin | bitwise |
 //! | f64x4 envelope fill | forced-scalar twin | bitwise |
+//! | coreset grid / coreset sort | SCAN | error bound (advertised ε) |
+//! | coreset overview serve | SCAN | error bound (advertised ε) |
+//! | coreset deep zoom | monolithic SLAM_BUCKET | bitwise |
 //!
 //! Auxiliary inputs a pair needs beyond the case itself (per-point
 //! weights, event timestamps, the road network) are synthesised from
@@ -40,16 +43,18 @@ use kdv_core::parallel::{
 use kdv_core::simd::{with_mode, SimdMode};
 use kdv_core::weighted::{compute_weighted, weighted_scan};
 use kdv_core::{multi_bandwidth, rao, sweep_bucket, KdvEngine, Method, Rect};
+use kdv_coreset::{CoresetMethod, CoresetSpec};
 use kdv_data::record::EventRecord;
 use kdv_explore::incremental::pan_render;
 use kdv_network::{compute_nkdv, compute_nkdv_naive, NetPosition, NkdvParams, RoadNetwork};
+use kdv_serve::{OverviewConfig, PyramidSpec, ServeConfig, TileServer, TileTier, Viewport};
 use kdv_temporal::{compute_stkdv, compute_stkdv_parallel, FrameSpec, StKdvConfig, TemporalKernel};
 
 use crate::case::{CaseSpec, SplitMix64};
 use crate::tolerance::{compare, unit_kernel_peak, Comparison, Policy};
 
 /// Names of every pair in the registry, in execution order.
-pub const PAIR_NAMES: [&str; 23] = [
+pub const PAIR_NAMES: [&str; 27] = [
     "SLAM_SORT vs SCAN",
     "SLAM_BUCKET vs SCAN",
     "SLAM_SORT^(RAO) vs SCAN",
@@ -73,6 +78,10 @@ pub const PAIR_NAMES: [&str; 23] = [
     "simd emit vs scalar emit (bucket)",
     "simd emit vs scalar emit (sort)",
     "simd envelope fill vs scalar",
+    "coreset grid vs SCAN (ε-bound)",
+    "coreset sort vs SCAN (ε-bound)",
+    "coreset overview serve vs SCAN (ε-bound)",
+    "coreset deep zoom vs monolithic",
 ];
 
 /// Outcome of one engine×oracle pair on one case.
@@ -318,7 +327,126 @@ pub fn run_case(case: &CaseSpec) -> Vec<PairResult> {
         ok(PAIR_NAMES[22], Policy::Bitwise, &vector, &scalar)
     });
 
+    // --- coreset overview tier vs its certified advertisement --------------
+    out.extend(run_coreset(case, &params, &scan));
+
     debug_assert_eq!(out.len(), PAIR_NAMES.len());
+    out
+}
+
+/// The four approximate-overview pairs. The first two build a coreset
+/// directly (grid and sort constructions, the case grid as the sole
+/// registered evaluation grid) and hold the weighted sweep over it to the
+/// *achieved* ε the builder certified — [`Policy::ErrorBound`] is the one
+/// policy whose budget is produced by the system under test, so these
+/// pairs are really checking that the certificate itself is honest
+/// against an independent oracle (SCAN, not the bucket sweep the builder
+/// measured with; the builder's `2⁻²⁴·scale` float slack is what absorbs
+/// that engine swap). The last two stand up a two-level tile server whose
+/// zoom 0 is coreset-served (method and ε target drawn from the case's
+/// generator dimension) and whose zoom 1 is exact: the served overview
+/// must respect the advertised ε end to end through tiling and caching,
+/// and the deep zoom must remain bitwise-equal to the monolithic sweep —
+/// the approximation must never bleed across the tier boundary.
+fn run_coreset(
+    case: &CaseSpec,
+    params: &KdvParams,
+    scan: &kdv_core::DensityGrid,
+) -> Vec<PairResult> {
+    let mut out = Vec::with_capacity(4);
+    let rel = case.coreset_epsilon_rel();
+    let scale =
+        kdv_coreset::density_scale(case.kernel, case.bandwidth, case.weight, case.points.len());
+
+    for (idx, method) in [(23usize, CoresetMethod::Grid), (24, CoresetMethod::Sort)] {
+        let spec = CoresetSpec {
+            method,
+            target_epsilon: rel * scale,
+            kernel: case.kernel,
+            bandwidth: case.bandwidth,
+            weight: case.weight,
+            seed: case.aux_seed(),
+            eval_grids: vec![params.grid],
+        };
+        out.push(match kdv_coreset::build(&spec, &case.points) {
+            Ok(cs) => match compute_weighted(params, &cs.points, &cs.weights) {
+                Ok(g) => ok(
+                    PAIR_NAMES[idx],
+                    Policy::ErrorBound { epsilon: cs.epsilon },
+                    g.values(),
+                    scan.values(),
+                ),
+                Err(e) => fail(PAIR_NAMES[idx], e.to_string()),
+            },
+            Err(e) => fail(PAIR_NAMES[idx], e.to_string()),
+        });
+    }
+
+    // two-level server over the case raster: zoom 0 (the case grid) is
+    // the coreset tier, zoom 1 the exact tier
+    let method = match case.coreset_method().parse::<CoresetMethod>() {
+        Ok(m) => m,
+        Err(e) => {
+            out.push(fail(PAIR_NAMES[25], e.to_string()));
+            out.push(fail(PAIR_NAMES[26], e.to_string()));
+            return out;
+        }
+    };
+    let server = PyramidSpec::new(case.region, case.tile_size(), case.res_x, case.res_y, 1)
+        .and_then(|pyramid| {
+            TileServer::with_overview_coreset(
+                pyramid,
+                ServeConfig {
+                    dataset: case.aux_seed(),
+                    kernel: case.kernel,
+                    bandwidth: case.bandwidth,
+                    weight: case.weight,
+                },
+                case.points.clone(),
+                1 << 20,
+                2,
+                OverviewConfig {
+                    max_zoom: 0,
+                    method,
+                    target_rel_epsilon: rel,
+                    seed: case.aux_seed(),
+                },
+            )
+        });
+    let server = match server {
+        Ok(s) => s,
+        Err(e) => {
+            out.push(fail(PAIR_NAMES[25], format!("server: {e}")));
+            out.push(fail(PAIR_NAMES[26], format!("server: {e}")));
+            return out;
+        }
+    };
+
+    let vp0 = Viewport { zoom: 0, px: 0, py: 0, width: case.res_x, height: case.res_y };
+    out.push(match server.serve_viewport_tiered(&vp0, 2) {
+        Ok((g, _, info)) if info.tier == TileTier::Coreset => ok(
+            PAIR_NAMES[25],
+            Policy::ErrorBound { epsilon: info.epsilon.unwrap_or(0.0) },
+            g.values(),
+            scan.values(),
+        ),
+        Ok((_, _, info)) => fail(PAIR_NAMES[25], format!("zoom 0 reported tier {:?}", info.tier)),
+        Err(e) => fail(PAIR_NAMES[25], e.to_string()),
+    });
+
+    let vp1 = Viewport { zoom: 1, px: 0, py: 0, width: 2 * case.res_x, height: 2 * case.res_y };
+    let deep = server.pyramid().level_params(1, case.kernel, case.bandwidth, case.weight);
+    out.push(
+        match (server.serve_viewport_tiered(&vp1, 2), sweep_bucket::compute(&deep, &case.points)) {
+            (Ok((g, _, info)), Ok(mono)) if info.tier == TileTier::Exact => {
+                ok(PAIR_NAMES[26], Policy::Bitwise, g.values(), mono.values())
+            }
+            (Ok((_, _, info)), Ok(_)) => {
+                fail(PAIR_NAMES[26], format!("zoom 1 reported tier {:?}", info.tier))
+            }
+            (g, m) => fail(PAIR_NAMES[26], two_errors(g.err(), m.err())),
+        },
+    );
     out
 }
 

@@ -94,6 +94,25 @@ pub enum Policy {
         /// The engine's proven absolute error bound.
         bound: f64,
     },
+    /// Approximate with a **certified advertised bound**: the engine
+    /// itself published `ε` alongside its output (a coreset's achieved
+    /// sup-error certificate) and the oracle holds it to its own
+    /// advertisement: `|got − ref| ≤ ε` everywhere.
+    ///
+    /// The contract differs from the exact policies in kind, not just in
+    /// magnitude. `Bitwise`/`ScaledUlps` bound *rounding* of the same
+    /// sum — their budgets derive from `f64::EPSILON` and the term scale,
+    /// and shrink as precision grows. `ErrorBound` bounds *approximation*
+    /// of a different (smaller) sum — the budget is whatever the engine
+    /// claimed when it built the approximation, so a pass means the
+    /// advertisement is honest, not that the bits are close. Unlike
+    /// `AbsoluteBound` (a bound the *oracle* derives from the engine's
+    /// parameters), the `ErrorBound` budget is produced by the system
+    /// under test, which is exactly why it needs an oracle.
+    ErrorBound {
+        /// The sup-error bound the engine advertised with its output.
+        epsilon: f64,
+    },
 }
 
 impl Policy {
@@ -156,6 +175,7 @@ impl Policy {
                 ulps * f64::EPSILON * ref_peak.abs().max(*floor).max(1e-300)
             }
             Policy::AbsoluteBound { bound } => *bound,
+            Policy::ErrorBound { epsilon } => *epsilon,
         }
     }
 }
@@ -297,6 +317,23 @@ mod tests {
         let g = [100.5, 0.4];
         assert!(compare(Policy::AbsoluteBound { bound: 0.5 }, &g, &r).pass);
         assert!(!compare(Policy::AbsoluteBound { bound: 0.3 }, &g, &r).pass);
+    }
+
+    #[test]
+    fn error_bound_holds_the_engine_to_its_advertisement() {
+        let r = [10.0, 0.0, -3.0];
+        let g = [10.2, -0.1, -2.9];
+        // the advertised ε admits the deviation...
+        assert!(compare(Policy::ErrorBound { epsilon: 0.25 }, &g, &r).pass);
+        // ...a dishonest (too small) advertisement fails
+        let c = compare(Policy::ErrorBound { epsilon: 0.1 }, &g, &r);
+        assert!(!c.pass);
+        assert!((c.max_abs_err - 0.2).abs() < 1e-12);
+        // ε = 0 degenerates to an absolute-equality check (not bitwise:
+        // +0.0 vs -0.0 still passes)
+        assert!(compare(Policy::ErrorBound { epsilon: 0.0 }, &[0.0], &[-0.0]).pass);
+        // NaN output never conforms, whatever ε says
+        assert!(!compare(Policy::ErrorBound { epsilon: f64::MAX }, &[f64::NAN], &[0.0]).pass);
     }
 
     #[test]

@@ -60,6 +60,7 @@
 //!   the `kdv-serve` tile cache).
 
 pub mod aggregate;
+pub mod digest;
 pub mod driver;
 pub mod envelope;
 pub mod error;

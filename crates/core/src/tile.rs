@@ -47,6 +47,7 @@ use crate::geom::Point;
 use crate::grid::DensityGrid;
 use crate::parallel::for_each_index_with;
 use crate::sweep_bucket::BucketSweep;
+use crate::weighted::WeightedWorkspace;
 
 /// Partition of an `X × Y` raster into square tiles of side `tile_size`
 /// (edge tiles are clipped). Pure index arithmetic — the geometry stays in
@@ -220,6 +221,75 @@ pub fn compute_band<E: RowEngine>(
     let _s = kdv_obs::span2("tile.band", "ty", ty as u64, "rows", rows.len() as u64);
     band.resize(rows.len() * tiling.res_x, 0.0);
     sweep_rows(ctx, bandwidth, rows.clone(), engine, envelope, band);
+    slice_band(tiling, ty, rows, band)
+}
+
+/// Weighted counterpart of [`sweep_rows`]: the ordinary full-width
+/// weighted row sweeps for `rows`, written row-major into `out`.
+/// `weights` is in *original* point order — the gather through the banded
+/// index applies the canonical-order permutation per row, exactly as
+/// [`crate::weighted::compute_weighted`] does, so any row range produces
+/// the same bits the monolithic weighted sweep produces for those rows.
+/// This is the compute path under the serve layer's coreset overview
+/// tier, where the weights are coreset multiplicities.
+pub fn sweep_rows_weighted(
+    ctx: &SweepContext,
+    params: &KdvParams,
+    rows: Range<usize>,
+    weights: &[f64],
+    workspace: &mut WeightedWorkspace,
+    out: &mut [f64],
+) {
+    let x_count = ctx.xs.len();
+    assert_eq!(out.len(), rows.len() * x_count, "band buffer/row-range mismatch");
+    out.fill(0.0);
+    let bandwidth = params.bandwidth;
+    workspace.engine_for(params);
+    let WeightedWorkspace { envelope, env_weights, engine, .. } = workspace;
+    let engine = engine.as_mut().expect("engine_for configured the engine");
+    for (slot, j) in rows.enumerate() {
+        let k = ctx.ks[j];
+        let band = {
+            let _s = kdv_obs::span1("band.search", "row", j as u64);
+            ctx.index.band(bandwidth, k)
+        };
+        if band.is_empty() {
+            continue;
+        }
+        ctx.index.gather(band.clone(), weights, env_weights);
+        let intervals = {
+            let mut s = kdv_obs::span1("envelope.fill", "row", j as u64);
+            let intervals = envelope.fill_band(&ctx.index, band, bandwidth, k);
+            s.arg("size", intervals.len() as u64);
+            intervals
+        };
+        let _s = kdv_obs::span1("row.sweep", "row", j as u64);
+        engine.process_row(
+            &ctx.xs,
+            k,
+            intervals,
+            env_weights,
+            &mut out[slot * x_count..(slot + 1) * x_count],
+        );
+    }
+}
+
+/// Weighted counterpart of [`compute_band`]: one tile row band computed
+/// by full-width *weighted* row sweeps and sliced into tiles. The unit
+/// the serve layer computes on a coreset-tier cache miss.
+pub fn compute_band_weighted(
+    ctx: &SweepContext,
+    tiling: &Tiling,
+    params: &KdvParams,
+    ty: usize,
+    weights: &[f64],
+    workspace: &mut WeightedWorkspace,
+    band: &mut Vec<f64>,
+) -> Vec<Tile> {
+    let rows = tiling.tile_rows(ty);
+    let _s = kdv_obs::span2("tile.band", "ty", ty as u64, "rows", rows.len() as u64);
+    band.resize(rows.len() * tiling.res_x, 0.0);
+    sweep_rows_weighted(ctx, params, rows.clone(), weights, workspace, band);
     slice_band(tiling, ty, rows, band)
 }
 
@@ -423,6 +493,51 @@ mod tests {
         let rows = 5..17;
         let mut out = vec![f64::NAN; rows.len() * 30];
         sweep_rows(&ctx, params.bandwidth, rows.clone(), &mut engine, &mut envelope, &mut out);
+        for (slot, j) in rows.enumerate() {
+            assert_eq!(&out[slot * 30..(slot + 1) * 30], full.row(j), "row {j}");
+        }
+    }
+
+    #[test]
+    fn weighted_band_matches_monolithic_weighted_bitwise() {
+        // wide raster: compute_weighted takes the non-RAO row path, which
+        // is the exact floating-point program the band sweep re-runs, so
+        // agreement is bitwise.
+        let (params, pts) = setup(50, 33, 12.0);
+        let weights: Vec<f64> = (0..pts.len()).map(|i| 0.25 + (i % 9) as f64 * 0.5).collect();
+        let mono = crate::weighted::compute_weighted(&params, &pts, &weights).unwrap();
+        let ctx = SweepContext::new(&params, &pts).unwrap();
+        for tile_size in [1, 7, 16, 33] {
+            let tiling = Tiling::new(50, 33, tile_size).unwrap();
+            let mut workspace = WeightedWorkspace::new();
+            let mut band = Vec::new();
+            let mut tiles = Vec::new();
+            for ty in 0..tiling.tiles_y() {
+                tiles.extend(compute_band_weighted(
+                    &ctx,
+                    &tiling,
+                    &params,
+                    ty,
+                    &weights,
+                    &mut workspace,
+                    &mut band,
+                ));
+            }
+            let stitched = stitch(&tiling, &tiles);
+            assert_eq!(stitched, mono, "tile_size={tile_size}");
+        }
+    }
+
+    #[test]
+    fn weighted_rows_match_full_weighted_rows() {
+        let (params, pts) = setup(30, 24, 9.0);
+        let weights: Vec<f64> = (0..pts.len()).map(|i| (i % 5) as f64 * 0.3 + 0.1).collect();
+        let full = crate::weighted::compute_weighted(&params, &pts, &weights).unwrap();
+        let ctx = SweepContext::new(&params, &pts).unwrap();
+        let mut workspace = WeightedWorkspace::new();
+        let rows = 4..19;
+        let mut out = vec![f64::NAN; rows.len() * 30];
+        sweep_rows_weighted(&ctx, &params, rows.clone(), &weights, &mut workspace, &mut out);
         for (slot, j) in rows.enumerate() {
             assert_eq!(&out[slot * 30..(slot + 1) * 30], full.row(j), "row {j}");
         }

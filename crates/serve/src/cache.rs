@@ -31,6 +31,31 @@ use kdv_core::KernelType;
 
 use crate::pyramid::TileCoord;
 
+/// Which point set a tile's bits were computed from: the full dataset
+/// (exact) or its ε-coreset (approximate overview tier). Part of the
+/// cache key so an approximate tile can never be returned for an
+/// exact-tier lookup, even if every other parameter matches.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum TileTier {
+    /// Computed from the full point set — bitwise-equal to the
+    /// monolithic raster.
+    #[default]
+    Exact,
+    /// Computed from the dataset's ε-coreset — within the advertised
+    /// sup-error bound of exact.
+    Coreset,
+}
+
+impl TileTier {
+    /// Stable lowercase name for metadata and CLI output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TileTier::Exact => "exact",
+            TileTier::Coreset => "coreset",
+        }
+    }
+}
+
 /// Full provenance of a tile's bits — the cache key.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TileKey {
@@ -44,10 +69,13 @@ pub struct TileKey {
     pub weight_bits: u64,
     /// Pyramid address of the tile.
     pub coord: TileCoord,
+    /// Exact or coreset provenance (see [`TileTier`]).
+    pub tier: TileTier,
 }
 
 impl TileKey {
-    /// Builds a key from float parameters (stored as bit patterns).
+    /// Builds an exact-tier key from float parameters (stored as bit
+    /// patterns); use [`TileKey::with_tier`] for coreset-tier keys.
     pub fn new(
         dataset: u64,
         kernel: KernelType,
@@ -61,7 +89,14 @@ impl TileKey {
             bandwidth_bits: bandwidth.to_bits(),
             weight_bits: weight.to_bits(),
             coord,
+            tier: TileTier::Exact,
         }
+    }
+
+    /// The same key re-tiered (builder style).
+    pub fn with_tier(mut self, tier: TileTier) -> Self {
+        self.tier = tier;
+        self
     }
 }
 
@@ -464,5 +499,20 @@ mod tests {
         );
         cache.insert(a, tile(7, 2));
         assert!(cache.peek(&b).is_none());
+    }
+
+    #[test]
+    fn tiers_do_not_alias() {
+        // a coreset tile must never answer an exact-tier lookup (and vice
+        // versa), even with every other parameter identical
+        let cache = TileCache::new(1 << 20, 4);
+        let exact = key(0, 0);
+        let coreset = key(0, 0).with_tier(TileTier::Coreset);
+        assert_ne!(exact, coreset);
+        cache.insert(coreset, tile(3, 2));
+        assert!(cache.peek(&exact).is_none(), "exact lookup found a coreset tile");
+        cache.insert(exact, tile(4, 2));
+        assert_eq!(cache.get(&coreset).unwrap().values()[0], 3.0);
+        assert_eq!(cache.get(&exact).unwrap().values()[0], 4.0);
     }
 }

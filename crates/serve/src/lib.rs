@@ -32,11 +32,11 @@ pub mod replay;
 pub mod server;
 pub mod trace;
 
-pub use cache::{CacheStats, InsertOutcome, TileCache, TileKey};
+pub use cache::{CacheStats, InsertOutcome, TileCache, TileKey, TileTier};
 pub use frontend::{
     Frontend, FrontendConfig, FrontendStats, ServeError, ServeResult, ShedReason, Ticket,
 };
 pub use pyramid::{PyramidSpec, TileCoord, Viewport};
 pub use replay::{checksum, replay_concurrent, replay_sequential, ReplayOutcome, ReplayRecord};
-pub use server::{FlightStats, ServeConfig, TileServer};
+pub use server::{FlightStats, OverviewConfig, ServeConfig, TierInfo, TileServer};
 pub use trace::{Session, SessionRequest, TraceFile};

@@ -21,23 +21,11 @@ use crate::trace::Session;
 
 /// FNV-1a over the grid dimensions and the raw bit pattern of every
 /// density value. Bitwise-sensitive: any single-ULP difference between
-/// two grids produces a different checksum.
+/// two grids produces a different checksum. Thin re-export of the shared
+/// [`kdv_core::digest::grid_checksum`] so replay digests and the SIMD
+/// dispatch probe use one definition.
 pub fn checksum(grid: &DensityGrid) -> u64 {
-    const OFFSET: u64 = 0xcbf29ce484222325;
-    const PRIME: u64 = 0x100000001b3;
-    let mut h = OFFSET;
-    let mut mix = |v: u64| {
-        for byte in v.to_le_bytes() {
-            h ^= u64::from(byte);
-            h = h.wrapping_mul(PRIME);
-        }
-    };
-    mix(grid.res_x() as u64);
-    mix(grid.res_y() as u64);
-    for &v in grid.values() {
-        mix(v.to_bits());
-    }
-    h
+    kdv_core::digest::grid_checksum(grid)
 }
 
 /// How one replayed request ended.

@@ -36,10 +36,12 @@ use kdv_core::envelope::EnvelopeBuffer;
 use kdv_core::parallel::for_each_index_with;
 use kdv_core::sweep_bucket::BucketSweep;
 use kdv_core::telemetry::SweepReport;
-use kdv_core::tile::{compute_band, Tile, Tiling};
+use kdv_core::tile::{compute_band, compute_band_weighted, Tile, Tiling};
+use kdv_core::weighted::WeightedWorkspace;
 use kdv_core::{DensityGrid, KdvError, KernelType, Point, Result};
+use kdv_coreset::{Coreset, CoresetMethod, CoresetSpec};
 
-use crate::cache::{CacheStats, TileCache, TileKey};
+use crate::cache::{CacheStats, TileCache, TileKey, TileTier};
 use crate::pyramid::{PyramidSpec, TileCoord, Viewport};
 
 /// Kernel configuration a server answers requests under (one server = one
@@ -57,9 +59,51 @@ pub struct ServeConfig {
     pub weight: f64,
 }
 
+/// Configuration of the approximate overview tier: pyramid levels at or
+/// below `max_zoom` are served from an ε-coreset of the dataset instead
+/// of the full point set (deep zooms stay exact). The coreset is built
+/// once at server construction, with the certificate measured on exactly
+/// the level grids this tier will answer on.
+#[derive(Debug, Clone, Copy)]
+pub struct OverviewConfig {
+    /// Highest zoom served from the coreset (inclusive); `zoom >
+    /// max_zoom` requests stay exact over the full set.
+    pub max_zoom: u8,
+    /// Coreset construction method.
+    pub method: CoresetMethod,
+    /// Target sup-error, relative to the density scale `|w|·n·K(0)`
+    /// (see [`kdv_coreset::density_scale`]). The achieved (certified)
+    /// bound is reported in [`TierInfo::epsilon`].
+    pub target_rel_epsilon: f64,
+    /// Construction seed (meaningful for the `Sample` method).
+    pub seed: u64,
+}
+
+/// Which tier answered a request, plus the approximation metadata a
+/// client needs to label the result. Attached to every served viewport
+/// by [`TileServer::serve_viewport_tiered`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TierInfo {
+    /// Exact or coreset provenance of every tile in the response.
+    pub tier: TileTier,
+    /// Certified sup-error bound of the response vs the exact raster
+    /// (`None` for the exact tier, which is bitwise-equal instead).
+    pub epsilon: Option<f64>,
+    /// Number of coreset representatives the tier sweeps over (`None`
+    /// for the exact tier).
+    pub coreset_size: Option<usize>,
+}
+
+/// The built overview tier: the coreset and the zoom threshold it
+/// answers for.
+struct OverviewTier {
+    coreset: Coreset,
+    max_zoom: u8,
+}
+
 /// Identity of one tile row band within a server (the server fixes
 /// dataset, kernel, bandwidth and weight, so `(zoom, ty)` is the full
-/// single-flight key).
+/// single-flight key — the tier is a function of the zoom).
 type BandId = (u8, usize);
 
 /// The shared tiles of one computed band, in `tx` order.
@@ -148,6 +192,8 @@ pub struct TileServer {
     /// detection. Bounded by the pyramid's band count, not by traffic.
     computed_bands: Mutex<HashSet<BandId>>,
     flights: FlightStats,
+    /// Approximate overview tier, when configured.
+    overview: Option<OverviewTier>,
 }
 
 impl TileServer {
@@ -170,6 +216,70 @@ impl TileServer {
             inflight: Mutex::new(HashMap::new()),
             computed_bands: Mutex::new(HashSet::new()),
             flights: FlightStats::default(),
+            overview: None,
+        }
+    }
+
+    /// [`TileServer::new`] plus an approximate overview tier: builds an
+    /// ε-coreset of `points` (certified on exactly the level grids of
+    /// zooms `0..=overview.max_zoom`) and serves those levels from it,
+    /// while deeper zooms stay exact over the full set. The achieved ε
+    /// is surfaced by [`TileServer::tier_info`] and in every
+    /// [`TierInfo`] this server attaches to a response.
+    pub fn with_overview_coreset(
+        pyramid: PyramidSpec,
+        config: ServeConfig,
+        points: Vec<Point>,
+        cache_bytes: usize,
+        cache_shards: usize,
+        overview: OverviewConfig,
+    ) -> Result<Self> {
+        let threshold = overview.max_zoom.min(pyramid.max_zoom);
+        let eval_grids = (0..=threshold).map(|z| pyramid.level_grid(z)).collect();
+        let scale = kdv_coreset::density_scale(
+            config.kernel,
+            config.bandwidth,
+            config.weight,
+            points.len(),
+        );
+        let spec = CoresetSpec {
+            method: overview.method,
+            target_epsilon: overview.target_rel_epsilon * scale,
+            kernel: config.kernel,
+            bandwidth: config.bandwidth,
+            weight: config.weight,
+            seed: overview.seed,
+            eval_grids,
+        };
+        let coreset = kdv_coreset::build(&spec, &points)?;
+        let mut server = Self::new(pyramid, config, points, cache_bytes, cache_shards);
+        server.overview = Some(OverviewTier { coreset, max_zoom: threshold });
+        Ok(server)
+    }
+
+    /// Which tier answers requests at `zoom`.
+    pub fn tier_of(&self, zoom: u8) -> TileTier {
+        match &self.overview {
+            Some(tier) if zoom <= tier.max_zoom => TileTier::Coreset,
+            _ => TileTier::Exact,
+        }
+    }
+
+    /// Tier metadata for `zoom`: the tier plus, for the coreset tier,
+    /// the advertised ε and coreset size.
+    pub fn tier_info(&self, zoom: u8) -> TierInfo {
+        match self.tier_of(zoom) {
+            TileTier::Exact => {
+                TierInfo { tier: TileTier::Exact, epsilon: None, coreset_size: None }
+            }
+            TileTier::Coreset => {
+                let tier = self.overview.as_ref().expect("coreset tier implies overview");
+                TierInfo {
+                    tier: TileTier::Coreset,
+                    epsilon: Some(tier.coreset.epsilon),
+                    coreset_size: Some(tier.coreset.len()),
+                }
+            }
         }
     }
 
@@ -206,11 +316,24 @@ impl TileServer {
             self.config.weight,
             TileCoord { zoom, tx: tx as u32, ty: ty as u32 },
         )
+        .with_tier(self.tier_of(zoom))
     }
 
-    /// The level's shared sweep context, built on first use. Concurrent
-    /// first requests may build it twice; construction is deterministic,
-    /// so either copy yields the same bits and one is dropped.
+    /// The point set the given zoom sweeps over: the coreset for
+    /// overview levels, the full set for exact levels.
+    fn tier_points(&self, zoom: u8) -> &[Point] {
+        match self.tier_of(zoom) {
+            TileTier::Exact => &self.points,
+            TileTier::Coreset => {
+                &self.overview.as_ref().expect("coreset tier implies overview").coreset.points
+            }
+        }
+    }
+
+    /// The level's shared sweep context, built on first use over the
+    /// level tier's point set. Concurrent first requests may build it
+    /// twice; construction is deterministic, so either copy yields the
+    /// same bits and one is dropped.
     fn level_context(&self, zoom: u8) -> Result<Arc<SweepContext>> {
         let slot = &self.contexts[zoom as usize];
         if let Some(ctx) = slot.get() {
@@ -223,8 +346,20 @@ impl TileServer {
             self.config.bandwidth,
             self.config.weight,
         );
-        let built = Arc::new(SweepContext::new(&params, &self.points)?);
+        let built = Arc::new(SweepContext::new(&params, self.tier_points(zoom))?);
         Ok(Arc::clone(slot.get_or_init(|| built)))
+    }
+
+    /// Fresh per-worker band-compute scratch for the given zoom's tier.
+    fn band_scratch(&self, zoom: u8, points_len: usize) -> BandScratch {
+        match self.tier_of(zoom) {
+            TileTier::Exact => BandScratch::Exact(
+                BucketSweep::new(self.config.kernel, self.config.bandwidth, self.config.weight),
+                EnvelopeBuffer::for_points(points_len),
+                Vec::new(),
+            ),
+            TileTier::Coreset => BandScratch::Coreset(WeightedWorkspace::new(), Vec::new()),
+        }
     }
 
     /// Splits one request's missing bands into flights this request
@@ -267,18 +402,40 @@ impl TileServer {
     /// counters and publishes the result to any joined waiters. Always
     /// publishes and deregisters, even if the sweep panics (the lease
     /// guard publishes an error so waiters fail instead of hanging).
-    fn lead_band<E: kdv_core::driver::RowEngine>(
+    /// Exact-tier bands run the plain bucket sweep; coreset-tier bands
+    /// run the weighted sweep over the coreset multiplicities.
+    fn lead_band(
         &self,
         req: &LeadContext<'_>,
         ty: usize,
         flight: &Arc<BandFlight>,
-        scratch: &mut (E, EnvelopeBuffer, Vec<f64>),
+        scratch: &mut BandScratch,
     ) -> Arc<BandTiles> {
         let zoom = req.zoom;
-        let (engine, envelope, band) = scratch;
         let mut lease = FlightLease { server: self, id: (zoom, ty), flight, published: false };
-        let computed =
-            compute_band(req.ctx, req.tiling, self.config.bandwidth, ty, engine, envelope, band);
+        let computed = match scratch {
+            BandScratch::Exact(engine, envelope, band) => {
+                compute_band(req.ctx, req.tiling, self.config.bandwidth, ty, engine, envelope, band)
+            }
+            BandScratch::Coreset(workspace, band) => {
+                let tier = self.overview.as_ref().expect("coreset scratch implies overview");
+                let params = self.pyramid.level_params(
+                    zoom,
+                    self.config.kernel,
+                    self.config.bandwidth,
+                    self.config.weight,
+                );
+                compute_band_weighted(
+                    req.ctx,
+                    req.tiling,
+                    &params,
+                    ty,
+                    &tier.coreset.weights,
+                    workspace,
+                    band,
+                )
+            }
+        };
         let shared: Arc<BandTiles> = Arc::new(computed.into_iter().map(Arc::new).collect());
         for tile in shared.iter() {
             // Every tile of the band goes into the cache — the sweep
@@ -319,6 +476,18 @@ impl TileServer {
         viewport: &Viewport,
         threads: usize,
     ) -> Result<(DensityGrid, SweepReport)> {
+        let (grid, report, _tier) = self.serve_viewport_tiered(viewport, threads)?;
+        Ok((grid, report))
+    }
+
+    /// [`TileServer::serve_viewport`] plus the [`TierInfo`] metadata of
+    /// the level that answered: which tier it was and, for the coreset
+    /// tier, the advertised ε and coreset size.
+    pub fn serve_viewport_tiered(
+        &self,
+        viewport: &Viewport,
+        threads: usize,
+    ) -> Result<(DensityGrid, SweepReport, TierInfo)> {
         let started = Instant::now();
         let mut span = kdv_obs::span2(
             "serve.viewport",
@@ -330,6 +499,22 @@ impl TileServer {
         let vp = viewport
             .clamped(&self.pyramid)
             .ok_or(KdvError::EmptyResolution { x: viewport.width, y: viewport.height })?;
+        let tier_info = self.tier_info(vp.zoom);
+        {
+            let _s = kdv_obs::span2(
+                "serve.tier",
+                "zoom",
+                vp.zoom as u64,
+                "coreset",
+                u64::from(tier_info.tier == TileTier::Coreset),
+            );
+            kdv_obs::metrics::global()
+                .counter(match tier_info.tier {
+                    TileTier::Exact => "serve.tier.exact",
+                    TileTier::Coreset => "serve.tier.coreset",
+                })
+                .bump();
+        }
         let tiling = self.pyramid.level_tiling(vp.zoom);
         let tile_size = self.pyramid.tile_size;
         let want_cols = vp.tile_cols(tile_size);
@@ -374,17 +559,7 @@ impl TileServer {
             let led: Vec<(usize, Arc<BandTiles>)> = for_each_index_with(
                 lead.len(),
                 threads,
-                || {
-                    (
-                        BucketSweep::new(
-                            self.config.kernel,
-                            self.config.bandwidth,
-                            self.config.weight,
-                        ),
-                        EnvelopeBuffer::for_points(ctx.points.len()),
-                        Vec::new(),
-                    )
-                },
+                || self.band_scratch(vp.zoom, ctx.points.len()),
                 |scratch, i| {
                     let (ty, ref flight) = lead[i];
                     let shared = self.lead_band(&req, ty, flight, scratch);
@@ -433,8 +608,16 @@ impl TileServer {
         report.wall_nanos = started.elapsed().as_nanos() as u64;
         span.arg("misses", report.cache_misses);
         kdv_obs::metrics::global().histogram("serve.request_ns").record(report.wall_nanos);
-        Ok((out, report))
+        Ok((out, report, tier_info))
     }
+}
+
+/// Per-worker band-compute scratch, tier-shaped: the exact tier drives
+/// the plain bucket row engine, the coreset tier drives the weighted
+/// engine through its workspace.
+enum BandScratch {
+    Exact(BucketSweep, EnvelopeBuffer, Vec<f64>),
+    Coreset(WeightedWorkspace, Vec<f64>),
 }
 
 /// Per-request context shared by every band this request leads: the
@@ -568,6 +751,64 @@ mod tests {
         assert!(srv.serve_viewport(&out_of_level, 0).is_err());
         let empty = Viewport { zoom: 0, px: 0, py: 0, width: 0, height: 4 };
         assert!(srv.serve_viewport(&empty, 0).is_err());
+    }
+
+    fn tiered_server(cache_bytes: usize, threshold: u8) -> TileServer {
+        let pyramid = PyramidSpec::new(Rect::new(0.0, 0.0, 100.0, 100.0), 16, 48, 48, 2).unwrap();
+        let config = ServeConfig {
+            dataset: 7,
+            kernel: KernelType::Epanechnikov,
+            bandwidth: 14.0,
+            weight: 0.005,
+        };
+        let overview = OverviewConfig {
+            max_zoom: threshold,
+            method: CoresetMethod::Grid,
+            target_rel_epsilon: 0.01,
+            seed: 11,
+        };
+        TileServer::with_overview_coreset(pyramid, config, points(300), cache_bytes, 4, overview)
+            .unwrap()
+    }
+
+    #[test]
+    fn coreset_tier_serves_within_advertised_epsilon() {
+        let srv = tiered_server(1 << 22, 1);
+        for vp in [
+            Viewport { zoom: 0, px: 0, py: 0, width: 48, height: 48 },
+            Viewport { zoom: 1, px: 13, py: 29, width: 41, height: 30 },
+        ] {
+            let (grid, _, tier) = srv.serve_viewport_tiered(&vp, 0).unwrap();
+            assert_eq!(tier.tier, TileTier::Coreset, "{vp:?}");
+            let eps = tier.epsilon.expect("coreset tier advertises epsilon");
+            assert!(tier.coreset_size.unwrap() < 300, "coreset should shrink the point set");
+            let exact = crop_reference(&srv, &vp);
+            let sup = grid
+                .values()
+                .iter()
+                .zip(exact.values())
+                .map(|(a, r)| (a - r).abs())
+                .fold(0.0f64, f64::max);
+            assert!(sup <= eps, "{vp:?}: sup {sup:e} > advertised {eps:e}");
+        }
+    }
+
+    #[test]
+    fn exact_tier_above_threshold_stays_bitwise() {
+        let srv = tiered_server(1 << 22, 1);
+        let vp = Viewport { zoom: 2, px: 100, py: 77, width: 50, height: 33 };
+        let (grid, _, tier) = srv.serve_viewport_tiered(&vp, 0).unwrap();
+        assert_eq!(tier, TierInfo { tier: TileTier::Exact, epsilon: None, coreset_size: None });
+        assert_eq!(grid, crop_reference(&srv, &vp), "exact tier must stay bitwise-equal");
+    }
+
+    #[test]
+    fn untiered_server_is_all_exact() {
+        let srv = server(1 << 20);
+        for zoom in 0..=2 {
+            assert_eq!(srv.tier_of(zoom), TileTier::Exact);
+            assert_eq!(srv.tier_info(zoom).epsilon, None);
+        }
     }
 
     #[test]

@@ -9,21 +9,26 @@ use std::path::Path;
 
 use kdv_obs::validate_json;
 
-fn read_results(name: &str) -> String {
+/// Reads `results/<name>` and runs the well-formedness pass, panicking
+/// with the offending file's full path (and the bytes around the error)
+/// so a malformed append is traceable straight from the CI log.
+fn validated(name: &str) -> String {
     let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("results").join(name);
-    std::fs::read_to_string(&path)
-        .unwrap_or_else(|e| panic!("{} missing (run ./ci.sh bench): {e}", path.display()))
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("{} missing (run ./ci.sh bench): {e}", path.display()));
+    validate_json(&text).unwrap_or_else(|off| {
+        panic!(
+            "{} is not valid JSON near byte {off}: ...{:?}",
+            path.display(),
+            &text[off.saturating_sub(30)..(off + 30).min(text.len())]
+        )
+    });
+    text
 }
 
 #[test]
 fn bench_tiles_json_parses_with_expected_keys() {
-    let text = read_results("BENCH_tiles.json");
-    validate_json(&text).unwrap_or_else(|off| {
-        panic!(
-            "BENCH_tiles.json is not valid JSON near byte {off}: ...{:?}",
-            &text[off.saturating_sub(30)..(off + 30).min(text.len())]
-        )
-    });
+    let text = validated("BENCH_tiles.json");
     for key in [
         "\"runs\"",
         "\"date\"",
@@ -49,9 +54,7 @@ fn bench_tiles_json_parses_with_expected_keys() {
 
 #[test]
 fn bench_envelope_json_parses_with_expected_keys() {
-    let text = read_results("BENCH_envelope.json");
-    validate_json(&text)
-        .unwrap_or_else(|off| panic!("BENCH_envelope.json is not valid JSON near byte {off}"));
+    let text = validated("BENCH_envelope.json");
     for key in [
         "\"rows\"",
         "\"bandwidth\"",
@@ -69,9 +72,7 @@ fn bench_envelope_json_parses_with_expected_keys() {
 
 #[test]
 fn bench_simd_json_parses_with_expected_keys() {
-    let text = read_results("BENCH_simd.json");
-    validate_json(&text)
-        .unwrap_or_else(|off| panic!("BENCH_simd.json is not valid JSON near byte {off}"));
+    let text = validated("BENCH_simd.json");
     for key in [
         "\"n\"",
         "\"vector_isa_detected\"",
@@ -93,9 +94,7 @@ fn bench_simd_json_parses_with_expected_keys() {
 
 #[test]
 fn bench_obs_json_parses_with_expected_keys() {
-    let text = read_results("BENCH_obs.json");
-    validate_json(&text)
-        .unwrap_or_else(|off| panic!("BENCH_obs.json is not valid JSON near byte {off}"));
+    let text = validated("BENCH_obs.json");
     for key in [
         "\"n\"",
         "\"requests\"",
@@ -111,9 +110,7 @@ fn bench_obs_json_parses_with_expected_keys() {
 
 #[test]
 fn bench_serve_json_parses_with_expected_keys() {
-    let text = read_results("BENCH_serve.json");
-    validate_json(&text)
-        .unwrap_or_else(|off| panic!("BENCH_serve.json is not valid JSON near byte {off}"));
+    let text = validated("BENCH_serve.json");
     for key in [
         "\"runs\"",
         "\"date\"",
@@ -136,6 +133,34 @@ fn bench_serve_json_parses_with_expected_keys() {
     assert!(
         text.contains("\"duplicate_computes\": 0"),
         "BENCH_serve.json recorded duplicate band computes"
+    );
+}
+
+#[test]
+fn bench_coreset_json_parses_with_expected_keys() {
+    let text = validated("BENCH_coreset.json");
+    for key in [
+        "\"runs\"",
+        "\"date\"",
+        "\"n\"",
+        "\"method\"",
+        "\"target_rel\"",
+        "\"epsilon\"",
+        "\"coreset_size\"",
+        "\"sup_error\"",
+        "\"build_s\"",
+        "\"exact_overview_s\"",
+        "\"coreset_overview_s\"",
+        "\"speedup\"",
+        "\"deep_bitwise\"",
+    ] {
+        assert!(text.contains(key), "BENCH_coreset.json missing key {key}");
+    }
+    // the run itself asserts these, but the committed history must agree:
+    // an approximation leaking into the exact tier must never be recorded
+    assert!(
+        text.contains("\"deep_bitwise\": true"),
+        "BENCH_coreset.json recorded a non-bitwise deep zoom"
     );
 }
 

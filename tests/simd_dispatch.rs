@@ -16,23 +16,12 @@ use std::process::Command;
 
 use kdv_core::driver::KdvParams;
 use kdv_core::geom::{Point, Rect};
-use kdv_core::grid::{DensityGrid, GridSpec};
+use kdv_core::grid::GridSpec;
 use kdv_core::KernelType;
 use kdv_data::record::EventRecord;
 use kdv_temporal::{compute_stkdv, FrameSpec, StKdvConfig, TemporalKernel};
 
-/// FNV-1a over the raw bit patterns — any single-bit output difference
-/// changes the checksum.
-fn checksum(grid: &DensityGrid) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for v in grid.values() {
-        for byte in v.to_bits().to_le_bytes() {
-            h ^= byte as u64;
-            h = h.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-    }
-    h
-}
+use kdv_core::digest::grid_checksum as checksum;
 
 fn test_points(n: usize, extent: Rect) -> Vec<Point> {
     let mut state = 77u64;
