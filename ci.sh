@@ -26,6 +26,16 @@
 #                      the kdv-coreset property suite, the tier-boundary
 #                      regression + hammer tests, and the quick
 #                      conformance matrix (four coreset pairs included)
+#   ./ci.sh stream     streaming ingestion gate: bench_stream (pan trace
+#                      under a live append feed, every patched response
+#                      bitwise-equal to the cold recompute arm, zero
+#                      duplicate band computes, >=5x patch-vs-recompute
+#                      speedup, appended to results/BENCH_stream.json),
+#                      the kdv-stream unit + property suites, the live
+#                      server tests incl. the 8-thread hammer, a live
+#                      feed replay through the CLI, and the quick
+#                      conformance matrix (three streaming pairs
+#                      included)
 #   ./ci.sh simd       SIMD dispatch gate: bench_simd (scalar vs f64x4
 #                      A/B with the >=2x fill+emit speedup assertion and
 #                      bitwise grid equality, appended to
@@ -105,6 +115,30 @@ if [[ "${1:-}" == "simd" ]]; then
     echo "==> bench results smoke test"
     cargo test -q --test bench_results
     echo "==> SIMD OK"
+    exit 0
+fi
+
+if [[ "${1:-}" == "stream" ]]; then
+    echo "==> bench_stream (bitwise patch-vs-recompute, zero-duplicate, >=5x speedup gates)"
+    cargo run --release -p kdv-bench --bin bench_stream
+    echo "==> kdv-stream unit + property suites"
+    cargo test -q -p kdv-stream
+    echo "==> live server tests (patch/rebuild equality, counters, 8-thread hammer)"
+    cargo test -q -p kdv-serve
+    echo "==> live feed replay through the CLI"
+    tmp="$(mktemp -d)"
+    trap 'rm -rf "$tmp"' EXIT
+    cargo run --release -p kdv-cli -- generate --city seattle --scale 0.05 --out "$tmp/city.csv"
+    out="$(cargo run --release -p kdv-cli -- serve --input "$tmp/city.csv" \
+        --live traces/live_feed.trace --max-zoom 2 --cache-mb 128 --threads 2 --stats)"
+    echo "$out" | tail -2
+    echo "$out" | grep -Eq "bands: [1-9][0-9]* patched" \
+        || { echo "live CLI replay never patched a band" >&2; exit 1; }
+    echo "==> quick conformance matrix (includes the three streaming pairs)"
+    cargo run --release -p kdv-conformance -- --quick
+    echo "==> bench results smoke test"
+    cargo test -q --test bench_results
+    echo "==> STREAM OK"
     exit 0
 fi
 

@@ -54,6 +54,11 @@ USAGE:
                [--workers N] [--queue-depth N] [--deadline-ms MS]
                [--coreset-zoom Z] [--coreset-eps REL] [--coreset-method M]
                [--trace-out FILE] [--metrics-out FILE]
+  kdv serve    --input FILE.csv --live FEED.trace [--window N]
+               [--compact-every N] [--no-patch] [--tile-size N]
+               [--base-res WxH] [--max-zoom Z] [--kernel K] [--bandwidth B]
+               [--cache-mb M] [--threads N] [--stats]
+               [--trace-out FILE] [--metrics-out FILE]
   kdv info     --input FILE.csv
 
 OPTIONS:
@@ -110,6 +115,17 @@ SERVE OPTIONS:
   --stats        print per-request cache deltas and a final summary;
                  concurrent replay also prints p50/p99 latency, shed
                  counts and single-flight band counters
+  --live         timestamped live feed (`p t x y` arrivals, `v t zoom px
+                 py w h` requests): replays through the streaming tile
+                 server, which patches cached tiles with each sealed
+                 delta batch instead of rebuilding them. Every response
+                 is bitwise-equal to a cold rebuild of its generation
+  --window       keep at most N live points: each flush expires the
+                 oldest points beyond the window (FIFO)
+  --compact-every fold the delta into the epoch base every N sealed
+                 batches (generation keying keeps stale tiles out)
+  --no-patch     disable tile patching (stale bands recompute from the
+                 epoch base instead — the A/B arm for the patch win)
 ";
 
 /// Minimal `--key value` argument map with flag support.
@@ -514,8 +530,11 @@ fn cmd_stkdv(args: &Args) -> Result<(), String> {
 /// raster is exact — bitwise-equal to cropping the monolithic sweep of
 /// the level — whether the tiles were cached or computed on the spot.
 fn cmd_serve(args: &Args) -> Result<(), String> {
+    if args.get("live").is_some() {
+        return cmd_serve_live(args);
+    }
     let input = args.get("input").ok_or("--input FILE.csv is required")?;
-    let batch = args.get("batch").ok_or("--batch TRACE.txt is required")?;
+    let batch = args.get("batch").ok_or("--batch TRACE.txt or --live FEED.trace is required")?;
     let dataset = csvio::read_csv_file(Path::new(input)).map_err(|e| e.to_string())?;
     if dataset.is_empty() {
         return Err("dataset is empty".into());
@@ -626,6 +645,154 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         server.cache().len(),
         server.cache().bytes(),
         server.cache().budget()
+    );
+    obs.finish()?;
+    Ok(())
+}
+
+/// `kdv serve --live`: replays a timestamped live feed through the
+/// streaming tile server. Arrivals between two requests are flushed as
+/// one sealed delta batch immediately before the later request; cached
+/// tiles are **patched** with the delta instead of being rebuilt, and
+/// every response is bitwise-equal to a cold rebuild of its generation.
+fn cmd_serve_live(args: &Args) -> Result<(), String> {
+    let input = args.get("input").ok_or("--input FILE.csv is required")?;
+    let feed_path = args.get("live").expect("cmd_serve_live dispatched on --live");
+    let dataset = csvio::read_csv_file(Path::new(input)).map_err(|e| e.to_string())?;
+    if dataset.is_empty() {
+        return Err("dataset is empty".into());
+    }
+    let points = dataset.points();
+    let mbr = dataset.mbr();
+    let n = points.len();
+
+    let tile_size: usize =
+        args.get("tile-size").unwrap_or("256").parse().map_err(|_| "bad --tile-size")?;
+    let (base_x, base_y) = match args.get("base-res") {
+        Some(r) => parse_res(r)?,
+        None => (tile_size, tile_size),
+    };
+    let max_zoom: u8 = args.get("max-zoom").unwrap_or("4").parse().map_err(|_| "bad --max-zoom")?;
+    let kernel: KernelType =
+        args.get("kernel").unwrap_or("epanechnikov").parse().map_err(|e: String| e)?;
+    let bandwidth = match args.get("bandwidth") {
+        Some(b) => b.parse().map_err(|_| "bad --bandwidth")?,
+        None => kdv_data::scott_bandwidth(&points),
+    };
+    let cache_mb: usize =
+        args.get("cache-mb").unwrap_or("256").parse().map_err(|_| "bad --cache-mb")?;
+    let threads = parse_threads(args)?;
+    let stats = args.has_flag("stats");
+    let obs = ObsSession::from_args(args);
+    let window: Option<usize> = match args.get("window") {
+        Some(w) => Some(w.parse().map_err(|_| "bad --window")?),
+        None => None,
+    };
+    let compact_every: Option<u64> = match args.get("compact-every") {
+        Some(c) => Some(c.parse().map_err(|_| "bad --compact-every")?),
+        None => None,
+    };
+    let patching = !args.has_flag("no-patch");
+
+    let feed_text = std::fs::read_to_string(feed_path).map_err(|e| format!("{feed_path}: {e}"))?;
+    let events = kdv_serve::trace::parse_live(&feed_text).map_err(|e| e.to_string())?;
+    let requests =
+        events.iter().filter(|e| matches!(e, kdv_serve::trace::LiveEvent::Request { .. })).count();
+    if requests == 0 {
+        return Err(format!("{feed_path}: feed contains no viewport requests"));
+    }
+
+    let pyramid = kdv_serve::PyramidSpec::new(mbr, tile_size, base_x, base_y, max_zoom)
+        .map_err(|e| e.to_string())?;
+    let config = kdv_serve::ServeConfig { dataset: 1, kernel, bandwidth, weight: 1.0 / n as f64 };
+    let server = kdv_serve::LiveTileServer::new(
+        pyramid,
+        config,
+        kdv_serve::LiveConfig { patching, compact_every },
+        points,
+        cache_mb << 20,
+        16,
+    );
+
+    println!(
+        "live replay: {} event(s), {requests} request(s) over a base of {n} point(s) \
+         (tile {tile_size}px, base {base_x}x{base_y}, max zoom {max_zoom}, \
+         bandwidth {bandwidth:.2}, cache {cache_mb} MiB, {threads} thread(s), patching {})",
+        events.len(),
+        if patching { "on" } else { "off" },
+    );
+    let start = Instant::now();
+    let mut pending: Vec<kdv_core::geom::Point> = Vec::new();
+    let mut arrived = 0usize;
+    let mut expired = 0usize;
+    let mut served = 0usize;
+    for event in &events {
+        match event {
+            kdv_serve::trace::LiveEvent::Arrival { point, .. } => pending.push(*point),
+            kdv_serve::trace::LiveEvent::Request { viewport: vp, at_ms } => {
+                if !pending.is_empty() {
+                    arrived += pending.len();
+                    server.append(&pending);
+                    pending.clear();
+                    if let Some(w) = window {
+                        let over = server.live_len().saturating_sub(w);
+                        if over > 0 {
+                            server.expire_oldest(over);
+                            expired += over;
+                        }
+                    }
+                }
+                served += 1;
+                let (_, report) = server.serve_viewport(vp, threads).map_err(|e| {
+                    format!("request #{served} (zoom {} at {},{}): {e}", vp.zoom, vp.px, vp.py)
+                })?;
+                if obs.active() {
+                    report.record_metrics();
+                }
+                if stats {
+                    println!(
+                        "t={at_ms:>6}ms gen {:>3}: zoom {} @({},{}) {}x{}  {:>8.3} ms  \
+                         hits {} misses {} patched {}",
+                        server.generation(),
+                        vp.zoom,
+                        vp.px,
+                        vp.py,
+                        vp.width,
+                        vp.height,
+                        report.wall_nanos as f64 / 1e6,
+                        report.cache_hits,
+                        report.cache_misses,
+                        report.cache_patched,
+                    );
+                }
+            }
+        }
+    }
+    if !pending.is_empty() {
+        arrived += pending.len();
+        server.append(&pending); // trailing arrivals still seal a batch
+        pending.clear();
+    }
+    let ls = server.live_stats();
+    let cs = server.cache_stats();
+    println!(
+        "replayed {requests} request(s) in {:.3}s: {arrived} arrival(s), {expired} expired, \
+         generation {} epoch {} ({} live point(s))",
+        start.elapsed().as_secs_f64(),
+        server.generation(),
+        server.epoch(),
+        server.live_len(),
+    );
+    println!(
+        "bands: {} patched ({} batch(es) folded), {} recomputed; cache: {} hit(s) / {} miss(es), \
+         {} patched tile(s), {} eviction(s)",
+        ls.patched_bands(),
+        ls.folded_batches(),
+        ls.recomputed_bands(),
+        cs.hits(),
+        cs.misses(),
+        cs.patched(),
+        cs.evictions(),
     );
     obs.finish()?;
     Ok(())

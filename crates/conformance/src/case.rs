@@ -148,6 +148,16 @@ impl CaseSpec {
         [0.002, 0.01, 0.05, 0.2][(self.aux_seed() >> 23) as usize % 4]
     }
 
+    /// How many points the streaming pairs append before re-serving,
+    /// derived from [`CaseSpec::aux_seed`] like [`CaseSpec::tile_size`]
+    /// (the v1 line format is closed). The ladder spans a single-point
+    /// patch, a typical ingest batch, and a delta large enough to rival
+    /// the base set — each must still serve bitwise-equal to a cold
+    /// rebuild.
+    pub fn append_batch(&self) -> usize {
+        [1, 16, 1024][(self.aux_seed() >> 35) as usize % 3]
+    }
+
     /// Maps `seed` to an adversarial case; `seed % 3` fixes the kernel so
     /// a contiguous seed range covers all three kernels evenly.
     pub fn generate(seed: u64) -> CaseSpec {
@@ -495,6 +505,21 @@ mod tests {
         }
         assert_eq!(methods.len(), 3, "all methods exercised: {methods:?}");
         assert_eq!(rels.len(), 4, "all ε rungs exercised");
+    }
+
+    #[test]
+    fn append_batch_dimension_is_covered_and_content_derived() {
+        let mut seen = std::collections::HashSet::new();
+        for seed in 0..200 {
+            let case = CaseSpec::generate(seed);
+            let k = case.append_batch();
+            assert!([1, 16, 1024].contains(&k), "seed {seed}: append batch {k}");
+            seen.insert(k);
+            // content-derived: a corpus round trip picks the same size
+            let back = CaseSpec::from_line(&case.to_line()).unwrap();
+            assert_eq!(back.append_batch(), k, "seed {seed}");
+        }
+        assert_eq!(seen.len(), 3, "all ladder rungs exercised: {seen:?}");
     }
 
     #[test]

@@ -28,6 +28,9 @@
 //! | coreset grid / coreset sort | SCAN | error bound (advertised ε) |
 //! | coreset overview serve | SCAN | error bound (advertised ε) |
 //! | coreset deep zoom | monolithic SLAM_BUCKET | bitwise |
+//! | streaming append serve | cold rebuild of the snapshot | bitwise |
+//! | streaming expire serve | cold rebuild of the snapshot | bitwise |
+//! | streaming overview (compacted) | SCAN over the live set | error bound (advertised ε) |
 //!
 //! Auxiliary inputs a pair needs beyond the case itself (per-point
 //! weights, event timestamps, the road network) are synthesised from
@@ -47,14 +50,18 @@ use kdv_coreset::{CoresetMethod, CoresetSpec};
 use kdv_data::record::EventRecord;
 use kdv_explore::incremental::pan_render;
 use kdv_network::{compute_nkdv, compute_nkdv_naive, NetPosition, NkdvParams, RoadNetwork};
-use kdv_serve::{OverviewConfig, PyramidSpec, ServeConfig, TileServer, TileTier, Viewport};
+use kdv_serve::{
+    LiveConfig, LiveTileServer, OverviewConfig, PyramidSpec, ServeConfig, TileServer, TileTier,
+    Viewport,
+};
+use kdv_stream::rebuild_grid;
 use kdv_temporal::{compute_stkdv, compute_stkdv_parallel, FrameSpec, StKdvConfig, TemporalKernel};
 
 use crate::case::{CaseSpec, SplitMix64};
 use crate::tolerance::{compare, unit_kernel_peak, Comparison, Policy};
 
 /// Names of every pair in the registry, in execution order.
-pub const PAIR_NAMES: [&str; 27] = [
+pub const PAIR_NAMES: [&str; 30] = [
     "SLAM_SORT vs SCAN",
     "SLAM_BUCKET vs SCAN",
     "SLAM_SORT^(RAO) vs SCAN",
@@ -82,6 +89,9 @@ pub const PAIR_NAMES: [&str; 27] = [
     "coreset sort vs SCAN (ε-bound)",
     "coreset overview serve vs SCAN (ε-bound)",
     "coreset deep zoom vs monolithic",
+    "streaming append serve vs rebuild",
+    "streaming expire serve vs rebuild",
+    "streaming overview (compacted) vs SCAN (ε-bound)",
 ];
 
 /// Outcome of one engine×oracle pair on one case.
@@ -330,6 +340,9 @@ pub fn run_case(case: &CaseSpec) -> Vec<PairResult> {
     // --- coreset overview tier vs its certified advertisement --------------
     out.extend(run_coreset(case, &params, &scan));
 
+    // --- streaming ingestion vs rebuild-from-scratch -----------------------
+    out.extend(run_streaming(case, &params));
+
     debug_assert_eq!(out.len(), PAIR_NAMES.len());
     out
 }
@@ -448,6 +461,156 @@ fn run_coreset(
         },
     );
     out
+}
+
+/// The three streaming pairs: a live tile server ingests a case-derived
+/// batch ladder (k ∈ {1, 16, 1024} appends, then an expiration wave) and
+/// every post-mutation serve must be **bitwise-equal** to a cold
+/// rebuild-from-scratch of the same snapshot — at every pyramid zoom,
+/// through the cache's patch path (the server is warmed before each
+/// mutation, so patching is what's actually on trial, not a disguised
+/// recompute). The third pair compacts a coreset-backed overview mid
+/// stream: the served zoom 0 must respect the advertised ε against an
+/// independent SCAN of the then-live point set.
+fn run_streaming(case: &CaseSpec, params: &KdvParams) -> Vec<PairResult> {
+    let k = case.append_batch();
+    let mut rng = SplitMix64(case.aux_seed() ^ 0x57AE);
+    let appended: Vec<kdv_core::Point> = (0..k)
+        .map(|_| {
+            kdv_core::Point::new(
+                case.region.min_x + rng.f64() * (case.region.max_x - case.region.min_x),
+                case.region.min_y + rng.f64() * (case.region.max_y - case.region.min_y),
+            )
+        })
+        .collect();
+    let streaming_pairs = &PAIR_NAMES[27..30];
+
+    let pyramid = match PyramidSpec::new(case.region, case.tile_size(), case.res_x, case.res_y, 1) {
+        Ok(p) => p,
+        Err(e) => {
+            return streaming_pairs.iter().map(|pair| fail(pair, format!("pyramid: {e}"))).collect()
+        }
+    };
+    let serve_config = ServeConfig {
+        dataset: case.aux_seed(),
+        kernel: case.kernel,
+        bandwidth: case.bandwidth,
+        weight: case.weight,
+    };
+    let server = LiveTileServer::new(
+        pyramid,
+        serve_config,
+        LiveConfig::default(),
+        case.points.clone(),
+        1 << 20,
+        2,
+    );
+    let viewports = [
+        Viewport { zoom: 0, px: 0, py: 0, width: case.res_x, height: case.res_y },
+        Viewport { zoom: 1, px: 0, py: 0, width: 2 * case.res_x, height: 2 * case.res_y },
+    ];
+
+    // Serves every zoom of the live server and the cold rebuild of the
+    // same snapshot, concatenated for one bitwise comparison.
+    let serve_all_zooms = |pair: &'static str| -> PairResult {
+        let snapshot = server.snapshot();
+        let mut got = Vec::new();
+        let mut reference = Vec::new();
+        for vp in &viewports {
+            let level = pyramid.level_params(vp.zoom, case.kernel, case.bandwidth, case.weight);
+            match (server.serve_viewport(vp, 2), rebuild_grid(&level, &snapshot)) {
+                (Ok((g, _)), Ok(r)) => {
+                    got.extend_from_slice(g.values());
+                    reference.extend_from_slice(r.values());
+                }
+                (g, r) => {
+                    return fail(
+                        pair,
+                        format!("zoom {}: {}", vp.zoom, two_errors(g.err(), r.err())),
+                    )
+                }
+            }
+        }
+        ok(pair, Policy::Bitwise, &got, &reference)
+    };
+
+    let mut out = Vec::with_capacity(3);
+    // warm every band at generation 0, then append (two batches when the
+    // ladder allows, so the patch folds a multi-batch suffix)
+    let warm: Vec<_> = viewports.iter().map(|vp| server.serve_viewport(vp, 2)).collect();
+    if let Some(Err(e)) = warm.into_iter().find(|r| r.is_err()) {
+        return streaming_pairs.iter().map(|pair| fail(pair, format!("warm serve: {e}"))).collect();
+    }
+    if k > 1 {
+        server.append(&appended[..k / 2]);
+        server.append(&appended[k / 2..]);
+    } else {
+        server.append(&appended);
+    }
+    out.push(serve_all_zooms(PAIR_NAMES[27]));
+
+    // expire a third of the live set (at least one point) and re-serve
+    let expire = (server.live_len() / 3).max(1);
+    server.expire_oldest(expire);
+    out.push(serve_all_zooms(PAIR_NAMES[28]));
+
+    // the compacted-overview pair: coreset zoom 0, exact zoom 1
+    out.push(run_streaming_overview(case, params, &pyramid, serve_config, &appended));
+    out
+}
+
+/// The compacted-overview pair: ingest the append ladder into a
+/// coreset-backed live server, compact (epoch rebase + coreset rebuild
+/// from the then-live set), and hold the served zoom 0 to its advertised
+/// ε against an independent SCAN of the live points.
+fn run_streaming_overview(
+    case: &CaseSpec,
+    params: &KdvParams,
+    pyramid: &PyramidSpec,
+    serve_config: ServeConfig,
+    appended: &[kdv_core::Point],
+) -> PairResult {
+    let pair = PAIR_NAMES[29];
+    let method = match case.coreset_method().parse::<CoresetMethod>() {
+        Ok(m) => m,
+        Err(e) => return fail(pair, e.to_string()),
+    };
+    let server = match LiveTileServer::with_overview_coreset(
+        *pyramid,
+        serve_config,
+        LiveConfig::default(),
+        case.points.clone(),
+        1 << 20,
+        2,
+        OverviewConfig {
+            max_zoom: 0,
+            method,
+            target_rel_epsilon: case.coreset_epsilon_rel(),
+            seed: case.aux_seed(),
+        },
+    ) {
+        Ok(s) => s,
+        Err(e) => return fail(pair, format!("server: {e}")),
+    };
+    server.append(appended);
+    server.compact();
+    let live = server.live_points();
+    let vp0 = Viewport { zoom: 0, px: 0, py: 0, width: case.res_x, height: case.res_y };
+    match server.serve_viewport_tiered(&vp0, 2) {
+        Ok((g, _, info)) if info.tier == TileTier::Coreset => {
+            match AnyMethod::Scan.compute(params, &live) {
+                Ok(oracle) => ok(
+                    pair,
+                    Policy::ErrorBound { epsilon: info.epsilon.unwrap_or(0.0) },
+                    g.values(),
+                    oracle.grid.values(),
+                ),
+                Err(e) => fail(pair, format!("live SCAN oracle: {e}")),
+            }
+        }
+        Ok((_, _, info)) => fail(pair, format!("zoom 0 reported tier {:?}", info.tier)),
+        Err(e) => fail(pair, e.to_string()),
+    }
 }
 
 fn two_errors(a: Option<kdv_core::KdvError>, b: Option<kdv_core::KdvError>) -> String {

@@ -76,6 +76,13 @@ pub struct SweepReport {
     /// cached, immediately dropped). Distinct from `cache_evictions`,
     /// which means an entry was cached and later displaced.
     pub cache_rejected: u64,
+    /// Cached tiles updated *in place* by a streaming delta patch (the
+    /// tile's bits were advanced to a newer delta generation without a
+    /// fresh band sweep). A patch is neither a hit (the cached bits were
+    /// not served as-is) nor a miss+insert (no full recompute happened) —
+    /// conflating it with either would make the patch path invisible or
+    /// look like churn.
+    pub cache_patched: u64,
 }
 
 impl SweepReport {
@@ -123,6 +130,7 @@ impl SweepReport {
             cache_misses: 0,
             cache_evictions: 0,
             cache_rejected: 0,
+            cache_patched: 0,
         }
     }
 
@@ -137,6 +145,12 @@ impl SweepReport {
     /// Attaches the count of cache-refused (oversized) tiles.
     pub fn with_cache_rejected(mut self, rejected: u64) -> Self {
         self.cache_rejected = rejected;
+        self
+    }
+
+    /// Attaches the count of tiles advanced by an in-place delta patch.
+    pub fn with_cache_patched(mut self, patched: u64) -> Self {
+        self.cache_patched = patched;
         self
     }
 
@@ -246,6 +260,7 @@ impl SweepReport {
         reg.counter("cache.misses").add(self.cache_misses);
         reg.counter("cache.evictions").add(self.cache_evictions);
         reg.counter("cache.rejected").add(self.cache_rejected);
+        reg.counter("cache.patched").add(self.cache_patched);
     }
 
     /// Largest per-row envelope set.
@@ -333,11 +348,16 @@ impl SweepReport {
             || self.cache_misses > 0
             || self.cache_evictions > 0
             || self.cache_rejected > 0
+            || self.cache_patched > 0
         {
             let _ = writeln!(
                 s,
-                "  tile cache: {} hit(s), {} miss(es), {} eviction(s), {} rejected",
-                self.cache_hits, self.cache_misses, self.cache_evictions, self.cache_rejected
+                "  tile cache: {} hit(s), {} miss(es), {} eviction(s), {} rejected, {} patched",
+                self.cache_hits,
+                self.cache_misses,
+                self.cache_evictions,
+                self.cache_rejected,
+                self.cache_patched
             );
         }
         let _ = write!(

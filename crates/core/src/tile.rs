@@ -293,8 +293,48 @@ pub fn compute_band_weighted(
     slice_band(tiling, ty, rows, band)
 }
 
-/// Slices one computed row band (full raster width) into its tiles.
-fn slice_band(tiling: &Tiling, ty: usize, band_rows: Range<usize>, band: &[f64]) -> Vec<Tile> {
+/// Delta-restricted weighted band accumulation — the streaming patch
+/// primitive. Runs the ordinary full-width weighted row sweeps for
+/// `rows` over `ctx` (a context built over a *delta batch*, not the base
+/// set) into `scratch`, then folds the result elementwise into `out`
+/// (the band's existing densities).
+///
+/// Kernel sums are additive, so `base band + delta band` is the live
+/// band; signed weights make the same call an append (`+w`) or an
+/// expiration (`-w`). Exactly-zero delta pixels are *skipped* rather
+/// than added: `t + 0.0` flushes a `-0.0` to `+0.0`, so skipping keeps
+/// the fold bit-transparent for pixels the delta cannot touch — a batch
+/// outside the band's bandwidth radius folds to a perfect no-op, and the
+/// caller may elide it entirely without changing a bit. Both the cold
+/// rebuild path and the cached-tile patch path in `kdv-serve` go through
+/// this one function, which is what makes patch-then-serve bitwise-equal
+/// to rebuild-from-scratch by construction.
+pub fn accumulate_rows_weighted(
+    ctx: &SweepContext,
+    params: &KdvParams,
+    rows: Range<usize>,
+    weights: &[f64],
+    workspace: &mut WeightedWorkspace,
+    scratch: &mut Vec<f64>,
+    out: &mut [f64],
+) {
+    let x_count = ctx.xs.len();
+    assert_eq!(out.len(), rows.len() * x_count, "band buffer/row-range mismatch");
+    let _s =
+        kdv_obs::span2("tile.patch", "rows", rows.len() as u64, "points", ctx.points.len() as u64);
+    scratch.resize(rows.len() * x_count, 0.0);
+    sweep_rows_weighted(ctx, params, rows, weights, workspace, scratch);
+    for (o, &d) in out.iter_mut().zip(scratch.iter()) {
+        if d != 0.0 {
+            *o += d;
+        }
+    }
+}
+
+/// Slices one computed row band (full raster width) into its tiles —
+/// pure memory movement, shared by the batch tile paths and the
+/// `kdv-serve` band compute/patch paths.
+pub fn slice_band(tiling: &Tiling, ty: usize, band_rows: Range<usize>, band: &[f64]) -> Vec<Tile> {
     let _s = kdv_obs::span1("tile.slice", "tiles", tiling.tiles_x() as u64);
     let height = band_rows.len();
     let mut tiles = Vec::with_capacity(tiling.tiles_x());

@@ -71,6 +71,13 @@ pub struct TileKey {
     pub coord: TileCoord,
     /// Exact or coreset provenance (see [`TileTier`]).
     pub tier: TileTier,
+    /// Delta generation of the point set the tile was computed from
+    /// (always 0 for frozen-set servers). Streaming servers bump the
+    /// generation on every sealed mutation batch and every compaction,
+    /// so a tile of an older state of the data can never alias a fresh
+    /// one — lookups for generation `g` simply miss (or get patched
+    /// forward via [`TileCache::patch`]).
+    pub generation: u64,
 }
 
 impl TileKey {
@@ -90,12 +97,19 @@ impl TileKey {
             weight_bits: weight.to_bits(),
             coord,
             tier: TileTier::Exact,
+            generation: 0,
         }
     }
 
     /// The same key re-tiered (builder style).
     pub fn with_tier(mut self, tier: TileTier) -> Self {
         self.tier = tier;
+        self
+    }
+
+    /// The same key at a different delta generation (builder style).
+    pub fn with_generation(mut self, generation: u64) -> Self {
+        self.generation = generation;
         self
     }
 }
@@ -109,12 +123,19 @@ impl TileKey {
 /// pushed out to keep the shard inside its budget. An oversized tile that
 /// was never admitted counts under `rejected` instead — conflating the
 /// two would make a cache that admits nothing look like one that churns.
+///
+/// `patched` counts in-place advances of a cached tile to a newer delta
+/// generation ([`TileCache::patch`]). A patch reuses bits the cache
+/// already paid for, so it is **neither** a miss nor a fresh insert —
+/// counting it as miss+insert would make the hit rate lie about how much
+/// sweep work streaming actually saved.
 #[derive(Debug, Default)]
 pub struct CacheStats {
     hits: kdv_obs::Counter,
     misses: kdv_obs::Counter,
     evictions: kdv_obs::Counter,
     rejected: kdv_obs::Counter,
+    patched: kdv_obs::Counter,
 }
 
 impl CacheStats {
@@ -137,6 +158,12 @@ impl CacheStats {
     /// the tile was computed, never cached, and dropped.
     pub fn rejected(&self) -> u64 {
         self.rejected.get()
+    }
+
+    /// Cached tiles advanced in place to a newer delta generation —
+    /// reused bits, not misses and not fresh inserts.
+    pub fn patched(&self) -> u64 {
+        self.patched.get()
     }
 
     /// Test hook: forces the raw counter values (e.g. to the `u64`
@@ -222,6 +249,16 @@ impl Shard {
         self.unlink(idx);
         self.push_front(idx);
         Some(Arc::clone(&self.nodes[idx].tile))
+    }
+
+    /// Removes an entry if present, returning whether it was.
+    fn remove(&mut self, key: &TileKey) -> bool {
+        let Some(idx) = self.map.remove(key) else { return false };
+        self.unlink(idx);
+        self.bytes -= self.nodes[idx].bytes;
+        self.nodes[idx].tile = Arc::new(Tile::new(0, 0, 0, 0, Vec::new()));
+        self.free.push(idx);
+        true
     }
 
     /// Inserts (or refreshes) an entry and evicts from the cold end until
@@ -349,6 +386,40 @@ impl TileCache {
         if evicted > 0 {
             self.stats.evictions.add(evicted);
         }
+        InsertOutcome { evicted, rejected: false }
+    }
+
+    /// Advances a cached tile to a newer delta generation **in place**:
+    /// removes the entry under `old_key` (the stale generation) and
+    /// stores the patched `tile` under `new_key`. Counted once under
+    /// `patched` — a patch reuses bits the cache already holds, so it is
+    /// deliberately *not* a miss and *not* a fresh insert (see
+    /// [`CacheStats`]); evictions the re-keyed entry causes (the two
+    /// keys may land on different shards with different occupancy) are
+    /// still real displacement and are reported in the outcome.
+    ///
+    /// The two shard locks are taken strictly in sequence (remove, then
+    /// insert), never nested, so `patch` cannot deadlock against
+    /// concurrent patches in the opposite direction.
+    pub fn patch(&self, old_key: &TileKey, new_key: TileKey, tile: Arc<Tile>) -> InsertOutcome {
+        let mut span = kdv_obs::span1("cache.patch", "bytes", tile.bytes() as u64);
+        self.shard_of(old_key).lock().expect("cache shard poisoned").remove(old_key);
+        if tile.bytes() > self.shard_budget {
+            span.arg("rejected", 1);
+            self.stats.rejected.bump();
+            return InsertOutcome { evicted: 0, rejected: true };
+        }
+        let evicted = self.shard_of(&new_key).lock().expect("cache shard poisoned").insert(
+            new_key,
+            tile,
+            self.shard_budget,
+        );
+        span.arg("evicted", evicted);
+        if evicted > 0 {
+            self.stats.evictions.add(evicted);
+        }
+        self.stats.patched.bump();
+        kdv_obs::metrics::global().counter("cache.patched").bump();
         InsertOutcome { evicted, rejected: false }
     }
 
@@ -499,6 +570,51 @@ mod tests {
         );
         cache.insert(a, tile(7, 2));
         assert!(cache.peek(&b).is_none());
+    }
+
+    #[test]
+    fn generations_do_not_alias() {
+        // a tile of an older state of a streaming set must never answer
+        // a lookup for the current generation
+        let cache = TileCache::new(1 << 20, 4);
+        let g0 = key(0, 0);
+        let g1 = key(0, 0).with_generation(1);
+        assert_ne!(g0, g1);
+        cache.insert(g0, tile(5, 2));
+        assert!(cache.peek(&g1).is_none(), "generation-1 lookup found a generation-0 tile");
+    }
+
+    #[test]
+    fn patch_is_not_a_miss_and_not_an_insert() {
+        // regression (PR 9 satellite): advancing a cached tile to a new
+        // generation must count under `patched` alone — miscounting it as
+        // miss+insert would make streaming hit rates meaningless
+        let cache = TileCache::new(1 << 20, 4);
+        let g0 = key(2, 3);
+        let g1 = key(2, 3).with_generation(1);
+        cache.insert(g0, tile(1, 4));
+        let (h0, m0) = (cache.stats().hits(), cache.stats().misses());
+        let outcome = cache.patch(&g0, g1, tile(9, 4));
+        assert_eq!(outcome, InsertOutcome::default());
+        assert_eq!(cache.stats().patched(), 1);
+        assert_eq!(cache.stats().hits(), h0, "a patch is not a hit");
+        assert_eq!(cache.stats().misses(), m0, "a patch is not a miss");
+        assert_eq!(cache.stats().evictions(), 0);
+        assert_eq!(cache.len(), 1, "patch replaces, never duplicates");
+        assert!(cache.peek(&g0).is_none(), "the stale generation is gone");
+        assert_eq!(cache.peek(&g1).unwrap().values()[0], 9.0);
+    }
+
+    #[test]
+    fn oversized_patch_still_retires_the_stale_entry() {
+        let unit = tile(0, 4).bytes();
+        let cache = TileCache::new(unit, 1);
+        let g0 = key(0, 0);
+        cache.insert(g0, tile(0, 4));
+        let outcome = cache.patch(&g0, g0.with_generation(1), tile(0, 64));
+        assert!(outcome.rejected);
+        assert_eq!(cache.stats().patched(), 0, "nothing was cached, so nothing was patched");
+        assert!(cache.is_empty(), "the stale generation must not linger");
     }
 
     #[test]

@@ -19,6 +19,12 @@
 //! * [`replay`] — sequential and concurrent trace replayers that
 //!   checksum every served grid so the two modes can be proven
 //!   bitwise-identical.
+//! * [`flight`] — the generic single-flight table behind band compute,
+//!   shared by the frozen-set and streaming servers.
+//! * [`live`] — streaming ingestion: a [`live::LiveTileServer`] over a
+//!   `kdv_stream::StreamingPointSet` that **patches** cached tiles with
+//!   delta sweeps instead of invalidating them, every response
+//!   bitwise-equal to a rebuild from scratch.
 //!
 //! The invariant tying it together: a served viewport is bitwise-equal to
 //! cropping the monolithic `sweep_bucket` raster of its level, for any
@@ -26,17 +32,21 @@
 //! the tile path to that contract under the exact (ULP-zero) policy.
 
 pub mod cache;
+pub mod flight;
 pub mod frontend;
+pub mod live;
 pub mod pyramid;
 pub mod replay;
 pub mod server;
 pub mod trace;
 
 pub use cache::{CacheStats, InsertOutcome, TileCache, TileKey, TileTier};
+pub use flight::{Flight, FlightStats, FlightTable};
 pub use frontend::{
     Frontend, FrontendConfig, FrontendStats, ServeError, ServeResult, ShedReason, Ticket,
 };
+pub use live::{LiveConfig, LiveStats, LiveTileServer};
 pub use pyramid::{PyramidSpec, TileCoord, Viewport};
 pub use replay::{checksum, replay_concurrent, replay_sequential, ReplayOutcome, ReplayRecord};
-pub use server::{FlightStats, OverviewConfig, ServeConfig, TierInfo, TileServer};
+pub use server::{OverviewConfig, ServeConfig, TierInfo, TileServer};
 pub use trace::{Session, SessionRequest, TraceFile};

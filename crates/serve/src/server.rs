@@ -26,9 +26,9 @@
 //! cache the duplicate counter stays at zero however many threads hammer
 //! the server, which `ci.sh serve-load` asserts.
 
-use std::collections::{BTreeSet, HashMap, HashSet};
+use std::collections::{BTreeSet, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 use kdv_core::driver::SweepContext;
@@ -42,6 +42,7 @@ use kdv_core::{DensityGrid, KdvError, KernelType, Point, Result};
 use kdv_coreset::{Coreset, CoresetMethod, CoresetSpec};
 
 use crate::cache::{CacheStats, TileCache, TileKey, TileTier};
+use crate::flight::{Flight, FlightStats, FlightTable};
 use crate::pyramid::{PyramidSpec, TileCoord, Viewport};
 
 /// Kernel configuration a server answers requests under (one server = one
@@ -109,71 +110,6 @@ type BandId = (u8, usize);
 /// The shared tiles of one computed band, in `tx` order.
 type BandTiles = Vec<Arc<Tile>>;
 
-/// One in-flight band computation: the leader publishes the band's tiles
-/// (or its error) into `slot` and wakes every waiter.
-struct BandFlight {
-    slot: Mutex<Option<Result<Arc<BandTiles>>>>,
-    done: Condvar,
-}
-
-impl BandFlight {
-    fn new() -> Self {
-        Self { slot: Mutex::new(None), done: Condvar::new() }
-    }
-
-    /// Publishes the leader's result exactly once and wakes all waiters.
-    fn publish(&self, result: Result<Arc<BandTiles>>) {
-        let mut slot = self.slot.lock().expect("band flight poisoned");
-        if slot.is_none() {
-            *slot = Some(result);
-        }
-        self.done.notify_all();
-    }
-
-    /// Blocks until the leader publishes, then returns a clone of the
-    /// result.
-    fn wait(&self) -> Result<Arc<BandTiles>> {
-        let mut slot = self.slot.lock().expect("band flight poisoned");
-        while slot.is_none() {
-            slot = self.done.wait(slot).expect("band flight poisoned");
-        }
-        slot.as_ref().expect("published").clone()
-    }
-}
-
-/// Saturating single-flight counters for band computation. `computed`
-/// counts band sweeps actually executed, `joined` counts misses that
-/// reused another request's in-flight sweep instead of starting their
-/// own, and `duplicate_computes` counts computes of a band this server
-/// had already computed before — wasted work that only a cache eviction
-/// (or a dedup bug) can cause. With a cache large enough to hold the
-/// working set, `duplicate_computes` must stay at exactly zero.
-#[derive(Debug, Default)]
-pub struct FlightStats {
-    computed: kdv_obs::Counter,
-    joined: kdv_obs::Counter,
-    duplicates: kdv_obs::Counter,
-}
-
-impl FlightStats {
-    /// Band sweeps executed by this server.
-    pub fn computed(&self) -> u64 {
-        self.computed.get()
-    }
-
-    /// Misses that joined an in-flight band compute instead of starting
-    /// a duplicate one.
-    pub fn joined(&self) -> u64 {
-        self.joined.get()
-    }
-
-    /// Computes of a band that had already been computed before (zero
-    /// unless the cache evicted it in between).
-    pub fn duplicate_computes(&self) -> u64 {
-        self.duplicates.get()
-    }
-}
-
 /// Caching tile server over one point set and pyramid.
 pub struct TileServer {
     pyramid: PyramidSpec,
@@ -184,14 +120,11 @@ pub struct TileServer {
     /// index + pixel coordinates), indexed by zoom. Shared by every
     /// request at that level.
     contexts: Vec<OnceLock<Arc<SweepContext>>>,
-    /// Single-flight table: bands currently being computed, keyed by
-    /// `(zoom, ty)`. A miss either inserts (becomes the leader) or waits
-    /// on the existing flight.
-    inflight: Mutex<HashMap<BandId, Arc<BandFlight>>>,
-    /// Every band this server has ever computed — duplicate-compute
-    /// detection. Bounded by the pyramid's band count, not by traffic.
-    computed_bands: Mutex<HashSet<BandId>>,
-    flights: FlightStats,
+    /// Single-flight table over bands keyed by `(zoom, ty)`: a miss
+    /// either leads (computes and publishes) or joins the existing
+    /// flight. The table's ever-computed set is bounded by the pyramid's
+    /// band count, not by traffic.
+    flights: FlightTable<BandId, Arc<BandTiles>>,
     /// Approximate overview tier, when configured.
     overview: Option<OverviewTier>,
 }
@@ -213,9 +146,7 @@ impl TileServer {
             points,
             cache: TileCache::new(cache_bytes, cache_shards),
             contexts,
-            inflight: Mutex::new(HashMap::new()),
-            computed_bands: Mutex::new(HashSet::new()),
-            flights: FlightStats::default(),
+            flights: FlightTable::new(),
             overview: None,
         }
     }
@@ -305,7 +236,7 @@ impl TileServer {
 
     /// The single-flight band-computation counters.
     pub fn flight_stats(&self) -> &FlightStats {
-        &self.flights
+        self.flights.stats()
     }
 
     fn key(&self, zoom: u8, tx: usize, ty: usize) -> TileKey {
@@ -362,42 +293,6 @@ impl TileServer {
         }
     }
 
-    /// Splits one request's missing bands into flights this request
-    /// leads (it was first; it must compute and publish) and flights it
-    /// joins (another request is already computing the same band).
-    #[allow(clippy::type_complexity)]
-    fn claim_bands(
-        &self,
-        zoom: u8,
-        bands: &[usize],
-    ) -> (Vec<(usize, Arc<BandFlight>)>, Vec<(usize, Arc<BandFlight>)>) {
-        use std::collections::hash_map::Entry;
-        let mut lead = Vec::new();
-        let mut join = Vec::new();
-        let mut map = self.inflight.lock().expect("inflight table poisoned");
-        for &ty in bands {
-            match map.entry((zoom, ty)) {
-                Entry::Occupied(e) => {
-                    self.flights.joined.bump();
-                    kdv_obs::metrics::global().counter("serve.band.joined").bump();
-                    join.push((ty, Arc::clone(e.get())));
-                }
-                Entry::Vacant(v) => {
-                    let flight = Arc::new(BandFlight::new());
-                    v.insert(Arc::clone(&flight));
-                    lead.push((ty, flight));
-                }
-            }
-        }
-        (lead, join)
-    }
-
-    /// Removes a finished flight from the in-flight table (waiters that
-    /// already hold the `Arc` still read its published result).
-    fn deregister(&self, id: BandId) {
-        self.inflight.lock().expect("inflight table poisoned").remove(&id);
-    }
-
     /// Computes one led band, caches its tiles, records the single-flight
     /// counters and publishes the result to any joined waiters. Always
     /// publishes and deregisters, even if the sweep panics (the lease
@@ -408,11 +303,11 @@ impl TileServer {
         &self,
         req: &LeadContext<'_>,
         ty: usize,
-        flight: &Arc<BandFlight>,
+        flight: &Arc<Flight<Arc<BandTiles>>>,
         scratch: &mut BandScratch,
     ) -> Arc<BandTiles> {
         let zoom = req.zoom;
-        let mut lease = FlightLease { server: self, id: (zoom, ty), flight, published: false };
+        let mut lease = self.flights.lease((zoom, ty), flight);
         let computed = match scratch {
             BandScratch::Exact(engine, envelope, band) => {
                 compute_band(req.ctx, req.tiling, self.config.bandwidth, ty, engine, envelope, band)
@@ -444,15 +339,7 @@ impl TileServer {
             req.evictions.fetch_add(outcome.evicted, Ordering::Relaxed);
             req.rejected.fetch_add(outcome.rejected as u64, Ordering::Relaxed);
         }
-        let duplicate =
-            !self.computed_bands.lock().expect("computed-band set poisoned").insert((zoom, ty));
-        self.flights.computed.bump();
-        let metrics = kdv_obs::metrics::global();
-        metrics.counter("serve.band.computed").bump();
-        if duplicate {
-            self.flights.duplicates.bump();
-            metrics.counter("serve.band.duplicate").bump();
-        }
+        self.flights.record_computed((zoom, ty));
         lease.complete(Ok(Arc::clone(&shared)));
         shared
     }
@@ -544,8 +431,8 @@ impl TileServer {
         let req_rejected = AtomicU64::new(0);
         if !missing_bands.is_empty() {
             let ctx = self.level_context(vp.zoom)?;
-            let bands: Vec<usize> = missing_bands.into_iter().collect();
-            let (lead, join) = self.claim_bands(vp.zoom, &bands);
+            let keys: Vec<BandId> = missing_bands.into_iter().map(|ty| (vp.zoom, ty)).collect();
+            let (lead, join) = self.flights.claim(&keys);
             let req = LeadContext {
                 ctx: &ctx,
                 tiling: &tiling,
@@ -561,7 +448,7 @@ impl TileServer {
                 threads,
                 || self.band_scratch(vp.zoom, ctx.points.len()),
                 |scratch, i| {
-                    let (ty, ref flight) = lead[i];
+                    let ((_, ty), ref flight) = lead[i];
                     let shared = self.lead_band(&req, ty, flight, scratch);
                     (ty, shared)
                 },
@@ -570,7 +457,7 @@ impl TileServer {
             // Collect led results, then wait for the flights other
             // requests are computing on this request's behalf.
             let mut band_results: Vec<(usize, Arc<BandTiles>)> = led;
-            for (ty, flight) in join {
+            for ((_, ty), flight) in join {
                 band_results.push((ty, flight.wait()?));
             }
             for (_, shared) in band_results {
@@ -630,34 +517,6 @@ struct LeadContext<'a> {
     zoom: u8,
     evictions: &'a AtomicU64,
     rejected: &'a AtomicU64,
-}
-
-/// Publish-on-drop guard for a led band: if the leader's sweep panics
-/// before it publishes, waiters receive an error instead of blocking
-/// forever, and the flight is removed from the in-flight table either
-/// way.
-struct FlightLease<'a> {
-    server: &'a TileServer,
-    id: BandId,
-    flight: &'a Arc<BandFlight>,
-    published: bool,
-}
-
-impl FlightLease<'_> {
-    fn complete(&mut self, result: Result<Arc<BandTiles>>) {
-        self.flight.publish(result);
-        self.server.deregister(self.id);
-        self.published = true;
-    }
-}
-
-impl Drop for FlightLease<'_> {
-    fn drop(&mut self) {
-        if !self.published {
-            self.flight.publish(Err(KdvError::Internal("band compute leader panicked")));
-            self.server.deregister(self.id);
-        }
-    }
 }
 
 #[cfg(test)]

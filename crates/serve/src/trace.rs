@@ -26,6 +26,26 @@
 //! in review; `kdv serve --batch` replays v1 sequentially against a
 //! [`crate::server::TileServer`] and v2 concurrently through the
 //! [`crate::frontend::Frontend`] (one thread per session).
+//!
+//! **Live feed** — a third, tagged format for streaming replay
+//! ([`parse_live`]): each line is a timestamped event, either a point
+//! arrival or a viewport request, in non-decreasing time order:
+//!
+//! ```text
+//! # p <t_ms> <x> <y>                      — point arrives at t
+//! # v <t_ms> <zoom> <px> <py> <w> <h>     — viewport requested at t
+//! p 0    512.5 103.25
+//! p 40   498.0 141.0
+//! v 100  2 0 384 512 512
+//! ```
+//!
+//! `kdv serve --live` replays a feed against a
+//! [`crate::live::LiveTileServer`]: arrivals between two requests are
+//! flushed as **one** sealed delta batch immediately before the later
+//! request, so the generation ladder a replay walks is a pure function
+//! of the file.
+
+use kdv_core::Point;
 
 use crate::pyramid::Viewport;
 
@@ -244,6 +264,114 @@ pub fn format_sessions(sessions: &[Session]) -> String {
     }
 }
 
+/// One timestamped event of a live feed ([`parse_live`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LiveEvent {
+    /// A point arriving at `at_ms`.
+    Arrival {
+        /// Milliseconds since the start of the feed.
+        at_ms: u64,
+        /// The arriving point.
+        point: Point,
+    },
+    /// A viewport requested at `at_ms`.
+    Request {
+        /// Milliseconds since the start of the feed.
+        at_ms: u64,
+        /// The requested viewport.
+        viewport: Viewport,
+    },
+}
+
+impl LiveEvent {
+    /// The event's timestamp in feed milliseconds.
+    pub fn at_ms(&self) -> u64 {
+        match self {
+            LiveEvent::Arrival { at_ms, .. } | LiveEvent::Request { at_ms, .. } => *at_ms,
+        }
+    }
+}
+
+/// Parses a live feed (`p t x y` arrivals and `v t zoom px py w h`
+/// requests, `#` comments) into events in file order. Timestamps must be
+/// non-decreasing — a feed is a recording, and replay relies on file
+/// order being time order.
+pub fn parse_live(text: &str) -> Result<Vec<LiveEvent>, TraceError> {
+    let mut out: Vec<LiveEvent> = Vec::new();
+    let mut last_ms = 0u64;
+    for (idx, raw) in text.lines().enumerate() {
+        let line = idx + 1;
+        let body = raw.split('#').next().unwrap_or("").trim();
+        if body.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = body.split_whitespace().collect();
+        let int = |i: usize, name: &str| -> Result<u64, TraceError> {
+            fields[i].parse::<u64>().map_err(|_| TraceError {
+                line,
+                message: format!("{name} `{}` is not a non-negative integer", fields[i]),
+            })
+        };
+        let event = match fields[0] {
+            "p" => {
+                if fields.len() != 4 {
+                    return Err(TraceError {
+                        line,
+                        message: format!("expected `p t x y` (4 fields), got {}", fields.len()),
+                    });
+                }
+                let coord = |i: usize, name: &str| -> Result<f64, TraceError> {
+                    match fields[i].parse::<f64>() {
+                        Ok(v) if v.is_finite() => Ok(v),
+                        _ => Err(TraceError {
+                            line,
+                            message: format!("{name} `{}` is not a finite number", fields[i]),
+                        }),
+                    }
+                };
+                LiveEvent::Arrival {
+                    at_ms: int(1, "t")?,
+                    point: Point::new(coord(2, "x")?, coord(3, "y")?),
+                }
+            }
+            "v" => {
+                if fields.len() != 7 {
+                    return Err(TraceError {
+                        line,
+                        message: format!(
+                            "expected `v t zoom px py width height` (7 fields), got {}",
+                            fields.len()
+                        ),
+                    });
+                }
+                LiveEvent::Request {
+                    at_ms: int(1, "t")?,
+                    viewport: parse_viewport(&fields[2..], line)?,
+                }
+            }
+            tag => {
+                return Err(TraceError {
+                    line,
+                    message: format!("unknown event tag `{tag}` (expected `p` or `v`)"),
+                })
+            }
+        };
+        if event.at_ms() < last_ms {
+            return Err(TraceError {
+                line,
+                message: format!(
+                    "timestamp {} goes backwards (previous event at {})",
+                    event.at_ms(),
+                    last_ms
+                ),
+            });
+        }
+        last_ms = event.at_ms();
+        out.push(event);
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -352,5 +480,43 @@ mod tests {
     fn empty_trace_defaults_to_v1_with_no_sessions() {
         let t = parse_sessions("# nothing here\n").unwrap();
         assert_eq!((t.version, t.sessions.len(), t.num_requests()), (1, 0, 0));
+    }
+
+    #[test]
+    fn live_feed_parses_arrivals_and_requests_in_order() {
+        let text = "# a live feed\n\
+                    p 0   512.5 103.25\n\
+                    p 40  498.0 141.0   # second arrival\n\
+                    v 100 2 0 384 512 512\n\
+                    p 100 7 7\n\
+                    v 160 0 0 0 256 256\n";
+        let events = parse_live(text).unwrap();
+        assert_eq!(events.len(), 5);
+        assert_eq!(events[0], LiveEvent::Arrival { at_ms: 0, point: Point::new(512.5, 103.25) });
+        assert_eq!(
+            events[2],
+            LiveEvent::Request {
+                at_ms: 100,
+                viewport: Viewport { zoom: 2, px: 0, py: 384, width: 512, height: 512 },
+            }
+        );
+        assert!(events.windows(2).all(|w| w[0].at_ms() <= w[1].at_ms()));
+    }
+
+    #[test]
+    fn live_feed_rejects_malformed_events_with_position() {
+        let err = parse_live("p 0 1.0\n").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.message.contains("4 fields"));
+        let err = parse_live("p 0 1.0 nan\n").unwrap_err();
+        assert!(err.message.contains("finite"));
+        let err = parse_live("v 0 2 0 0 64\n").unwrap_err();
+        assert!(err.message.contains("7 fields"));
+        let err = parse_live("p 10 1 1\nq 20 1 1\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("unknown event tag"));
+        let err = parse_live("p 50 1 1\np 40 2 2\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("backwards"));
     }
 }

@@ -165,6 +165,33 @@ fn bench_coreset_json_parses_with_expected_keys() {
 }
 
 #[test]
+fn bench_stream_json_parses_with_expected_keys() {
+    let text = validated("BENCH_stream.json");
+    for key in [
+        "\"runs\"",
+        "\"date\"",
+        "\"n\"",
+        "\"generations\"",
+        "\"batch\"",
+        "\"requests\"",
+        "\"patch_s\"",
+        "\"recompute_s\"",
+        "\"speedup\"",
+        "\"patched_bands\"",
+        "\"folded_batches\"",
+        "\"duplicate_computes\"",
+    ] {
+        assert!(text.contains(key), "BENCH_stream.json missing key {key}");
+    }
+    // the run itself asserts these, but the committed history must agree:
+    // a torn or duplicated streaming serve must never be recorded
+    assert!(
+        text.contains("\"duplicate_computes\": 0"),
+        "BENCH_stream.json recorded duplicate band computes"
+    );
+}
+
+#[test]
 fn validator_accepts_and_rejects() {
     assert!(validate_json(r#"{"a": [1, 2.5e-3, "x\"y", true, null]}"#).is_ok());
     assert!(validate_json("{\n  \"runs\": []\n}\n").is_ok());
