@@ -13,6 +13,14 @@
 #                      trace replay through the CLI export flags, JSON
 #                      well-formedness smoke, and the bench_obs
 #                      instrumented-vs-disabled overhead assertion
+#   ./ci.sh obs-live   live-observability gate: bench_flight (flight-
+#                      recorder ring overhead <= 1.1x with bitwise
+#                      responses, injected deadline-shed and SLO-breach
+#                      incident dumps, prometheus/snapshot agreement),
+#                      the trigger-injection tests, the prometheus
+#                      golden-format tests, and a CLI serve replay
+#                      through --slo-p99-ms/--incident-dir/--prom-out/
+#                      --top
 #   ./ci.sh serve-load concurrent serving gate: bench_serve (multi-
 #                      session replay, bitwise sequential==concurrent,
 #                      zero duplicate band computes, p99 cap, explicit
@@ -85,6 +93,32 @@ if [[ "${1:-}" == "obs" ]]; then
     cargo test -q -p kdv-obs
     cargo test -q -p kdv-core --test obs_properties
     echo "==> OBS OK"
+    exit 0
+fi
+
+if [[ "${1:-}" == "obs-live" ]]; then
+    echo "==> bench_flight (ring overhead, trigger injection, prometheus agreement)"
+    cargo run --release -p kdv-bench --bin bench_flight
+    echo "==> trigger-injection tests (incident dumps)"
+    cargo test -q -p kdv-serve --test incidents
+    echo "==> prometheus golden-format + parser tests"
+    cargo test -q -p kdv-obs prometheus
+    echo "==> CLI serve replay through the telemetry flags"
+    tmp="$(mktemp -d)"
+    trap 'rm -rf "$tmp"' EXIT
+    cargo run --release -p kdv-cli -- generate --city seattle --scale 0.02 --out "$tmp/city.csv"
+    printf '0 0 0 128 128\n1 10 10 128 128\n1 20 10 128 128\n0 0 0 128 128\n' > "$tmp/pan.txt"
+    out="$(cargo run --release -p kdv-cli -- serve --input "$tmp/city.csv" --batch "$tmp/pan.txt" \
+        --tile-size 64 --base-res 128x128 --max-zoom 2 --threads 2 \
+        --slo-p99-ms 250 --incident-dir "$tmp/incidents" --prom-out "$tmp/prom.txt" --top)"
+    echo "$out" | tail -4
+    echo "$out" | grep -q "^\[top\] qps " \
+        || { echo "missing [top] stats line" >&2; exit 1; }
+    grep -q "^# TYPE kdv_" "$tmp/prom.txt" \
+        || { echo "prometheus export missing or malformed" >&2; exit 1; }
+    echo "==> bench results smoke test (incl. trajectory guard)"
+    cargo test -q --test bench_results
+    echo "==> OBS-LIVE OK"
     exit 0
 fi
 

@@ -8,8 +8,10 @@
 //! observation-only: a parallel sweep with spans enabled must be
 //! bitwise identical to the same sweep with them disabled.
 //!
-//! Writes `BENCH_obs.json` into the output directory (`--out`, default
-//! `results/`). `./ci.sh obs` runs this and asserts the ratio bound.
+//! Appends a dated entry to `BENCH_obs.json` in the output directory
+//! (`--out`, default `results/`). `./ci.sh obs` runs this and asserts
+//! the ratio bound; `tests/bench_results.rs` guards the committed
+//! ratio trajectory across entries.
 
 use std::time::Instant;
 
@@ -125,9 +127,15 @@ fn main() {
         "instrumented replay {ratio:.3}x slower than disabled (bound {MAX_RATIO}x)"
     );
 
-    let json = format!(
-        "{{\n  \"n\": {},\n  \"requests\": {},\n  \"spans\": {},\n  \"disabled_s\": {:.6},\n  \
-         \"instrumented_s\": {:.6},\n  \"ratio\": {:.4},\n  \"max_ratio\": {MAX_RATIO}\n}}\n",
+    let now = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .expect("clock after 1970")
+        .as_secs();
+    let entry = format!(
+        "    {{\n      \"date\": \"{}\",\n      \"n\": {},\n      \"requests\": {},\n      \
+         \"spans\": {},\n      \"disabled_s\": {:.6},\n      \"instrumented_s\": {:.6},\n      \
+         \"ratio\": {:.4},\n      \"max_ratio\": {MAX_RATIO}\n    }}",
+        kdv_bench::utc_date(now),
         points.len(),
         trace.len(),
         recorded.events.len(),
@@ -137,6 +145,6 @@ fn main() {
     );
     std::fs::create_dir_all(&cfg.out_dir).expect("create output dir");
     let path = cfg.out_dir.join("BENCH_obs.json");
-    std::fs::write(&path, json).expect("write BENCH_obs.json");
+    kdv_bench::append_run(&path, &entry);
     println!("wrote {}", path.display());
 }

@@ -152,8 +152,8 @@ fn main() {
     );
 
     // correctness gate 3: tail latency under the (generous) cap
-    let p50_ms = latency_quantile_ns(&conc, 0.5) as f64 / 1e6;
-    let p99_ms = latency_quantile_ns(&conc, 0.99) as f64 / 1e6;
+    let p50_ms = kdv_obs::stats::ns_to_ms(latency_quantile_ns(&conc, 0.5));
+    let p99_ms = kdv_obs::stats::ns_to_ms(latency_quantile_ns(&conc, 0.99));
     assert!(
         p99_ms < P99_CAP_MS,
         "concurrent p99 {p99_ms:.1} ms breached the {P99_CAP_MS:.0} ms cap"

@@ -16,7 +16,9 @@
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
-use std::time::Instant;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use kdv_analysis::hotspots_by_peak_fraction;
 use kdv_baselines::AnyMethod;
@@ -30,6 +32,8 @@ use kdv_core::telemetry::SweepReport;
 use kdv_core::{KernelType, Method};
 use kdv_data::catalog::City;
 use kdv_data::csvio;
+use kdv_obs::stats::ns_to_ms;
+use kdv_obs::{RequestClass, SloTargets, SloTracker};
 use kdv_temporal::{compute_stkdv_parallel, FrameSpec, StKdvConfig, TemporalKernel};
 use kdv_viz::{ascii_art, render, ColorMap, Scale};
 
@@ -53,12 +57,14 @@ USAGE:
                [--threads N] [--out-prefix PREFIX] [--stats]
                [--workers N] [--queue-depth N] [--deadline-ms MS]
                [--coreset-zoom Z] [--coreset-eps REL] [--coreset-method M]
-               [--trace-out FILE] [--metrics-out FILE]
+               [--slo-p99-ms MS] [--incident-dir DIR] [--prom-out FILE]
+               [--top [SECS]] [--trace-out FILE] [--metrics-out FILE]
   kdv serve    --input FILE.csv --live FEED.trace [--window N]
                [--compact-every N] [--no-patch] [--tile-size N]
                [--base-res WxH] [--max-zoom Z] [--kernel K] [--bandwidth B]
                [--cache-mb M] [--threads N] [--stats]
-               [--trace-out FILE] [--metrics-out FILE]
+               [--slo-p99-ms MS] [--incident-dir DIR] [--prom-out FILE]
+               [--top [SECS]] [--trace-out FILE] [--metrics-out FILE]
   kdv info     --input FILE.csv
 
 OPTIONS:
@@ -126,6 +132,24 @@ SERVE OPTIONS:
                  batches (generation keying keeps stale tiles out)
   --no-patch     disable tile patching (stale bands recompute from the
                  epoch base instead — the A/B arm for the patch win)
+  --slo-p99-ms   windowed SLO target: track p50/p99 latency per request
+                 class (exact / coreset / live) over a 10 s sliding
+                 window and count p99 breaches against this target (the
+                 p50 target is half of it). Slow requests record
+                 exemplars linking their id to the captured span tree;
+                 with --incident-dir a breach edge dumps an incident
+  --incident-dir arm the always-on flight recorder: per-thread span
+                 rings capture completed spans at near-zero cost, and a
+                 deadline or queue-full shed, a duplicate band compute,
+                 an SLO p99 breach, or an abandoned band leader
+                 snapshots the recent spans plus a metrics snapshot to
+                 a Perfetto-loadable incident file in this directory
+  --prom-out     write the final metrics registry in Prometheus text
+                 exposition format (counters, gauges, histograms)
+  --top          print a `top`-style stats line every SECS seconds
+                 (default 1): qps, windowed p50/p99 per tier, cache
+                 hit/patch rates, shed and inflight counts, and the
+                 ingest-to-serve generation lag
 ";
 
 /// Minimal `--key value` argument map with flag support.
@@ -226,6 +250,192 @@ impl ObsSession {
         }
         Ok(())
     }
+}
+
+/// Sliding window backing the SLO tracker and the `[top]` line.
+const SLO_WINDOW_NS: u64 = 10_000_000_000;
+
+/// Samples the tile cache for the `[top]` line: `(hits, misses, patched)`.
+type CacheSampler = dyn Fn() -> (u64, u64, u64) + Send + Sync;
+
+/// Serving telemetry driven by `--slo-p99-ms`, `--incident-dir`,
+/// `--prom-out` and `--top`.
+///
+/// Construction arms the flight recorder's incident dumps when
+/// `--incident-dir` is given and builds a windowed [`SloTracker`] when
+/// either `--slo-p99-ms` or `--top` asks for latency tracking.
+/// [`ServeTelemetry::finish`] stops the `[top]` reporter, prints the
+/// breach/incident summary, and writes the Prometheus snapshot.
+struct ServeTelemetry {
+    slo: Option<Arc<SloTracker>>,
+    explicit_slo: bool,
+    incident_dir: Option<PathBuf>,
+    prom_out: Option<PathBuf>,
+    top_every: Option<Duration>,
+    top: Option<TopReporter>,
+}
+
+impl ServeTelemetry {
+    fn from_args(args: &Args) -> Result<Self, String> {
+        let slo_p99_ms: Option<f64> = args
+            .get("slo-p99-ms")
+            .map(|v| v.parse().map_err(|_| "bad --slo-p99-ms".to_string()))
+            .transpose()?;
+        let top_every = match args.get("top") {
+            Some(secs) => {
+                let s: f64 = secs.parse().map_err(|_| "bad --top")?;
+                if s <= 0.0 {
+                    return Err("bad --top (need a positive period in seconds)".into());
+                }
+                Some(Duration::from_secs_f64(s))
+            }
+            None if args.has_flag("top") => Some(Duration::from_secs(1)),
+            None => None,
+        };
+        // `--top` without an explicit target still needs windowed latency
+        // tracking; a 500 ms default p99 keeps breach noise down.
+        let slo = (slo_p99_ms.is_some() || top_every.is_some()).then(|| {
+            let p99 = slo_p99_ms.unwrap_or(500.0);
+            Arc::new(SloTracker::uniform(SLO_WINDOW_NS, SloTargets::from_ms(p99 / 2.0, p99)))
+        });
+        let incident_dir = args.get("incident-dir").map(PathBuf::from);
+        if let Some(dir) = &incident_dir {
+            kdv_obs::arm_incidents(kdv_obs::IncidentConfig::new(dir.clone()));
+        }
+        Ok(Self {
+            slo,
+            explicit_slo: slo_p99_ms.is_some(),
+            incident_dir,
+            prom_out: args.get("prom-out").map(PathBuf::from),
+            top_every,
+            top: None,
+        })
+    }
+
+    /// Starts the periodic `[top]` reporter once the server exists (the
+    /// sampler closure reads its cache stats).
+    fn start_top(&mut self, cache: Box<CacheSampler>) {
+        if let (Some(every), Some(slo)) = (self.top_every, self.slo.clone()) {
+            self.top = Some(TopReporter::start(every, slo, cache));
+        }
+    }
+
+    /// Records one served request into the SLO tracker; a breach edge
+    /// fires the flight recorder's `slo.p99` trigger.
+    fn record(&self, class: RequestClass, latency_ns: u64, request_id: u64) {
+        if let Some(slo) = &self.slo {
+            if slo.record(class, latency_ns, request_id).breached {
+                kdv_obs::trigger("slo.p99", Some(request_id));
+            }
+        }
+    }
+
+    fn finish(mut self) -> Result<(), String> {
+        if let Some(top) = self.top.take() {
+            top.stop();
+        }
+        if self.explicit_slo {
+            if let Some(slo) = &self.slo {
+                let total: u64 = RequestClass::ALL.iter().map(|&c| slo.breaches(c)).sum();
+                println!(
+                    "slo: p99 target {:.1} ms per class, {} breach transition(s)",
+                    ns_to_ms(slo.targets(RequestClass::Exact).p99_ns),
+                    total
+                );
+            }
+        }
+        if let Some(dir) = &self.incident_dir {
+            kdv_obs::disarm_incidents();
+            let dumps = kdv_obs::metrics::global().snapshot().counter("obs.incidents").unwrap_or(0);
+            println!("flight recorder: {} incident dump(s) in {}", dumps, dir.display());
+        }
+        if let Some(path) = &self.prom_out {
+            let snap = kdv_obs::metrics::global().snapshot();
+            std::fs::write(path, kdv_obs::prometheus_text(&snap))
+                .map_err(|e| format!("{}: {e}", path.display()))?;
+            println!(
+                "wrote {} metric(s) as prometheus text to {}",
+                snap.values.len(),
+                path.display()
+            );
+        }
+        Ok(())
+    }
+}
+
+/// Background thread printing the `[top]` stats line every period (and
+/// once more on stop, so short replays still report).
+struct TopReporter {
+    stop: Arc<AtomicBool>,
+    handle: std::thread::JoinHandle<()>,
+}
+
+impl TopReporter {
+    fn start(every: Duration, slo: Arc<SloTracker>, cache: Box<CacheSampler>) -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&stop);
+        let handle = std::thread::spawn(move || loop {
+            std::thread::park_timeout(every);
+            println!("{}", top_line(&slo, cache.as_ref()));
+            if flag.load(Ordering::Relaxed) {
+                break;
+            }
+        });
+        Self { stop, handle }
+    }
+
+    fn stop(self) {
+        self.stop.store(true, Ordering::Relaxed);
+        self.handle.thread().unpark();
+        let _ = self.handle.join();
+    }
+}
+
+/// One `[top]`-style stats line: qps and windowed p50/p99 per request
+/// class, cache hit/patch rates, shed and inflight counts, and the
+/// ingest-to-serve generation lag.
+fn top_line(slo: &SloTracker, cache: &CacheSampler) -> String {
+    use std::fmt::Write as _;
+    let snap = kdv_obs::metrics::global().snapshot();
+    let counter = |name: &str| snap.counter(name).unwrap_or(0);
+    let gauge = |name: &str| match snap.get(name) {
+        Some(kdv_obs::metrics::MetricValue::Gauge(v)) => *v,
+        _ => 0,
+    };
+    let mut requests = 0u64;
+    let mut tiers = String::new();
+    for class in RequestClass::ALL {
+        let h = slo.windowed(class);
+        if h.count > 0 {
+            requests += h.count;
+            let _ = write!(
+                tiers,
+                " | {} {}",
+                class.name(),
+                kdv_obs::stats::fmt_p50_p99_ms(
+                    h.quantile_upper_bound(0.5),
+                    h.quantile_upper_bound(0.99),
+                )
+            );
+        }
+    }
+    let (hits, misses, patched) = cache();
+    let lookups = hits + misses;
+    let hit_rate = if lookups == 0 { 0.0 } else { 100.0 * hits as f64 / lookups as f64 };
+    let shed = counter("serve.shed.queue_full") + counter("serve.shed.deadline");
+    let inflight = counter("serve.submitted")
+        .saturating_sub(counter("serve.completed"))
+        .saturating_sub(counter("serve.shed.deadline"));
+    let lag = gauge("stream.generation").saturating_sub(gauge("serve.generation"));
+    let qps = requests as f64 / (slo.window_ns() as f64 / 1e9);
+    let mut out = format!("[top] qps {qps:.1}{tiers}");
+    let _ = write!(out, " | cache {hit_rate:.1}% hit, {patched} patched");
+    let _ = write!(out, " | shed {shed} | inflight {inflight} | gen lag {lag}");
+    let dropped = kdv_obs::span::dropped_events();
+    if dropped > 0 {
+        let _ = write!(out, " | dropped {dropped}");
+    }
+    out
 }
 
 fn parse_city(s: &str) -> Result<City, String> {
@@ -560,6 +770,7 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     let threads = parse_threads(args)?;
     let stats = args.has_flag("stats");
     let obs = ObsSession::from_args(args);
+    let mut telemetry = ServeTelemetry::from_args(args)?;
 
     let trace_text = std::fs::read_to_string(batch).map_err(|e| format!("{batch}: {e}"))?;
     let trace = kdv_serve::trace::parse_sessions(&trace_text).map_err(|e| e.to_string())?;
@@ -624,11 +835,18 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
             ov.target_rel_epsilon
         );
     }
+    {
+        let server = std::sync::Arc::clone(&server);
+        telemetry.start_top(Box::new(move || {
+            let cs = server.cache_stats();
+            (cs.hits(), cs.misses(), cs.patched())
+        }));
+    }
     let start = Instant::now();
     if concurrent {
-        serve_concurrent(args, &trace, &server, stats)?;
+        serve_concurrent(args, &trace, &server, stats, &telemetry)?;
     } else {
-        serve_sequential(args, &trace, &server, threads, stats, &obs)?;
+        serve_sequential(args, &trace, &server, threads, stats, &obs, &telemetry)?;
     }
     let cs = server.cache_stats();
     let total = cs.hits() + cs.misses();
@@ -646,6 +864,7 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         server.cache().bytes(),
         server.cache().budget()
     );
+    telemetry.finish()?;
     obs.finish()?;
     Ok(())
 }
@@ -684,6 +903,7 @@ fn cmd_serve_live(args: &Args) -> Result<(), String> {
     let threads = parse_threads(args)?;
     let stats = args.has_flag("stats");
     let obs = ObsSession::from_args(args);
+    let mut telemetry = ServeTelemetry::from_args(args)?;
     let window: Option<usize> = match args.get("window") {
         Some(w) => Some(w.parse().map_err(|_| "bad --window")?),
         None => None,
@@ -705,14 +925,21 @@ fn cmd_serve_live(args: &Args) -> Result<(), String> {
     let pyramid = kdv_serve::PyramidSpec::new(mbr, tile_size, base_x, base_y, max_zoom)
         .map_err(|e| e.to_string())?;
     let config = kdv_serve::ServeConfig { dataset: 1, kernel, bandwidth, weight: 1.0 / n as f64 };
-    let server = kdv_serve::LiveTileServer::new(
+    let server = Arc::new(kdv_serve::LiveTileServer::new(
         pyramid,
         config,
         kdv_serve::LiveConfig { patching, compact_every },
         points,
         cache_mb << 20,
         16,
-    );
+    ));
+    {
+        let server = Arc::clone(&server);
+        telemetry.start_top(Box::new(move || {
+            let cs = server.cache_stats();
+            (cs.hits(), cs.misses(), cs.patched())
+        }));
+    }
 
     println!(
         "live replay: {} event(s), {requests} request(s) over a base of {n} point(s) \
@@ -746,6 +973,7 @@ fn cmd_serve_live(args: &Args) -> Result<(), String> {
                 let (_, report) = server.serve_viewport(vp, threads).map_err(|e| {
                     format!("request #{served} (zoom {} at {},{}): {e}", vp.zoom, vp.px, vp.py)
                 })?;
+                telemetry.record(RequestClass::Live, report.wall_nanos, served as u64);
                 if obs.active() {
                     report.record_metrics();
                 }
@@ -759,7 +987,7 @@ fn cmd_serve_live(args: &Args) -> Result<(), String> {
                         vp.py,
                         vp.width,
                         vp.height,
-                        report.wall_nanos as f64 / 1e6,
+                        ns_to_ms(report.wall_nanos),
                         report.cache_hits,
                         report.cache_misses,
                         report.cache_patched,
@@ -794,6 +1022,7 @@ fn cmd_serve_live(args: &Args) -> Result<(), String> {
         cs.patched(),
         cs.evictions(),
     );
+    telemetry.finish()?;
     obs.finish()?;
     Ok(())
 }
@@ -806,6 +1035,7 @@ fn serve_sequential(
     threads: usize,
     stats: bool,
     obs: &ObsSession,
+    telemetry: &ServeTelemetry,
 ) -> Result<(), String> {
     let colormap: ColorMap = args.get("colormap").unwrap_or("heat").parse()?;
     let requests: Vec<_> =
@@ -814,6 +1044,11 @@ fn serve_sequential(
         let (grid, report) = server.serve_viewport(vp, threads).map_err(|e| {
             format!("request #{} (zoom {} at {},{}): {e}", i + 1, vp.zoom, vp.px, vp.py)
         })?;
+        let class = match server.tier_info(vp.zoom).tier {
+            kdv_serve::TileTier::Exact => RequestClass::Exact,
+            kdv_serve::TileTier::Coreset => RequestClass::Coreset,
+        };
+        telemetry.record(class, report.wall_nanos, (i + 1) as u64);
         if obs.active() {
             report.record_metrics();
         }
@@ -828,7 +1063,7 @@ fn serve_sequential(
                 vp.width,
                 vp.height,
                 server.tier_info(vp.zoom).tier.name(),
-                report.wall_nanos as f64 / 1e6,
+                ns_to_ms(report.wall_nanos),
                 report.cache_hits,
                 report.cache_misses,
                 report.cache_evictions,
@@ -852,6 +1087,7 @@ fn serve_concurrent(
     trace: &kdv_serve::TraceFile,
     server: &std::sync::Arc<kdv_serve::TileServer>,
     stats: bool,
+    telemetry: &ServeTelemetry,
 ) -> Result<(), String> {
     if args.get("out-prefix").is_some() {
         return Err("--out-prefix is only supported for sequential (v1) replay".into());
@@ -875,6 +1111,9 @@ fn serve_concurrent(
         deadline.map_or("none".to_string(), |d| format!("{} ms", d.as_millis()))
     );
     let frontend = kdv_serve::Frontend::new(std::sync::Arc::clone(server), fe_config);
+    if let Some(slo) = &telemetry.slo {
+        frontend.set_slo(Arc::clone(slo));
+    }
     let records = kdv_serve::replay_concurrent(&frontend, &trace.sessions, true);
     if stats {
         for r in &records {
@@ -887,7 +1126,7 @@ fn serve_concurrent(
                 "session {:>2} req {:>3}: {:>8.3} ms  {}",
                 r.session,
                 r.seq + 1,
-                r.latency_ns as f64 / 1e6,
+                ns_to_ms(r.latency_ns),
                 outcome
             );
         }
@@ -901,14 +1140,12 @@ fn serve_concurrent(
     let fs = frontend.stats();
     let flights = server.flight_stats();
     println!(
-        "front end: {} served, {} shed ({} queue-full, {} deadline), \
-         p50 {:.3} ms, p99 {:.3} ms",
+        "front end: {} served, {} shed ({} queue-full, {} deadline), {}",
         served,
         fs.shed(),
         fs.shed_queue_full(),
         fs.shed_deadline(),
-        p50 as f64 / 1e6,
-        p99 as f64 / 1e6
+        kdv_obs::stats::fmt_p50_p99_ms(p50, p99)
     );
     println!(
         "bands: {} computed, {} joined in flight, {} duplicate compute(s)",

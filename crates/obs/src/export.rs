@@ -7,7 +7,7 @@ use crate::metrics::{bucket_upper_bound, MetricValue, Snapshot};
 use crate::span::Trace;
 use std::fmt::Write as _;
 
-fn escape_json(s: &str, out: &mut String) {
+pub(crate) fn escape_json(s: &str, out: &mut String) {
     for c in s.chars() {
         match c {
             '"' => out.push_str("\\\""),
@@ -44,6 +44,15 @@ fn push_args(out: &mut String, args: &[(&'static str, u64)]) {
 pub fn chrome_trace_json(trace: &Trace) -> String {
     let mut out = String::with_capacity(128 + trace.events.len() * 96);
     out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    push_trace_events(&mut out, trace);
+    out.push_str("]}\n");
+    out
+}
+
+/// Appends the comma-separated `traceEvents` array body (thread-name
+/// metadata + `"ph":"X"` complete events, no brackets) — shared by
+/// [`chrome_trace_json`] and the flight recorder's incident dumps.
+pub(crate) fn push_trace_events(out: &mut String, trace: &Trace) {
     let mut first = true;
     let mut tids: Vec<u64> = trace.events.iter().map(|e| e.tid).collect();
     tids.sort_unstable();
@@ -66,7 +75,7 @@ pub fn chrome_trace_json(trace: &Trace) -> String {
         }
         first = false;
         out.push_str("{\"name\":\"");
-        escape_json(e.name, &mut out);
+        escape_json(e.name, out);
         let ts_us = e.ts_ns as f64 / 1000.0;
         let dur_us = e.dur_ns as f64 / 1000.0;
         let _ = write!(
@@ -77,12 +86,10 @@ pub fn chrome_trace_json(trace: &Trace) -> String {
         );
         if !e.args.is_empty() {
             out.push_str(",\"args\":");
-            push_args(&mut out, e.args.as_slice());
+            push_args(out, e.args.as_slice());
         }
         out.push('}');
     }
-    out.push_str("]}\n");
-    out
 }
 
 /// Serializes a metrics [`Snapshot`] as flat JSON: counters and gauges
@@ -212,6 +219,13 @@ pub fn phase_summary(trace: &Trace) -> String {
             out,
             "warning: unmatched spans ({} begins, {} ends)",
             trace.unmatched_begins, trace.unmatched_ends
+        );
+    }
+    let dropped = crate::span::dropped_events();
+    if dropped > 0 {
+        let _ = writeln!(
+            out,
+            "warning: {dropped} event(s) dropped by the recorder (obs.dropped_events)"
         );
     }
     out

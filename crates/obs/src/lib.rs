@@ -20,20 +20,48 @@
 //! * [`export`] — exporters: Chrome trace-event JSON (loadable in
 //!   Perfetto / `chrome://tracing`), a flat JSON metrics snapshot, and a
 //!   human-readable per-phase summary table.
-//! * [`stats`] — the percentile / median helpers previously copy-pasted
-//!   between `kdv-core` telemetry and the bench binaries.
+//! * [`stats`] — the percentile / median / latency-formatting helpers
+//!   previously copy-pasted between `kdv-core` telemetry, the CLI and
+//!   the bench binaries.
+//!
+//! On top of the post-hoc layer sits the *operational* layer for
+//! long-lived `kdv serve` processes:
+//!
+//! * [`ring`] — the always-on **flight recorder**: bounded per-thread
+//!   rings of completed spans (overwrite-oldest, losses counted in
+//!   `obs.dropped_events`) with trigger-based **incident dumps** — a
+//!   shed, a duplicate band compute, an SLO breach or a leader panic
+//!   snapshots the last N seconds of spans, the metrics registry and
+//!   the slow-request [`ring::Exemplar`]s into a Perfetto-loadable file.
+//! * [`window`] — rotating time-windowed histograms/counters beside the
+//!   cumulative ones ("p99 over the last 10 s", qps).
+//! * [`slo`] — [`slo::SloTracker`]: windowed p50/p99 per request class
+//!   (exact / coreset / live) against explicit targets, with
+//!   edge-triggered breach detection feeding the incident triggers.
+//! * [`prometheus`] — dependency-free Prometheus text-exposition writer
+//!   over metrics [`metrics::Snapshot`]s, plus the minimal parser the
+//!   golden tests use.
 //!
 //! The recorder state is process-global (one trace per process), which is
 //! what a CLI invocation or a server wants. Tests that enable it must
 //! serialize through [`span::exclusive`] and live in their own
 //! integration-test binary so concurrent unit tests cannot interleave
-//! foreign events into the window under assertion.
+//! foreign events into the window under assertion. The same rule covers
+//! the flight recorder's [`ring::set_recording`] / [`ring::arm_incidents`].
 
 pub mod export;
 pub mod metrics;
+pub mod prometheus;
+pub mod ring;
+pub mod slo;
 pub mod span;
 pub mod stats;
+pub mod window;
 
 pub use export::{chrome_trace_json, metrics_json, phase_summary, validate_json};
 pub use metrics::{Counter, Gauge, Histogram, Registry, Snapshot};
+pub use prometheus::prometheus_text;
+pub use ring::{arm_incidents, disarm_incidents, trigger, Exemplar, IncidentConfig};
+pub use slo::{RequestClass, SloObservation, SloTargets, SloTracker};
 pub use span::{enabled, set_enabled, span, span1, span2, SpanArgs, SpanGuard, Trace, TraceEvent};
+pub use window::{WindowedCounter, WindowedHistogram};

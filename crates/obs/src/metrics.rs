@@ -426,6 +426,30 @@ mod tests {
         }
     }
 
+    /// Regression pin for the exact power-of-two edges: bucket 0 holds
+    /// only `{0}`, and a value of exactly `2^k` opens bucket `k+1`
+    /// (i.e. `2^k - 1` is the inclusive top of bucket `k`). The windowed
+    /// metrics, the SLO tracker and the Prometheus `le` boundaries all
+    /// assume these edges; an off-by-one here silently shifts every
+    /// exported quantile by a power of two.
+    #[test]
+    fn bucket_edges_pin_powers_of_two() {
+        for k in 0..64usize {
+            let v = 1u64 << k;
+            assert_eq!(bucket_index(v), k + 1, "2^{k} opens bucket {}", k + 1);
+            assert_eq!(bucket_index(v - 1), if k == 0 { 0 } else { k }, "2^{k}-1 stays below");
+            assert_eq!(
+                bucket_upper_bound(k + 1),
+                if k == 63 { u64::MAX } else { (v << 1) - 1 },
+                "bucket {} tops at 2^{}-1",
+                k + 1,
+                k + 1
+            );
+        }
+        assert_eq!(bucket_upper_bound(0), 0, "bucket 0 is exactly {{0}}");
+        assert_eq!(bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+    }
+
     #[test]
     fn histogram_records_and_snapshots() {
         let h = Histogram::new();

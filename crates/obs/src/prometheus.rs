@@ -1,0 +1,185 @@
+//! Dependency-free Prometheus text-exposition writer for metrics
+//! [`Snapshot`]s.
+//!
+//! Emits version 0.0.4 text format: one `# TYPE` line per metric, then
+//! the samples. Counters and gauges are single samples; log2 histograms
+//! become the conventional cumulative `_bucket{le="..."}` series (one
+//! bucket per *occupied* log2 bucket — the boundaries are fixed
+//! powers of two, so omitting empty buckets loses nothing: the next
+//! occupied bucket carries the same cumulative count) plus
+//! `{le="+Inf"}`, `_sum` and `_count`. Metric names are the registry's
+//! dotted names prefixed with `kdv_` and sanitized to the Prometheus
+//! grammar (`serve.request_ns` → `kdv_serve_request_ns`).
+//!
+//! [`parse_text`] is the matching minimal reader — enough structure for
+//! the golden-format test and for asserting the exposition agrees with
+//! the [`Snapshot`] it came from, sample by sample.
+
+use crate::metrics::{bucket_upper_bound, MetricValue, Snapshot};
+use std::fmt::Write as _;
+
+/// A registry metric name as exposed to Prometheus: `kdv_` + the dotted
+/// name with every non-`[A-Za-z0-9_]` byte replaced by `_`.
+pub fn metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(4 + name.len());
+    out.push_str("kdv_");
+    for c in name.chars() {
+        out.push(if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' });
+    }
+    out
+}
+
+/// Renders a [`Snapshot`] in Prometheus text-exposition format
+/// (samples in snapshot order, i.e. sorted by registry name).
+pub fn prometheus_text(snapshot: &Snapshot) -> String {
+    let mut out = String::with_capacity(64 * snapshot.values.len().max(1));
+    for (name, value) in &snapshot.values {
+        let prom = metric_name(name);
+        match value {
+            MetricValue::Counter(v) => {
+                let _ = writeln!(out, "# TYPE {prom} counter\n{prom} {v}");
+            }
+            MetricValue::Gauge(v) => {
+                let _ = writeln!(out, "# TYPE {prom} gauge\n{prom} {v}");
+            }
+            MetricValue::Histogram(h) => {
+                let _ = writeln!(out, "# TYPE {prom} histogram");
+                let mut cumulative = 0u64;
+                for (i, &c) in h.buckets.iter().enumerate() {
+                    if c == 0 {
+                        continue;
+                    }
+                    cumulative += c;
+                    let _ = writeln!(
+                        out,
+                        "{prom}_bucket{{le=\"{}\"}} {cumulative}",
+                        bucket_upper_bound(i)
+                    );
+                }
+                let _ = writeln!(out, "{prom}_bucket{{le=\"+Inf\"}} {}", h.count);
+                let _ = writeln!(out, "{prom}_sum {}", h.sum);
+                let _ = writeln!(out, "{prom}_count {}", h.count);
+            }
+        }
+    }
+    out
+}
+
+/// One parsed sample: the series key (metric name plus any `{...}`
+/// label block, verbatim) and its value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// `name` or `name{le="..."}` exactly as exposed.
+    pub series: String,
+    /// Sample value.
+    pub value: f64,
+}
+
+/// Parses text-exposition output back into samples, validating the
+/// line grammar: every non-comment line is `series value`, names match
+/// `[a-zA-Z_:][a-zA-Z0-9_:]*`, label blocks are balanced, values parse
+/// as floats. Returns `Err(line_number)` (1-based) on the first
+/// malformed line.
+pub fn parse_text(text: &str) -> Result<Vec<Sample>, usize> {
+    let mut samples = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let err = || lineno + 1;
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (series, value) = line.rsplit_once(' ').ok_or_else(err)?;
+        let name_end = series.find('{').unwrap_or(series.len());
+        let name = &series[..name_end];
+        let mut chars = name.chars();
+        let first_ok =
+            chars.next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':');
+        if !first_ok || !chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':') {
+            return Err(err());
+        }
+        let labels = &series[name_end..];
+        if !(labels.is_empty() || labels.starts_with('{') && labels.ends_with('}')) {
+            return Err(err());
+        }
+        let value: f64 = value.parse().map_err(|_| err())?;
+        samples.push(Sample { series: series.to_string(), value });
+    }
+    Ok(samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Registry;
+
+    fn sample_registry() -> Registry {
+        let r = Registry::new();
+        r.counter("cache.hits").add(12);
+        r.gauge("cache.bytes").set(4096);
+        let h = r.histogram("sweep.fill_ns");
+        h.record(500);
+        h.record(3_000);
+        r
+    }
+
+    #[test]
+    fn golden_text_format() {
+        let text = prometheus_text(&sample_registry().snapshot());
+        let expected = "\
+# TYPE kdv_cache_bytes gauge
+kdv_cache_bytes 4096
+# TYPE kdv_cache_hits counter
+kdv_cache_hits 12
+# TYPE kdv_sweep_fill_ns histogram
+kdv_sweep_fill_ns_bucket{le=\"511\"} 1
+kdv_sweep_fill_ns_bucket{le=\"4095\"} 2
+kdv_sweep_fill_ns_bucket{le=\"+Inf\"} 2
+kdv_sweep_fill_ns_sum 3500
+kdv_sweep_fill_ns_count 2
+";
+        assert_eq!(text, expected);
+    }
+
+    #[test]
+    fn exposition_parses_and_agrees_with_the_snapshot() {
+        let snapshot = sample_registry().snapshot();
+        let samples = parse_text(&prometheus_text(&snapshot)).expect("parses");
+        let get = |series: &str| samples.iter().find(|s| s.series == series).map(|s| s.value);
+        assert_eq!(get("kdv_cache_hits"), Some(12.0));
+        assert_eq!(get("kdv_cache_bytes"), Some(4096.0));
+        assert_eq!(get("kdv_sweep_fill_ns_count"), Some(2.0));
+        assert_eq!(get("kdv_sweep_fill_ns_sum"), Some(3500.0));
+        assert_eq!(get("kdv_sweep_fill_ns_bucket{le=\"+Inf\"}"), Some(2.0));
+        // cumulative buckets are monotone and end at the count
+        let buckets: Vec<f64> = samples
+            .iter()
+            .filter(|s| s.series.starts_with("kdv_sweep_fill_ns_bucket"))
+            .map(|s| s.value)
+            .collect();
+        assert!(buckets.windows(2).all(|w| w[0] <= w[1]), "{buckets:?}");
+    }
+
+    #[test]
+    fn names_sanitize_to_prometheus_grammar() {
+        assert_eq!(metric_name("serve.request_ns"), "kdv_serve_request_ns");
+        assert_eq!(metric_name("slo.breach.live"), "kdv_slo_breach_live");
+        assert_eq!(metric_name("weird-name+x"), "kdv_weird_name_x");
+    }
+
+    #[test]
+    fn parser_rejects_malformed_lines() {
+        assert!(parse_text("kdv_ok 1\n").is_ok());
+        assert_eq!(parse_text("9bad_name 1\n"), Err(1));
+        assert_eq!(parse_text("kdv_ok notanumber\n"), Err(1));
+        assert_eq!(parse_text("kdv_ok{le=\"1\" 1\n"), Err(1));
+        assert_eq!(parse_text("novalue\n"), Err(1));
+        // comments and blank lines are skipped, errors report 1-based lines
+        assert_eq!(parse_text("# ok\n\nkdv_ok 1\nbroken\n"), Err(4));
+    }
+
+    #[test]
+    fn empty_snapshot_exports_empty_text() {
+        let text = prometheus_text(&Registry::new().snapshot());
+        assert!(text.is_empty());
+        assert_eq!(parse_text(&text), Ok(vec![]));
+    }
+}

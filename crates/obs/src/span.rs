@@ -56,7 +56,7 @@ impl SpanArgs {
         self.len == 0
     }
 
-    fn merged(&self, other: &SpanArgs) -> SpanArgs {
+    pub(crate) fn merged(&self, other: &SpanArgs) -> SpanArgs {
         let mut out = *self;
         for &(k, v) in other.as_slice() {
             out.push(k, v);
@@ -139,9 +139,28 @@ static NEXT_TID: AtomicU64 = AtomicU64::new(0);
 static SINK: Mutex<Vec<ThreadEvents>> = Mutex::new(Vec::new());
 static EPOCH: OnceLock<Instant> = OnceLock::new();
 static EXCLUSIVE: Mutex<()> = Mutex::new(());
+static DROPPED: crate::metrics::Counter = crate::metrics::Counter::new();
 
-fn now_ns() -> u64 {
+/// Nanoseconds since the process-wide recorder epoch (the first time any
+/// recorder API observed the clock). The shared timeline of the span
+/// recorder, the flight-recorder rings and the windowed metrics.
+pub fn now_ns() -> u64 {
     EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+/// Events lost by the observability layer itself (TLS-teardown drops in
+/// the span recorder, flight-recorder ring contention) — the
+/// `obs.dropped_events` counter. Zero in steady state; the phase table
+/// surfaces it when not.
+pub fn dropped_events() -> u64 {
+    DROPPED.get()
+}
+
+/// Counts `n` lost events into [`dropped_events`] and the global
+/// `obs.dropped_events` metrics counter.
+pub(crate) fn note_dropped(n: u64) {
+    DROPPED.add(n);
+    crate::metrics::global().counter("obs.dropped_events").add(n);
 }
 
 fn lock_sink() -> MutexGuard<'static, Vec<ThreadEvents>> {
@@ -182,12 +201,19 @@ thread_local! {
 fn record(name: &'static str, kind: RawKind, args: SpanArgs) {
     let ts_ns = now_ns();
     // If the thread is in TLS teardown the event is dropped — losing a
-    // span beats aborting the process inside a destructor.
-    let _ = BUF.try_with(|b| {
+    // span beats aborting the process inside a destructor — but the loss
+    // is *counted* (`obs.dropped_events`), never silent.
+    let recorded = BUF.try_with(|b| {
         if let Ok(mut b) = b.try_borrow_mut() {
             b.events.push(RawEvent { name, kind, ts_ns, args });
+            true
+        } else {
+            false
         }
     });
+    if !recorded.unwrap_or(false) {
+        note_dropped(1);
+    }
 }
 
 /// Turns recording on or off process-wide. Spans opened while enabled
@@ -204,12 +230,17 @@ pub fn enabled() -> bool {
 }
 
 /// RAII span guard: records `Begin` at creation (when enabled) and `End`
-/// at drop. The disabled path is one branch at creation and one at drop.
+/// at drop. With both the trace sink and the flight-recorder ring off,
+/// the cost is one relaxed load per recorder at creation and one branch
+/// each at drop.
 #[must_use = "a span guard measures the scope it lives in"]
 pub struct SpanGuard {
     name: &'static str,
     args: SpanArgs,
     active: bool,
+    /// Begin timestamp + begin-side args, captured only while the flight
+    /// recorder is on; `Drop` turns them into one completed ring event.
+    ring: Option<(u64, SpanArgs)>,
 }
 
 impl SpanGuard {
@@ -217,7 +248,7 @@ impl SpanGuard {
     /// only known at scope exit (an envelope size, an eviction count).
     #[inline]
     pub fn arg(&mut self, key: &'static str, value: u64) {
-        if self.active {
+        if self.active || self.ring.is_some() {
             self.args.push(key, value);
         }
     }
@@ -229,30 +260,40 @@ impl Drop for SpanGuard {
         if self.active {
             record(self.name, RawKind::End, self.args);
         }
+        if let Some((ts_ns, begin_args)) = self.ring {
+            crate::ring::record_completed(
+                self.name,
+                ts_ns,
+                now_ns().saturating_sub(ts_ns),
+                begin_args.merged(&self.args),
+            );
+        }
     }
+}
+
+#[inline]
+fn open(name: &'static str, begin_args: SpanArgs) -> SpanGuard {
+    let active = enabled();
+    if active {
+        record(name, RawKind::Begin, begin_args);
+    }
+    let ring = if crate::ring::recording() { Some((now_ns(), begin_args)) } else { None };
+    SpanGuard { name, args: SpanArgs::default(), active, ring }
 }
 
 /// Opens a span. `name` must be `'static` (the stable span registry —
 /// see the README's Observability section).
 #[inline]
 pub fn span(name: &'static str) -> SpanGuard {
-    let active = enabled();
-    if active {
-        record(name, RawKind::Begin, SpanArgs::default());
-    }
-    SpanGuard { name, args: SpanArgs::default(), active }
+    open(name, SpanArgs::default())
 }
 
 /// Opens a span with one argument on the `Begin` event.
 #[inline]
 pub fn span1(name: &'static str, key: &'static str, value: u64) -> SpanGuard {
-    let active = enabled();
-    if active {
-        let mut args = SpanArgs::default();
-        args.push(key, value);
-        record(name, RawKind::Begin, args);
-    }
-    SpanGuard { name, args: SpanArgs::default(), active }
+    let mut args = SpanArgs::default();
+    args.push(key, value);
+    open(name, args)
 }
 
 /// Opens a span with two arguments on the `Begin` event.
@@ -264,14 +305,10 @@ pub fn span2(
     k2: &'static str,
     v2: u64,
 ) -> SpanGuard {
-    let active = enabled();
-    if active {
-        let mut args = SpanArgs::default();
-        args.push(k1, v1);
-        args.push(k2, v2);
-        record(name, RawKind::Begin, args);
-    }
-    SpanGuard { name, args: SpanArgs::default(), active }
+    let mut args = SpanArgs::default();
+    args.push(k1, v1);
+    args.push(k2, v2);
+    open(name, args)
 }
 
 /// Drains the calling thread's buffer into the global sink. Exporters

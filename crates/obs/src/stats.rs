@@ -33,6 +33,18 @@ pub fn median_f64(values: &[f64]) -> Option<f64> {
     percentile_f64(values, 0.5)
 }
 
+/// Nanoseconds to milliseconds — the conversion every latency printer
+/// in the CLI and bench binaries open-coded as `ns as f64 / 1e6`.
+pub fn ns_to_ms(ns: u64) -> f64 {
+    ns as f64 / 1e6
+}
+
+/// The canonical `p50 X ms, p99 Y ms` fragment the CLI front-end
+/// summary, the serve bench and the flight bench all print.
+pub fn fmt_p50_p99_ms(p50_ns: u64, p99_ns: u64) -> String {
+    format!("p50 {:.3} ms, p99 {:.3} ms", ns_to_ms(p50_ns), ns_to_ms(p99_ns))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

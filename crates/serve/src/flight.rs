@@ -165,6 +165,9 @@ impl<K: Eq + Hash + Clone, T: Clone> FlightTable<K, T> {
         if duplicate {
             self.stats.duplicates.bump();
             metrics.counter("serve.band.duplicate").bump();
+            // A duplicate compute is wasted work the dedup design says
+            // cannot happen under an adequate cache — worth a flight dump.
+            kdv_obs::ring::trigger("duplicate.compute", None);
         }
         duplicate
     }
@@ -205,6 +208,7 @@ impl<K: Eq + Hash + Clone, T: Clone> Drop for FlightLease<'_, K, T> {
         if !self.published {
             self.flight.publish(Err(KdvError::Internal("band compute leader panicked")));
             self.table.deregister(&self.key);
+            kdv_obs::ring::trigger("leader.panic", None);
         }
     }
 }

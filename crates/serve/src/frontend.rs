@@ -20,16 +20,29 @@
 //! `serve.completed`, `serve.shed.queue_full`, `serve.shed.deadline`;
 //! histograms `serve.queue_wait_ns` (time spent queued) and the
 //! server-level `serve.request_ns`.
+//!
+//! Observability: every admitted request gets a process-unique **request
+//! id** and is executed under a `serve.request` span carrying it (`req`
+//! argument), so a flight-recorder incident dump ties the request id in
+//! its trigger context to the exact span tree of that request. A shed
+//! fires the `shed.queue_full` / `shed.deadline` incident triggers; an
+//! attached [`SloTracker`] ([`Frontend::set_slo`]) records each
+//! completion's submit-to-finish latency under its request class and
+//! fires `slo.p99` on a breach edge. Triggers fire *after* the request
+//! span has closed into the ring, so the offending span tree is always
+//! part of its own dump.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use kdv_core::telemetry::SweepReport;
 use kdv_core::{DensityGrid, KdvError};
+use kdv_obs::{RequestClass, SloTracker};
 
+use crate::cache::TileTier;
 use crate::pyramid::Viewport;
 use crate::server::TileServer;
 
@@ -172,6 +185,7 @@ fn complete(state: &TicketState, result: ServeResult) {
 
 /// A queued request.
 struct Job {
+    id: u64,
     viewport: Viewport,
     submitted: Instant,
     ticket: Arc<TicketState>,
@@ -184,6 +198,8 @@ struct Inner {
     not_empty: Condvar,
     shutdown: AtomicBool,
     stats: FrontendStats,
+    next_id: AtomicU64,
+    slo: OnceLock<Arc<SloTracker>>,
 }
 
 /// The worker-pool serving front end. Dropping it shuts the pool down:
@@ -203,6 +219,8 @@ impl Frontend {
             not_empty: Condvar::new(),
             shutdown: AtomicBool::new(false),
             stats: FrontendStats::default(),
+            next_id: AtomicU64::new(1),
+            slo: OnceLock::new(),
         });
         let workers = (0..config.workers.max(1))
             .map(|_| {
@@ -228,6 +246,20 @@ impl Frontend {
         &self.inner.config
     }
 
+    /// Attaches an SLO tracker: workers record every completion's
+    /// submit-to-finish latency under its request class (exact /
+    /// coreset, by the zoom's serving tier) and fire the `slo.p99`
+    /// incident trigger on a breach edge. One-shot — later calls are
+    /// ignored (the pool is already recording against the first).
+    pub fn set_slo(&self, slo: Arc<SloTracker>) {
+        let _ = self.inner.slo.set(slo);
+    }
+
+    /// The attached SLO tracker, if any.
+    pub fn slo(&self) -> Option<&Arc<SloTracker>> {
+        self.inner.slo.get()
+    }
+
     /// Submits one viewport request. Returns a [`Ticket`] if admitted;
     /// rejects immediately with [`ShedReason::QueueFull`] when the
     /// bounded queue is at capacity (explicit load shedding — the caller
@@ -241,10 +273,13 @@ impl Frontend {
         if queue.len() >= depth {
             self.inner.stats.shed_queue_full.bump();
             kdv_obs::metrics::global().counter("serve.shed.queue_full").bump();
+            drop(queue);
+            kdv_obs::ring::trigger("shed.queue_full", None);
             return Err(ServeError::Shed(ShedReason::QueueFull));
         }
         let (ticket, state) = Ticket::new();
-        queue.push_back(Job { viewport, submitted: Instant::now(), ticket: state });
+        let id = self.inner.next_id.fetch_add(1, Ordering::Relaxed);
+        queue.push_back(Job { id, viewport, submitted: Instant::now(), ticket: state });
         self.inner.stats.submitted.bump();
         kdv_obs::metrics::global().counter("serve.submitted").bump();
         drop(queue);
@@ -291,20 +326,42 @@ fn worker_loop(inner: &Inner) {
         let waited = job.submitted.elapsed();
         let metrics = kdv_obs::metrics::global();
         metrics.histogram("serve.queue_wait_ns").record(waited.as_nanos() as u64);
-        if let Some(deadline) = inner.config.deadline {
-            if waited > deadline {
-                inner.stats.shed_deadline.bump();
-                metrics.counter("serve.shed.deadline").bump();
-                complete(&job.ticket, Err(ServeError::Shed(ShedReason::DeadlineExceeded)));
-                continue;
+        // The serve.request span must close (landing in the flight-
+        // recorder ring) before any trigger fires, so the dump of a shed
+        // or breach contains the offending request's own span tree.
+        let mut shed = false;
+        let result = {
+            let mut span = kdv_obs::span1("serve.request", "req", job.id);
+            span.arg("wait_us", waited.as_micros() as u64);
+            if inner.config.deadline.is_some_and(|deadline| waited > deadline) {
+                shed = true;
+                span.arg("shed", 1);
+                Err(ServeError::Shed(ShedReason::DeadlineExceeded))
+            } else {
+                inner
+                    .server
+                    .serve_viewport(&job.viewport, inner.config.threads_per_request)
+                    .map_err(ServeError::Compute)
+            }
+        };
+        if shed {
+            inner.stats.shed_deadline.bump();
+            metrics.counter("serve.shed.deadline").bump();
+            kdv_obs::ring::trigger("shed.deadline", Some(job.id));
+        } else {
+            inner.stats.completed.bump();
+            metrics.counter("serve.completed").bump();
+            if let Some(slo) = inner.slo.get() {
+                let latency_ns = job.submitted.elapsed().as_nanos() as u64;
+                let class = match inner.server.tier_of(job.viewport.zoom) {
+                    TileTier::Exact => RequestClass::Exact,
+                    TileTier::Coreset => RequestClass::Coreset,
+                };
+                if slo.record(class, latency_ns, job.id).breached {
+                    kdv_obs::ring::trigger("slo.p99", Some(job.id));
+                }
             }
         }
-        let result = inner
-            .server
-            .serve_viewport(&job.viewport, inner.config.threads_per_request)
-            .map_err(ServeError::Compute);
-        inner.stats.completed.bump();
-        metrics.counter("serve.completed").bump();
         complete(&job.ticket, result);
     }
 }

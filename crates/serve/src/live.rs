@@ -482,6 +482,9 @@ impl LiveTileServer {
         let snapshot = self.snapshot();
         let generation = snapshot.generation();
         span.arg("generation", generation);
+        // Generation lag = stream.generation - serve.generation: how far
+        // behind ingestion the bits being served are.
+        kdv_obs::metrics::global().gauge("serve.generation").set(generation);
         let tier_info = self.tier_info_for(&snapshot, vp.zoom)?;
         kdv_obs::metrics::global()
             .counter(match tier_info.tier {
@@ -618,7 +621,9 @@ impl LiveTileServer {
         report.wall_nanos = started.elapsed().as_nanos() as u64;
         span.arg("misses", report.cache_misses);
         span.arg("patched", report.cache_patched);
-        kdv_obs::metrics::global().histogram("serve.request_ns").record(report.wall_nanos);
+        let metrics = kdv_obs::metrics::global();
+        metrics.histogram("serve.request_ns").record(report.wall_nanos);
+        metrics.histogram("serve.request_ns.live").record(report.wall_nanos);
         Ok((out, report, tier_info))
     }
 

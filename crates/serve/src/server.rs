@@ -494,7 +494,14 @@ impl TileServer {
         report.threads = threads;
         report.wall_nanos = started.elapsed().as_nanos() as u64;
         span.arg("misses", report.cache_misses);
-        kdv_obs::metrics::global().histogram("serve.request_ns").record(report.wall_nanos);
+        let metrics = kdv_obs::metrics::global();
+        metrics.histogram("serve.request_ns").record(report.wall_nanos);
+        metrics
+            .histogram(match tier_info.tier {
+                TileTier::Exact => "serve.request_ns.exact",
+                TileTier::Coreset => "serve.request_ns.coreset",
+            })
+            .record(report.wall_nanos);
         Ok((out, report, tier_info))
     }
 }

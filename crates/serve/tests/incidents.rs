@@ -1,0 +1,202 @@
+//! Trigger-injection tests for the flight recorder's incident dumps.
+//!
+//! Each test *injects* the failure its trigger watches for — a zero
+//! deadline forces a shed, a 1 ns p99 target forces an SLO breach, a
+//! depth-1 queue under an open-loop burst forces a queue-full shed —
+//! and asserts exactly one incident file appears, validates against the
+//! Chrome-trace JSON schema, and carries the offending request's
+//! context (trigger kind, request id, `serve.request` span, exemplar).
+//!
+//! These tests toggle the process-global flight recorder, so every one
+//! of them holds `kdv_obs::span::exclusive()` for its whole body and
+//! they live in this dedicated integration binary (one process), never
+//! alongside unit tests that could interleave.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+use kdv_core::{KernelType, Point, Rect};
+use kdv_obs::ring;
+use kdv_obs::{IncidentConfig, SloTargets, SloTracker};
+use kdv_serve::{
+    Frontend, FrontendConfig, PyramidSpec, ServeConfig, ServeError, ShedReason, TileServer,
+    Viewport,
+};
+
+fn points(n: usize) -> Vec<Point> {
+    let mut state = 0x5EEDu64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    (0..n).map(|_| Point::new(next() * 80.0, next() * 80.0)).collect()
+}
+
+fn make_server() -> Arc<TileServer> {
+    let pyramid = PyramidSpec::new(Rect::new(0.0, 0.0, 80.0, 80.0), 16, 48, 48, 2).unwrap();
+    let config = ServeConfig {
+        dataset: 31,
+        kernel: KernelType::Epanechnikov,
+        bandwidth: 10.0,
+        weight: 0.004,
+    };
+    Arc::new(TileServer::new(pyramid, config, points(200), 1 << 22, 4))
+}
+
+fn temp_incident_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("kdv-incidents-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn incident_files(dir: &PathBuf) -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map(|entries| entries.filter_map(|e| e.ok()).map(|e| e.path()).collect())
+        .unwrap_or_default();
+    files.sort();
+    files
+}
+
+fn read_valid_incident(path: &PathBuf) -> String {
+    let body = std::fs::read_to_string(path).unwrap();
+    kdv_obs::validate_json(&body)
+        .unwrap_or_else(|off| panic!("incident not valid JSON at byte {off}: {body}"));
+    assert!(body.contains("\"displayTimeUnit\":\"ms\""), "not a Chrome trace: {body}");
+    assert!(body.contains("\"traceEvents\":["), "not a Chrome trace: {body}");
+    body
+}
+
+#[test]
+fn injected_deadline_shed_dumps_exactly_one_incident_with_the_span_tree() {
+    let _x = kdv_obs::span::exclusive();
+    let dir = temp_incident_dir("deadline");
+    ring::clear();
+    ring::arm_incidents(IncidentConfig::new(dir.clone()));
+
+    let fe = Frontend::new(
+        make_server(),
+        FrontendConfig { workers: 1, deadline: Some(Duration::ZERO), ..FrontendConfig::default() },
+    );
+    let vp = Viewport { zoom: 1, px: 0, py: 0, width: 40, height: 40 };
+    // Two shed requests inside the cooldown: the first dumps, the second
+    // is suppressed — "exactly one incident per injected failure burst".
+    for _ in 0..2 {
+        match fe.serve(vp) {
+            Err(ServeError::Shed(ShedReason::DeadlineExceeded)) => {}
+            other => panic!("expected deadline shed, got {other:?}"),
+        }
+    }
+    drop(fe);
+    ring::disarm_incidents();
+
+    let files = incident_files(&dir);
+    assert_eq!(files.len(), 1, "expected exactly one dump, got {files:?}");
+    let name = files[0].file_name().unwrap().to_str().unwrap();
+    assert!(name.starts_with("incident-0000-shed-deadline"), "{name}");
+    let body = read_valid_incident(&files[0]);
+    // the dump names the trigger and the offending request id...
+    assert!(body.contains("\"trigger\":\"shed.deadline\""), "{body}");
+    assert!(body.contains("\"request_id\":1"), "{body}");
+    // ...and contains that request's span, tagged as shed
+    assert!(body.contains("\"serve.request\""), "{body}");
+    assert!(body.contains("\"req\":1"), "{body}");
+    assert!(body.contains("\"shed\":1"), "{body}");
+    ring::clear();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn injected_slo_breach_dumps_exactly_one_incident_with_the_exemplar() {
+    let _x = kdv_obs::span::exclusive();
+    let dir = temp_incident_dir("slo");
+    ring::clear();
+    ring::arm_incidents(IncidentConfig::new(dir.clone()));
+
+    let fe = Frontend::new(make_server(), FrontendConfig { workers: 1, ..Default::default() });
+    // 1 ns p99 target: every completed request is slow, the windowed p99
+    // crosses the target on the first completion — one breach edge.
+    fe.set_slo(Arc::new(SloTracker::uniform(10_000_000_000, SloTargets { p50_ns: 1, p99_ns: 1 })));
+    let vp = Viewport { zoom: 1, px: 0, py: 0, width: 40, height: 40 };
+    for _ in 0..3 {
+        fe.serve(vp).expect("served");
+    }
+    drop(fe);
+    ring::disarm_incidents();
+
+    let files = incident_files(&dir);
+    assert_eq!(files.len(), 1, "sustained breach must dump once, got {files:?}");
+    let name = files[0].file_name().unwrap().to_str().unwrap();
+    assert!(name.contains("slo-p99"), "{name}");
+    let body = read_valid_incident(&files[0]);
+    assert!(body.contains("\"trigger\":\"slo.p99\""), "{body}");
+    assert!(body.contains("\"request_id\":1"), "{body}");
+    // the offending request's exemplar links its id and class...
+    assert!(body.contains("\"exemplars\":[{\"request_id\":1,\"class\":\"exact\""), "{body}");
+    // ...to its captured span tree (the request span and the tile-server
+    // spans under it)
+    assert!(body.contains("\"serve.request\""), "{body}");
+    assert!(body.contains("\"req\":1"), "{body}");
+    assert!(body.contains("\"serve.viewport\""), "{body}");
+    ring::clear();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn injected_queue_full_shed_dumps_an_incident() {
+    let _x = kdv_obs::span::exclusive();
+    let dir = temp_incident_dir("queue");
+    ring::clear();
+    ring::arm_incidents(IncidentConfig::new(dir.clone()));
+
+    let fe = Frontend::new(
+        make_server(),
+        FrontendConfig { workers: 1, queue_depth: 1, ..FrontendConfig::default() },
+    );
+    let vp = Viewport { zoom: 2, px: 0, py: 0, width: 96, height: 96 };
+    let mut pending = Vec::new();
+    let mut shed = false;
+    for _ in 0..10_000 {
+        match fe.submit(vp) {
+            Ok(t) => pending.push(t),
+            Err(ServeError::Shed(ShedReason::QueueFull)) => {
+                shed = true;
+                break;
+            }
+            Err(other) => panic!("unexpected {other:?}"),
+        }
+    }
+    assert!(shed, "a depth-1 queue never rejected an open-loop burst");
+    for t in pending {
+        t.wait().expect("accepted request must be served");
+    }
+    drop(fe);
+    ring::disarm_incidents();
+
+    let files = incident_files(&dir);
+    assert_eq!(files.len(), 1, "one burst, one dump: {files:?}");
+    let body = read_valid_incident(&files[0]);
+    assert!(body.contains("\"trigger\":\"shed.queue_full\""), "{body}");
+    ring::clear();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn unarmed_serving_writes_no_incidents_and_rings_stay_off() {
+    let _x = kdv_obs::span::exclusive();
+    ring::clear();
+    assert!(!ring::recording());
+    let fe = Frontend::new(
+        make_server(),
+        FrontendConfig { workers: 1, deadline: Some(Duration::ZERO), ..FrontendConfig::default() },
+    );
+    let vp = Viewport { zoom: 1, px: 0, py: 0, width: 40, height: 40 };
+    let _ = fe.serve(vp);
+    drop(fe);
+    let (trace, overwritten) = ring::snapshot(u64::MAX);
+    assert!(trace.events.is_empty(), "rings recorded while off: {trace:?}");
+    assert_eq!(overwritten, 0);
+    ring::clear();
+}

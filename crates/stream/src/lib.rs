@@ -270,6 +270,9 @@ impl StreamingPointSet {
         metrics
             .counter("stream.delta_points")
             .add(self.batches.last().map_or(0, |b| b.len()) as u64);
+        // stream.generation - serve.generation = the live server's
+        // generation lag (how far serving trails ingestion).
+        metrics.gauge("stream.generation").set(generation);
         generation
     }
 
@@ -292,7 +295,9 @@ impl StreamingPointSet {
         self.epoch += 1;
         self.base = Arc::new(self.live_points());
         self.batches.clear();
-        kdv_obs::metrics::global().counter("stream.compactions").bump();
+        let metrics = kdv_obs::metrics::global();
+        metrics.counter("stream.compactions").bump();
+        metrics.gauge("stream.generation").set(self.epoch_generation);
         self.epoch_generation
     }
 

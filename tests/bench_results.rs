@@ -96,6 +96,8 @@ fn bench_simd_json_parses_with_expected_keys() {
 fn bench_obs_json_parses_with_expected_keys() {
     let text = validated("BENCH_obs.json");
     for key in [
+        "\"runs\"",
+        "\"date\"",
         "\"n\"",
         "\"requests\"",
         "\"spans\"",
@@ -105,6 +107,84 @@ fn bench_obs_json_parses_with_expected_keys() {
         "\"max_ratio\"",
     ] {
         assert!(text.contains(key), "BENCH_obs.json missing key {key}");
+    }
+}
+
+#[test]
+fn bench_flight_json_parses_with_expected_keys() {
+    let text = validated("BENCH_flight.json");
+    for key in [
+        "\"runs\"",
+        "\"date\"",
+        "\"n\"",
+        "\"requests\"",
+        "\"ring_off_s\"",
+        "\"ring_on_s\"",
+        "\"overhead_ratio\"",
+        "\"max_ratio\"",
+        "\"bitwise\"",
+        "\"shed_incidents\"",
+        "\"slo_incidents\"",
+        "\"prometheus_series\"",
+    ] {
+        assert!(text.contains(key), "BENCH_flight.json missing key {key}");
+    }
+    // the run itself asserts these, but the committed history must agree:
+    // a non-bitwise recorder-on replay or a missed/duplicated incident
+    // dump must never be recorded
+    assert!(text.contains("\"bitwise\": true"), "BENCH_flight.json recorded a non-bitwise replay");
+    assert!(
+        text.contains("\"shed_incidents\": 1") && text.contains("\"slo_incidents\": 1"),
+        "BENCH_flight.json recorded a missed or duplicated incident dump"
+    );
+}
+
+/// Extracts every numeric value of `"key": <number>` in file order.
+fn numeric_series(text: &str, key: &str) -> Vec<f64> {
+    let needle = format!("\"{key}\":");
+    let mut out = Vec::new();
+    let mut rest = text;
+    while let Some(pos) = rest.find(&needle) {
+        rest = &rest[pos + needle.len()..];
+        let end = rest.find([',', '}', '\n']).unwrap_or(rest.len());
+        if let Ok(v) = rest[..end].trim().parse::<f64>() {
+            out.push(v);
+        }
+    }
+    out
+}
+
+/// Trajectory guard: `./ci.sh` bench gates append one dated entry per
+/// run, and the gated headline ratio of the *latest* entry must not
+/// regress by more than 25% against the entry before it. A fresh file
+/// with fewer than two entries passes trivially.
+#[test]
+fn bench_trajectories_do_not_regress() {
+    const MAX_REGRESSION: f64 = 0.25;
+    // (file, headline key, higher-is-better)
+    for (file, key, higher) in [
+        ("BENCH_stream.json", "speedup", true),
+        ("BENCH_simd.json", "best_speedup", true),
+        ("BENCH_obs.json", "ratio", false),
+        ("BENCH_flight.json", "overhead_ratio", false),
+        ("BENCH_coreset.json", "speedup", true),
+    ] {
+        let text = validated(file);
+        let series = numeric_series(&text, key);
+        assert!(!series.is_empty(), "{file} has no {key} entries");
+        if series.len() < 2 {
+            continue;
+        }
+        let prior = series[series.len() - 2];
+        let latest = series[series.len() - 1];
+        assert!(prior > 0.0, "{file}: non-positive prior {key} {prior}");
+        let regression = if higher { (prior - latest) / prior } else { (latest - prior) / prior };
+        assert!(
+            regression <= MAX_REGRESSION,
+            "{file}: {key} regressed {:.0}% ({prior} -> {latest}); rerun the gate on a quiet \
+             machine or investigate before committing",
+            regression * 100.0
+        );
     }
 }
 
